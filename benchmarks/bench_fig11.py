@@ -1,0 +1,14 @@
+"""Figure 11 benchmark: end-to-end two-stage EVD, ours vs MAGMA."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_regeneration(benchmark):
+    result = benchmark(run_experiment, "fig11")
+    for row in result.rows:
+        # Paper: ~2x overall (up to 2.3x), damped by the shared stage 2.
+        assert 1.2 < row["speedup"] < 3.0
+        # The PCIe transfer the paper worries about is visible but small.
+        assert row["transfer_s"] < 0.1 * row["ours_s"]

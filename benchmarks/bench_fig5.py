@@ -1,0 +1,17 @@
+"""Figure 5 benchmark: WY-based SBR GEMM time vs block size nb (n = 32768)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_regeneration(benchmark):
+    result = benchmark(run_experiment, "fig5")
+    times = {r["nb"]: r["gemm_time_s"] for r in result.rows}
+    # Paper finding: interior optimum at nb = 1024.
+    assert min(times, key=times.get) == 1024
+    assert times[128] > times[1024]
+    assert times[4096] > times[1024]
+    # TFLOPS annotation rises from nb=128 to the optimum.
+    tflops = {r["nb"]: r["tflops"] for r in result.rows}
+    assert tflops[1024] > tflops[128]

@@ -1,0 +1,15 @@
+"""Figure 6 benchmark: TC-GEMM time, WY vs ZY over matrix size."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_regeneration(benchmark):
+    result = benchmark(run_experiment, "fig6")
+    ratios = {r["n"]: r["zy_over_wy"] for r in result.rows}
+    # Paper structure: ZY wins small, WY wins large; crossover in between.
+    assert ratios[4096] < 1.0
+    assert ratios[32768] > 1.05
+    sizes = sorted(ratios)
+    assert all(ratios[a] <= ratios[b] + 1e-9 for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,17 @@
+"""Figure 9 benchmark: TC / TSQR ablations of the WY-based SBR vs MAGMA."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_regeneration(benchmark):
+    result = benchmark(run_experiment, "fig9")
+    big = next(r for r in result.rows if r["n"] == 32768)
+    small = next(r for r in result.rows if r["n"] == 4096)
+    # Large n: Tensor Core is the bigger lever; SGEMM-WY is worse than MAGMA.
+    assert big["no_tc_s"] > big["magma_s"]
+    assert big["tc_tsqr_s"] < big["no_tsqr_s"]
+    # Small n: the panel is the bigger lever.
+    assert (small["no_tsqr_s"] / small["tc_tsqr_s"]) > (small["no_tc_s"] / small["tc_tsqr_s"]) * 0.9
+    assert all(r["tc_tsqr_s"] < r["magma_s"] for r in result.rows)

@@ -1,0 +1,48 @@
+"""Table 1 benchmark: GEMM throughput model vs the paper's measurements.
+
+Regenerates the eight-row table (both shape families, TC and SGEMM) and
+asserts the calibration anchors match the paper to all printed digits.
+Additionally times the *emulated* TC-GEMM numerics at library scale so the
+emulation's own cost is tracked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.precision import ec_tcgemm, tcgemm
+
+
+def test_table1_regeneration(benchmark):
+    result = benchmark(run_experiment, "table1")
+    assert len(result.rows) == 8
+    for row in result.rows:
+        assert row["tc_ts_model"] == pytest.approx(row["tc_ts_paper"], rel=1e-9)
+        assert row["tc_outer_model"] == pytest.approx(row["tc_outer_paper"], rel=1e-9)
+        assert row["sgemm_ts_model"] == pytest.approx(row["sgemm_ts_paper"], rel=1e-9)
+        assert row["sgemm_outer_model"] == pytest.approx(row["sgemm_outer_paper"], rel=1e-9)
+    # Structural fact of Table 1: TC throughput rises steeply with k while
+    # SGEMM stays nearly flat.
+    tc = result.column("tc_ts_model")
+    sg = result.column("sgemm_ts_model")
+    assert tc[-1] / tc[0] > 15
+    assert sg[-1] / sg[0] < 2
+
+
+@pytest.mark.parametrize("k", [32, 256])
+def test_emulated_tcgemm_numerics(benchmark, rng, k):
+    m = 512
+    a = rng.standard_normal((m, m)).astype(np.float32)
+    b = rng.standard_normal((m, k)).astype(np.float32)
+    out = benchmark(tcgemm, a, b)
+    assert out.shape == (m, k)
+
+
+def test_emulated_ec_tcgemm_numerics(benchmark, rng):
+    a = rng.standard_normal((512, 512)).astype(np.float32)
+    b = rng.standard_normal((512, 128)).astype(np.float32)
+    out = benchmark(ec_tcgemm, a, b)
+    exact = a.astype(np.float64) @ b.astype(np.float64)
+    assert float(np.abs(out - exact).max() / np.abs(exact).max()) < 1e-5

@@ -1,0 +1,22 @@
+"""Table 2 benchmark: operation counts of ZY- vs WY-based SBR at n = 32768."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_table2_regeneration(benchmark):
+    result = benchmark(run_experiment, "table2")
+    zy = next(r for r in result.rows if r["algorithm"] == "ZY")
+    wys = [r for r in result.rows if r["algorithm"] == "WY"]
+
+    # Paper anchors: ZY = 0.70e14, WY(nb=128) = 0.93e14 at n = 32768.
+    assert zy["flops_1e14"] == pytest.approx(0.70, abs=0.02)
+    assert wys[0]["flops_1e14"] == pytest.approx(0.93, abs=0.02)
+
+    # WY always costs more than ZY, and the cost grows with nb.
+    vals = [r["flops_1e14"] for r in wys]
+    assert all(v > zy["flops_1e14"] for v in vals)
+    assert all(b >= a for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table/figure of the paper via
+``repro.experiments`` (model-based figures run at full paper scale; the
+numeric accuracy tables run at library scale) and asserts the paper's
+qualitative structure on the result, so ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(987654321)

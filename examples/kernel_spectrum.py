@@ -1,0 +1,79 @@
+"""Kernel-machine spectra with randomized + Tensor-Core eigensolvers.
+
+The paper's author group built TensorSVM and xSVM (refs [43, 35]): kernel
+machines whose training is dominated by low-rank approximation of a dense
+kernel Gram matrix — one of the motivating workloads for Tensor-Core EVD.
+This example builds an RBF kernel matrix over synthetic clustered data
+and compares three routes to its dominant spectrum:
+
+1. exact (LAPACK ``eigh``) — the reference;
+2. randomized block Lanczos (paper ref [40]) in plain FP32;
+3. the full two-stage eigensolver under FP16 Tensor-Core emulation,
+   truncated to the same rank (Nyström-style approximation quality).
+
+Run:  python examples/kernel_spectrum.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import syevd_2stage
+from repro.svd import block_lanczos_eig
+
+N_POINTS = 240
+N_CLUSTERS = 6
+RANK = 12
+GAMMA = 0.35
+
+
+def make_kernel(rng: np.random.Generator) -> np.ndarray:
+    """RBF kernel Gram matrix over clustered 2-D points."""
+    centers = 4.0 * rng.standard_normal((N_CLUSTERS, 2))
+    pts = np.concatenate(
+        [c + 0.4 * rng.standard_normal((N_POINTS // N_CLUSTERS, 2)) for c in centers]
+    )
+    sq = np.sum(pts**2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * pts @ pts.T
+    return np.exp(-GAMMA * np.maximum(d2, 0.0))
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    k_mat = make_kernel(rng)
+    n = k_mat.shape[0]
+
+    lam_ref = np.linalg.eigvalsh(k_mat)[::-1]
+    print(f"RBF kernel matrix: {n}x{n}, {N_CLUSTERS} clusters")
+    print(f"top-{RANK} exact eigenvalues: {np.round(lam_ref[:RANK], 4)}")
+    tail_energy = np.sqrt(np.sum(lam_ref[RANK:] ** 2)) / np.sqrt(np.sum(lam_ref**2))
+    print(f"relative spectral tail beyond rank {RANK}: {tail_energy:.2e}  "
+          "(kernel matrices are numerically low-rank — the TensorSVM premise)")
+
+    # Randomized block Lanczos.
+    lam_bl, v_bl = block_lanczos_eig(k_mat, RANK, block_size=RANK, n_blocks=4, rng=rng)
+    err_bl = np.abs(np.sort(lam_bl)[::-1] - lam_ref[:RANK]).max() / lam_ref[0]
+    print(f"\nblock Lanczos top-{RANK} rel. error: {err_bl:.2e}")
+
+    # Tensor-Core two-stage EVD, truncated.
+    res = syevd_2stage(k_mat, b=8, nb=32, precision="fp16_tc")
+    lam_tc = res.eigenvalues[::-1][:RANK]
+    v_tc = res.eigenvectors[:, ::-1][:, :RANK]
+    err_tc = np.abs(lam_tc - lam_ref[:RANK]).max() / lam_ref[0]
+    print(f"FP16 Tensor-Core EVD top-{RANK} rel. error: {err_tc:.2e}")
+
+    # Nyström-style approximation quality of the truncated factorizations.
+    for label, lam_k, v_k in (("lanczos", np.asarray(lam_bl), v_bl), ("tensor-core", lam_tc, v_tc)):
+        approx = (v_k * lam_k) @ v_k.T
+        rel = np.linalg.norm(k_mat - approx) / np.linalg.norm(k_mat)
+        print(f"rank-{RANK} kernel approximation error ({label}): {rel:.2e}")
+
+    print(
+        "\nBoth reduced-precision routes approximate the kernel to the "
+        "spectral-tail floor: Tensor-Core accuracy is not the bottleneck "
+        "for kernel-machine workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Approximate-iterate eigensolving: Tensor-Core pipeline + Newton refinement.
+
+The paper's introduction explains why mixed-precision *factorizations*
+are usually structured approximate-then-iterate, and its conclusion defers
+the eigenvalue version to future work.  This example runs that future
+work: the FP16 Tensor-Core pipeline produces ~1e-4-grade eigenpairs, and
+each Ogita–Aishima refinement sweep (float64 GEMMs) squares the error —
+two sweeps reach full double precision, for matrices whose spectra range
+from well-separated to pathologically clustered.
+
+Run:  python examples/mixed_precision_refinement.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import generate_symmetric, refine_eigenpairs, syevd_2stage
+from repro.metrics import eigenvalue_error, orthogonality_error
+
+N = 192
+CASES = [
+    ("geo, cond 1e3", dict(distribution="geo", cond=1e3)),
+    ("arith, cond 1e5", dict(distribution="arith", cond=1e5)),
+    ("cluster1, cond 1e5", dict(distribution="cluster1", cond=1e5)),
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    print(f"n = {N}; start: FP16 Tensor-Core two-stage EVD; refine: float64 Newton sweeps\n")
+    for label, kwargs in CASES:
+        a, lam_true = generate_symmetric(N, rng=rng, **kwargs)
+        base = syevd_2stage(a, b=16, nb=64, precision="fp16_tc")
+        print(f"--- {label} ---")
+        print(f"  sweeps=0  E_s {eigenvalue_error(lam_true, base.eigenvalues):.2e}  "
+              f"orth {orthogonality_error(base.eigenvectors):.2e}")
+        for sweeps in (1, 2):
+            lam, x = refine_eigenpairs(a, base.eigenvectors, iterations=sweeps)
+            resid = float(np.abs(a @ x - x * lam).max())
+            print(f"  sweeps={sweeps}  E_s {eigenvalue_error(lam_true, lam):.2e}  "
+                  f"orth {orthogonality_error(x):.2e}  resid {resid:.2e}")
+        print()
+    print(
+        "Each sweep squares the error (quadratic convergence): the cheap\n"
+        "Tensor-Core factorization does the O(n^3) heavy lifting, and two\n"
+        "refinement sweeps buy back full float64 accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

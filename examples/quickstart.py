@@ -1,0 +1,45 @@
+"""Quickstart: two-stage symmetric eigendecomposition on emulated Tensor Cores.
+
+Generates a random symmetric matrix with a known spectrum, runs the
+paper's pipeline (WY-based band reduction -> bulge chasing -> divide &
+conquer) under four precision policies, and compares accuracy against the
+exact spectrum — reproducing the precision ladder of the paper's Tables
+3/4 in one script.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import Precision, eigenvalue_error, generate_symmetric, syevd_2stage
+
+
+def main(n: int = 256) -> None:
+    rng = np.random.default_rng(2023)
+    a, lam_true = generate_symmetric(n, distribution="geo", cond=1e3, rng=rng)
+    print(f"Symmetric test matrix: n={n}, geometric spectrum, cond=1e3")
+    print(f"{'precision':<14} {'E_s (vs true)':<14} {'resid |Ax-λx|':<14} time")
+
+    for precision in (Precision.FP64, Precision.FP32, Precision.FP16_EC_TC, Precision.FP16_TC):
+        t0 = time.perf_counter()
+        res = syevd_2stage(a, b=16, nb=64, precision=precision, want_vectors=True)
+        dt = time.perf_counter() - t0
+        err = eigenvalue_error(lam_true, res.eigenvalues)
+        x = res.eigenvectors
+        resid = float(np.abs(a @ x - x * res.eigenvalues).max())
+        print(f"{precision.value:<14} {err:<14.3e} {resid:<14.3e} {dt:.2f}s")
+
+    print(
+        "\nExpected shape: fp64 exact; fp32 and fp16_ec_tc at single precision;"
+        "\nfp16_tc at the Tensor-Core machine epsilon (~1e-4) — the error the"
+        "\npaper's error-corrected GEMMs (EC-TCGEMM) remove."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 256)

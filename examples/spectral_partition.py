@@ -1,0 +1,58 @@
+"""Spectral graph partitioning with the library's eigensolvers.
+
+Builds a planted two-community graph, forms its Laplacian, and recovers
+the communities from the Fiedler vector.  Two of the library's solvers are
+exercised on the way:
+
+- Sturm bisection (:func:`repro.eig.eigvals_bisect`) localizes just the
+  two smallest Laplacian eigenvalues after the band/tridiagonal reduction
+  — the "subset of eigenvalues" query style the paper's related work
+  attributes to bisection methods;
+- the full two-stage EVD (FP16 Tensor-Core emulation) supplies the
+  Fiedler eigenvector used for the actual partition.
+
+Run:  python examples/spectral_partition.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro import bulge_chase, sbr_wy, syevd_2stage, make_engine
+from repro.eig import eigvals_bisect
+
+N_PER_SIDE = 64
+P_IN, P_OUT = 0.25, 0.02
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    g = nx.planted_partition_graph(2, N_PER_SIDE, P_IN, P_OUT, seed=3)
+    lap = nx.laplacian_matrix(g).toarray().astype(np.float64)
+    n = lap.shape[0]
+    truth = np.array([0] * N_PER_SIDE + [1] * N_PER_SIDE)
+
+    # --- Selected eigenvalues via band reduction + bulge chase + bisection.
+    engine = make_engine("fp32")
+    band = sbr_wy(lap, 8, 32, engine=engine, want_q=False).band
+    d, e, _ = bulge_chase(np.asarray(band, dtype=np.float64), 8, want_q=False)
+    low = eigvals_bisect(d, e, select=(0, 3))
+    print(f"three smallest Laplacian eigenvalues (bisection): {np.round(low, 6)}")
+    print("  (λ0 ≈ 0 for a connected graph; λ1 is the algebraic connectivity)")
+
+    # --- Fiedler vector from the full TC pipeline.
+    res = syevd_2stage(lap, b=8, nb=32, precision="fp16_tc")
+    fiedler = res.eigenvectors[:, 1]
+    labels = (fiedler > np.median(fiedler)).astype(int)
+    agreement = max(np.mean(labels == truth), np.mean(labels != truth))
+    print(f"\nFiedler-vector partition accuracy vs planted communities: {agreement:.1%}")
+
+    lam_ref = np.linalg.eigvalsh(lap)
+    err = np.abs(np.sort(res.eigenvalues) - lam_ref).max() / lam_ref.max()
+    print(f"TC spectrum max relative deviation from LAPACK: {err:.2e}")
+    assert agreement > 0.9, "partition should recover the planted structure"
+
+
+if __name__ == "__main__":
+    main()

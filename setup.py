@@ -1,0 +1,6 @@
+"""Setuptools shim enabling legacy editable installs (`pip install -e .`)
+in offline environments without the `wheel` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Analytic A100 performance model (the wall-clock substitute).
+
+Without an A100, absolute wall-clock cannot be measured — but the paper's
+performance figures are functions of (a) the exact GEMM shape streams of
+the algorithms, which :mod:`repro.gemm.symbolic` reproduces exactly, and
+(b) the device's shape-dependent GEMM throughput, which the paper itself
+publishes in Table 1.  This package turns Table 1 into an interpolated
+throughput model and layers launch-latency, memory-roofline, panel,
+bulge-chasing, divide & conquer, and PCIe estimators on top, giving model
+times for every configuration in Figures 5–11.
+
+Calibration sources, in order of authority:
+
+1. Table 1 (TC-GEMM / SGEMM TFLOPS vs inner dimension, two shape
+   families) — used verbatim as interpolation anchors.
+2. Published A100 specs (peaks, HBM bandwidth) and the paper's §5.3
+   EC-TCGEMM rates (33 TFLOPS full-exponent) and §6.4 PCIe rate (12 GB/s).
+3. Panel/CPU-stage constants fitted so the *ratios* the paper reports
+   (TSQR ~5x panels, SBR up to 3.7x, EVD up to 2.3x) are reproduced;
+   these are documented in :mod:`repro.device.specs` and EXPERIMENTS.md.
+"""
+
+from .specs import A100Spec, DeviceSpec
+from .calibration import (
+    TABLE1_K,
+    TABLE1_SGEMM_OUTER,
+    TABLE1_SGEMM_TS,
+    TABLE1_TC_OUTER,
+    TABLE1_TC_TS,
+    ThroughputCurve,
+)
+from .perf_model import PerfModel
+
+__all__ = [
+    "DeviceSpec",
+    "A100Spec",
+    "ThroughputCurve",
+    "TABLE1_K",
+    "TABLE1_TC_TS",
+    "TABLE1_TC_OUTER",
+    "TABLE1_SGEMM_TS",
+    "TABLE1_SGEMM_OUTER",
+    "PerfModel",
+]

@@ -1,0 +1,51 @@
+"""Second-stage eigensolvers and end-to-end EVD drivers.
+
+The paper offloads everything after band reduction to MAGMA (bulge chasing
++ divide & conquer on the CPU).  This package implements those substrates
+from scratch:
+
+- :mod:`~repro.eig.bulge` — bulge-chasing reduction of a symmetric band
+  matrix to tridiagonal form (stage 2 of two-stage tridiagonalization).
+- :mod:`~repro.eig.qliter` — implicit-shift QL iteration (EISPACK
+  ``tql2``-style), the dense fallback / base-case solver.
+- :mod:`~repro.eig.secular` / :mod:`~repro.eig.dc` — Cuppen's divide &
+  conquer for the symmetric tridiagonal eigenproblem, with a safeguarded
+  secular-equation solver and Löwner-formula eigenvector stabilization.
+- :mod:`~repro.eig.sturm` — Sturm-sequence eigenvalue counting and
+  bisection (selected eigenvalues, verification).
+- :mod:`~repro.eig.tridiag_direct` — classic one-stage Householder
+  tridiagonalization (the 50%-BLAS2 baseline of paper §3.1).
+- :mod:`~repro.eig.driver` — ``syevd_2stage`` (SBR → bulge chase →
+  tridiagonal eigensolver → back-transformation) and ``syevd_1stage``.
+"""
+
+from .bulge import bulge_chase, reduce_bandwidth
+from .qliter import tridiag_eig_ql
+from .dc import tridiag_eig_dc
+from .sturm import sturm_count, eigvals_bisect
+from .secular import solve_secular, secular_eig
+from .inverse_iteration import tridiag_inverse_iteration
+from .lobpcg import lobpcg
+from .qdwh import qdwh_eig, qdwh_polar
+from .tridiag_direct import householder_tridiagonalize
+from .driver import EvdResult, syevd_2stage, syevd_1stage, syevd_selected
+
+__all__ = [
+    "bulge_chase",
+    "reduce_bandwidth",
+    "tridiag_eig_ql",
+    "tridiag_eig_dc",
+    "sturm_count",
+    "eigvals_bisect",
+    "solve_secular",
+    "secular_eig",
+    "tridiag_inverse_iteration",
+    "lobpcg",
+    "qdwh_polar",
+    "qdwh_eig",
+    "householder_tridiagonalize",
+    "EvdResult",
+    "syevd_2stage",
+    "syevd_1stage",
+    "syevd_selected",
+]

@@ -1,0 +1,166 @@
+"""Bulge chasing: symmetric band → tridiagonal (stage 2, paper §3.1).
+
+Implements the Schwarz (1968) rotation scheme, the same family as LAPACK
+``sbtrd`` and the bulge-chasing stage the paper delegates to MAGMA.  The
+bandwidth is peeled off one diagonal at a time: to remove the outermost
+diagonal, each band-edge entry ``A[j+b, j]`` is annihilated by a Givens
+rotation of rows/columns ``(j+b-1, j+b)``; the rotation spawns one
+out-of-band fill element ``b`` rows further down, which the chase follows
+until it drops off the matrix edge.
+
+Cost is Θ(n² b) without eigenvector accumulation — the reason two-stage
+tridiagonalization wants a *small* bandwidth while Tensor-Core GEMMs want
+a *large* one (the tension discussed in the paper's §4.1).  Accumulating
+``Q2`` costs Θ(n³) (each rotation touches two columns of Q), the known
+price of eigenvectors in two-stage methods.
+
+Rotation work is BLAS1/2 and intentionally not routed through a GEMM
+engine; the device performance model charges stage 2 via its own
+analytic estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..validation import as_symmetric_matrix
+
+__all__ = ["bulge_chase", "reduce_bandwidth"]
+
+
+def _givens(f: float, g: float) -> tuple[float, float]:
+    """Stable Givens pair (c, s) with ``[c s; -s c]^T [f; g] = [r; 0]``."""
+    if g == 0.0:
+        return 1.0, 0.0
+    if f == 0.0:
+        return 0.0, 1.0
+    r = np.hypot(f, g)
+    return f / r, g / r
+
+
+def _rot_rows(A: np.ndarray, i: int, k: int, c: float, s: float, lo: int, hi: int) -> None:
+    """Apply G^T from the left to rows (i, k), columns [lo, hi)."""
+    ai = A[i, lo:hi].copy()
+    ak = A[k, lo:hi]
+    A[i, lo:hi] = c * ai + s * ak
+    A[k, lo:hi] = -s * ai + c * ak
+
+
+def _rot_cols(A: np.ndarray, i: int, k: int, c: float, s: float, lo: int, hi: int) -> None:
+    """Apply G from the right to columns (i, k), rows [lo, hi)."""
+    ai = A[lo:hi, i].copy()
+    ak = A[lo:hi, k]
+    A[lo:hi, i] = c * ai + s * ak
+    A[lo:hi, k] = -s * ai + c * ak
+
+
+def bulge_chase(
+    a,
+    b: int,
+    *,
+    want_q: bool = True,
+    variant: str = "givens",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Reduce a symmetric band matrix to tridiagonal form.
+
+    Parameters
+    ----------
+    a : array_like, (n, n) symmetric
+        Band matrix with semi-bandwidth ``b`` (entries outside the band
+        are assumed zero and ignored).
+    b : int
+        Semi-bandwidth of ``a``; ``b == 1`` returns the tridiagonal
+        entries directly.
+    want_q : bool
+        Accumulate the orthogonal transform ``Q2`` with ``A ≈ Q2 T Q2^T``.
+    variant : {"givens", "blocked"}
+        ``"givens"``: Schwarz rotation scheme (this module).
+        ``"blocked"``: Householder column sweeps with blocked chases
+        (:mod:`repro.eig.bulge_blocked`, MAGMA ``sb2st``-style; fewer
+        Python-level steps, faster for larger bandwidths).
+
+    Returns
+    -------
+    d : ndarray, shape (n,)
+        Diagonal of the tridiagonal matrix ``T``.
+    e : ndarray, shape (n-1,)
+        Sub-diagonal of ``T``.
+    q : ndarray (n, n) or None
+        The accumulated transform (``None`` if not requested).
+    """
+    if variant == "blocked":
+        from .bulge_blocked import bulge_chase_blocked
+
+        return bulge_chase_blocked(a, b, want_q=want_q)
+    if variant != "givens":
+        raise ShapeError(f"variant must be 'givens' or 'blocked', got {variant!r}")
+    A, q = reduce_bandwidth(a, b, target=1, want_q=want_q)
+    n = A.shape[0]
+    d = np.diagonal(A).copy()
+    e = np.diagonal(A, offset=-1).copy() if n > 1 else np.empty(0, dtype=A.dtype)
+    return d, e, q
+
+
+def reduce_bandwidth(
+    a,
+    b: int,
+    *,
+    target: int = 1,
+    want_q: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Reduce a symmetric band matrix's bandwidth from ``b`` to ``target``.
+
+    The multi-step band reduction of the SBR framework (Bischof, Lang &
+    Sun 2000): the bandwidth is peeled one outermost diagonal at a time by
+    Givens chases.  ``target=1`` is full tridiagonalization (what
+    :func:`bulge_chase` returns in (d, e) form); intermediate targets give
+    the band-to-band steps of multi-sweep reduction strategies.
+
+    Returns
+    -------
+    band : ndarray (n, n)
+        Dense symmetric matrix of bandwidth ``target`` with
+        ``A ≈ Q band Q^T``.
+    q : ndarray (n, n) or None
+        Accumulated orthogonal transform (``None`` if not requested).
+    """
+    a = as_symmetric_matrix(a, rtol=1e-3, atol=1e-4)
+    n = a.shape[0]
+    if b < 1:
+        raise ShapeError(f"bandwidth must be >= 1, got {b}")
+    if target < 1 or target > b:
+        raise ShapeError(f"target bandwidth must be in [1, {b}], got {target}")
+    dtype = a.dtype
+    A = np.array(a, copy=True)
+    q = np.eye(n, dtype=dtype) if want_q else None
+
+    # Peel the bandwidth one diagonal at a time: cur = current bandwidth.
+    for cur in range(min(b, n - 1), target, -1):
+        for j in range(n - cur):
+            # Annihilate the band-edge entry A[j+cur, j], then chase the
+            # fill element it spawns every `cur` rows down the band.
+            col = j
+            r = j + cur
+            while r < n:
+                f_val = float(A[r - 1, col])
+                g_val = float(A[r, col])
+                if g_val == 0.0:
+                    break
+                c, s = _givens(f_val, g_val)
+                i, k = r - 1, r
+                # Window: all columns where rows (i, k) may be nonzero.
+                lo = max(col, 0)
+                hi = min(k + cur + 1, n)
+                _rot_rows(A, i, k, c, s, lo, hi)
+                _rot_cols(A, i, k, c, s, lo, hi)
+                if q is not None:
+                    _rot_cols(q, i, k, c, s, 0, n)
+                # The rotation spawned one fill element at (r + cur, r - 1)
+                # (both triangles); chase it: it is the next entry to kill,
+                # in column r - 1, `cur` rows below the one just zeroed.
+                A[k, col] = 0.0
+                A[col, k] = 0.0
+                col = r - 1
+                r = r + cur
+    return A, q

@@ -1,0 +1,74 @@
+"""Classic one-stage Householder tridiagonalization (LAPACK ``sytrd`` shape).
+
+The baseline the paper's §3.1 argues against: each column's reflector is
+applied two-sidedly as a symmetric rank-2 update,
+
+    p = beta * A v,
+    w = p - (beta/2) (p^T v) v,
+    A <- A - v w^T - w v^T,
+
+which is irreducibly BLAS2 for ~50% of the flops (the ``A v`` products
+cannot be blocked away) — the paper observes this unblocked work
+dominating >90% of MAGMA's ``ssytrd`` time.  Used here as a correctness
+reference and a baseline in the device-model comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..la.householder import make_reflector
+from ..validation import as_symmetric_matrix
+
+__all__ = ["householder_tridiagonalize"]
+
+
+def householder_tridiagonalize(
+    a,
+    *,
+    want_q: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Reduce a symmetric matrix directly to tridiagonal form.
+
+    Returns
+    -------
+    d : ndarray, shape (n,)
+        Diagonal of ``T``.
+    e : ndarray, shape (n-1,)
+        Sub-diagonal of ``T``.
+    q : ndarray (n, n) or None
+        Orthogonal transform with ``A ≈ Q T Q^T``.
+    """
+    a = as_symmetric_matrix(a)
+    n = a.shape[0]
+    dtype = a.dtype
+    A = np.array(a, copy=True)
+    vs: list[tuple[int, np.ndarray, float]] = []
+
+    for j in range(n - 2):
+        v, beta, alpha = make_reflector(A[j + 1 :, j])
+        A[j + 1, j] = dtype.type(alpha)
+        A[j + 2 :, j] = 0
+        A[j, j + 1] = dtype.type(alpha)
+        A[j, j + 2 :] = 0
+        if beta == 0.0:
+            continue
+        sub = A[j + 1 :, j + 1 :]
+        p = dtype.type(beta) * (sub @ v)
+        w = p - dtype.type(0.5 * beta * float(p @ v)) * v
+        sub -= np.multiply.outer(v, w)
+        sub -= np.multiply.outer(w, v)
+        vs.append((j + 1, v, beta))
+
+    d = np.diagonal(A).copy()
+    e = np.diagonal(A, offset=-1).copy() if n > 1 else np.empty(0, dtype=dtype)
+
+    q = None
+    if want_q:
+        q = np.eye(n, dtype=dtype)
+        # Apply reflectors backward: Q = H_1 H_2 ... H_{n-2}.
+        for off, v, beta in reversed(vs):
+            block = q[off:, off:]
+            wrow = v @ block
+            block -= np.multiply.outer(v * dtype.type(beta), wrow)
+    return d, e, q

@@ -1,0 +1,40 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "NotSymmetricError",
+    "SingularMatrixError",
+    "ConvergenceError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible or unsupported shape."""
+
+
+class NotSymmetricError(ReproError, ValueError):
+    """A routine requiring a symmetric matrix received a non-symmetric one."""
+
+
+class SingularMatrixError(ReproError, ValueError):
+    """A factorization encountered an (numerically) singular matrix."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative eigensolver failed to converge within its iteration cap."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Algorithm parameters are inconsistent (e.g. ``nb`` not a multiple of ``b``)."""

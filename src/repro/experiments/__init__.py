@@ -1,0 +1,20 @@
+"""Reproduction drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(...) -> ExperimentResult`` returning the rows
+the paper reports (same axes, same series).  Model-based experiments
+(Tables 1–2, Figures 5–11) run at paper scale (n up to 32768) through the
+calibrated device model; accuracy experiments (Tables 3–4) run real
+numerics at library scale with Tensor-Core emulation.
+
+Command line::
+
+    python -m repro.experiments              # run everything
+    python -m repro.experiments fig10 table3 # selected experiments
+    python -m repro.experiments --scale ci   # reduced sizes for CI
+
+See EXPERIMENTS.md for paper-vs-measured notes per experiment.
+"""
+
+from .runner import ExperimentResult, available_experiments, run_experiment
+
+__all__ = ["ExperimentResult", "available_experiments", "run_experiment"]

@@ -1,0 +1,51 @@
+"""Figure 6 — total TC-GEMM model time: WY-based vs ZY-based SBR over n.
+
+nb fixed at 1024.  The paper's structure: the ZY algorithm wins at
+n <= 8192 (the WY flop overhead outweighs shape gains while every GEMM is
+small), and the WY algorithm wins at large n where its near-square GEMMs
+run several times faster than ZY's skinny rank-2b updates.
+"""
+
+from __future__ import annotations
+
+from ..device import PerfModel
+from ..gemm.symbolic import trace_sbr_wy, trace_sbr_zy
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    sizes: tuple[int, ...] = (4096, 8192, 16384, 32768),
+    b: int = 128,
+    nb: int = 1024,
+    engine: str = "tc",
+    model: PerfModel | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 6 (TC) — or Figure 7 when ``engine="sgemm"``."""
+    pm = model if model is not None else PerfModel()
+    name = "fig6" if engine == "tc" else "fig7"
+    result = ExperimentResult(
+        name=name,
+        title=f"{engine.upper()} GEMM time, WY (nb={nb}) vs ZY (b={b}) over matrix size",
+        columns=["n", "wy_time_s", "zy_time_s", "zy_over_wy", "wy_tflops", "zy_tflops"],
+        notes=[
+            "zy_over_wy > 1 means the WY-based algorithm is faster; the "
+            "paper's crossover (Tensor Core) sits between n=8192 and 16384.",
+        ],
+    )
+    for n in sizes:
+        tw = trace_sbr_wy(n, b, nb, want_q=False)
+        tz = trace_sbr_zy(n, b, want_q=False)
+        t_wy = pm.trace_time(tw, engine)
+        t_zy = pm.trace_time(tz, engine)
+        result.add_row(
+            n=n,
+            wy_time_s=t_wy,
+            zy_time_s=t_zy,
+            zy_over_wy=t_zy / t_wy,
+            wy_tflops=pm.trace_tflops(tw, engine),
+            zy_tflops=pm.trace_tflops(tz, engine),
+        )
+    return result

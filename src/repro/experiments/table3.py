@@ -1,0 +1,74 @@
+"""Table 3 — backward error and orthogonality of the Tensor-Core SBR.
+
+Real numerics: for each of the paper's ten matrix classes, run the
+WY-based band reduction under FP16 Tensor-Core emulation and compute
+
+    E_b = ||A - Q B Q^T||_F / (N ||A||_F),    E_o = ||I - Q^T Q||_F / N.
+
+The paper's claim — both are bounded by the Tensor-Core machine epsilon
+(~1e-4) at n = 32768, all matrix classes, condition numbers up to 1e5 —
+is checked here at library scale (default n = 512; the bound is
+n-independent up to slowly-growing factors, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gemm.engine import make_engine
+from ..matrices.generate import TABLE_MATRIX_SPECS, generate_from_spec
+from ..metrics.accuracy import backward_error, orthogonality_error
+from ..precision.rounding import FP16_EPS
+from ..sbr.wy import sbr_wy
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+#: Paper values at n = 32768 for the reference columns.
+PAPER_EB = {
+    "Normal": 9.45e-4, "Uniform": 4.73e-4, "SVD_Cluster0 1e5": 9.34e-4,
+    "SVD_Cluster1 1e5": 9.45e-4, "SVD_Arith 1e1": 9.45e-4, "SVD_Arith 1e3": 9.45e-4,
+    "SVD_Arith 1e5": 9.45e-4, "SVD_Geo 1e1": 9.45e-4, "SVD_Geo 1e3": 9.46e-4,
+    "SVD_Geo 1e5": 9.45e-4,
+}
+PAPER_EO = {
+    "Normal": 5.27e-4, "Uniform": 5.45e-4, "SVD_Cluster0 1e5": 4.17e-4,
+    "SVD_Cluster1 1e5": 6.89e-4, "SVD_Arith 1e1": 4.89e-4, "SVD_Arith 1e3": 7.09e-4,
+    "SVD_Arith 1e5": 4.39e-4, "SVD_Geo 1e1": 7.39e-4, "SVD_Geo 1e3": 4.21e-4,
+    "SVD_Geo 1e5": 3.68e-4,
+}
+
+
+def run(
+    *,
+    n: int = 512,
+    b: int = 16,
+    nb: int = 64,
+    precision: str = "fp16_tc",
+    seed: int = 20230225,
+) -> ExperimentResult:
+    """Reproduce Table 3 (SBR backward error / orthogonality per matrix class)."""
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        name="table3",
+        title=f"Tensor-Core SBR accuracy per matrix class (n={n}, b={b}, nb={nb}, {precision})",
+        columns=["matrix", "backward_error", "orthogonality", "paper_Eb", "paper_Eo"],
+        notes=[
+            f"Tensor-Core machine epsilon (FP16 unit roundoff): {FP16_EPS:.1e}; "
+            "the paper's claim is that both errors stay at this level for all "
+            "matrix classes.  Both metrics normalize by N, so smaller n gives "
+            "slightly larger per-N values than the paper's n=32768 runs.",
+        ],
+    )
+    for spec in TABLE_MATRIX_SPECS:
+        a, _ = generate_from_spec(spec, n, rng=rng)
+        engine = make_engine(precision)
+        res = sbr_wy(a, b, nb, engine=engine, panel="tsqr", want_q=True)
+        result.add_row(
+            matrix=spec.label,
+            backward_error=backward_error(a, res.q, res.band),
+            orthogonality=orthogonality_error(res.q),
+            paper_Eb=PAPER_EB[spec.label],
+            paper_Eo=PAPER_EO[spec.label],
+        )
+    return result

@@ -1,0 +1,41 @@
+"""GEMM engine abstraction, call tracing, and symbolic shape executors.
+
+The paper's performance argument is entirely about *GEMM shape streams*:
+the ZY-based SBR issues many tall-and-skinny GEMMs with inner dimension
+fixed at the bandwidth, while the WY-based SBR issues fewer, squarer GEMMs.
+To study this we route every matrix multiply in the library through a
+:class:`GemmEngine`:
+
+- numeric engines (:class:`SgemmEngine`, :class:`TensorCoreEngine`,
+  :class:`EcTensorCoreEngine`, :class:`Fp64Engine`) perform the arithmetic
+  under the chosen precision policy, and
+- every engine can **record** its calls into a :class:`GemmTrace`
+  (shape, flop count, semantic tag), which feeds the calibrated device
+  performance model.
+
+:mod:`repro.gemm.symbolic` re-derives the same traces from the algorithm
+structure alone (no data), so shape streams for paper-scale problems
+(n = 32768) are available without paper-scale arithmetic.  Tests assert
+that symbolic and recorded traces coincide at small sizes.
+"""
+
+from .trace import GemmRecord, GemmTrace
+from .engine import (
+    EcTensorCoreEngine,
+    Fp64Engine,
+    GemmEngine,
+    SgemmEngine,
+    TensorCoreEngine,
+    make_engine,
+)
+
+__all__ = [
+    "GemmRecord",
+    "GemmTrace",
+    "GemmEngine",
+    "SgemmEngine",
+    "TensorCoreEngine",
+    "EcTensorCoreEngine",
+    "Fp64Engine",
+    "make_engine",
+]

@@ -1,0 +1,214 @@
+"""Numeric GEMM engines implementing the library's precision policies.
+
+Every matrix multiply in the band-reduction and eigensolver code goes
+through ``engine.gemm(a, b, tag=...)`` so that (1) the arithmetic follows
+one precision policy end to end and (2) the exact shape stream is recorded
+for the performance model.
+
+Engines are deliberately *stateless* apart from the optional trace: they
+are cheap to construct and safe to share across calls of the same
+algorithm invocation (but not across threads while recording).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..precision.ec_tcgemm import ec_tcgemm
+from ..precision.modes import Precision
+from ..precision.tcgemm import tcgemm
+from .trace import GemmRecord, GemmTrace
+
+__all__ = [
+    "GemmEngine",
+    "PlainEngine",
+    "SgemmEngine",
+    "Fp64Engine",
+    "TensorCoreEngine",
+    "EcTensorCoreEngine",
+    "make_engine",
+]
+
+
+class GemmEngine(ABC):
+    """A matrix-multiply executor with optional call recording.
+
+    Subclasses define :attr:`name`, :attr:`precision` and the raw
+    :meth:`_matmul`.  The public :meth:`gemm` validates shapes, records the
+    call (when tracing), and delegates.
+    """
+
+    #: Short engine identifier stored in trace records.
+    name: str = "abstract"
+    #: The precision policy this engine implements.
+    precision: Precision = Precision.FP32
+
+    def __init__(self, *, record: bool = False) -> None:
+        self.trace: GemmTrace | None = GemmTrace() if record else None
+
+    @property
+    def working_dtype(self) -> np.dtype:
+        """dtype in which matrices flow between kernels under this engine."""
+        return self.precision.working_dtype
+
+    @abstractmethod
+    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Raw product of validated 2-D operands."""
+
+    def gemm(self, a, b, *, tag: str = "") -> np.ndarray:
+        """Compute ``a @ b`` under this engine's precision policy.
+
+        Parameters
+        ----------
+        a, b : array_like
+            2-D operands with matching inner dimension.
+        tag : str
+            Semantic label recorded in the trace (call-site identity).
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ShapeError(f"gemm requires 2-D operands, got {a.ndim}-D and {b.ndim}-D")
+        if a.shape[1] != b.shape[0]:
+            raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+        if self.trace is not None:
+            self.trace.add(
+                GemmRecord(
+                    m=a.shape[0], n=b.shape[1], k=a.shape[1], tag=tag, engine=self.name
+                )
+            )
+        return self._matmul(a, b)
+
+    def syr2k(self, y, z, *, tag: str = "") -> np.ndarray:
+        """Symmetric rank-2k update ``Y Z^T + Z Y^T`` under this engine.
+
+        Numerically computed as one policy GEMM plus its transpose (exactly
+        symmetric output).  Recorded as a single ``syr2k`` record with the
+        symmetry-exploiting flop count — the device model uses the record
+        kind to price a *native* syr2k (the paper's future-work item; real
+        Tensor Cores lack one and pay for two full GEMMs instead).
+        """
+        y = np.asarray(y)
+        z = np.asarray(z)
+        if y.ndim != 2 or z.ndim != 2 or y.shape != z.shape:
+            raise ShapeError(
+                f"syr2k requires equal-shape 2-D operands, got {y.shape} and {z.shape}"
+            )
+        if self.trace is not None:
+            self.trace.add(
+                GemmRecord(
+                    m=y.shape[0], n=y.shape[0], k=y.shape[1],
+                    tag=tag, engine=self.name, op="syr2k",
+                )
+            )
+        p = self._matmul(y, z.T)
+        return p + p.T
+
+    def reset_trace(self) -> None:
+        """Clear the recorded trace (enables recording if it was off)."""
+        self.trace = GemmTrace()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rec = "recording" if self.trace is not None else "not recording"
+        return f"<{type(self).__name__} ({rec}, {len(self.trace or [])} calls)>"
+
+
+class PlainEngine(GemmEngine):
+    """Dtype-neutral GEMM: plain matmul in the operands' own precision.
+
+    This is the default for low-level kernels (:mod:`repro.la`) so that a
+    float64 computation stays float64 end to end.  It imposes no precision
+    *policy*; drivers that model a device pick one of the policy engines.
+    """
+
+    name = "plain"
+    precision = Precision.FP32  # working dtype when a driver asks; gemm follows operands
+
+    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+
+class SgemmEngine(GemmEngine):
+    """FP32 SIMT-core GEMM ("SGEMM"): plain single-precision matmul."""
+
+    name = "sgemm"
+    precision = Precision.FP32
+
+    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32),
+            dtype=np.float32,
+        )
+
+
+class Fp64Engine(GemmEngine):
+    """Double-precision reference GEMM (used for exactness baselines)."""
+
+    name = "fp64"
+    precision = Precision.FP64
+
+    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
+
+
+class TensorCoreEngine(GemmEngine):
+    """Emulated Tensor-Core GEMM with a configurable operand format."""
+
+    name = "tc"
+
+    def __init__(
+        self,
+        *,
+        record: bool = False,
+        operand_format: str = "fp16",
+        chunk_k: int | None = None,
+    ) -> None:
+        super().__init__(record=record)
+        self.operand_format = operand_format
+        self.chunk_k = chunk_k
+        self.precision = {
+            "fp16": Precision.FP16_TC,
+            "bf16": Precision.BF16_TC,
+            "tf32": Precision.TF32_TC,
+            "fp32": Precision.FP32,
+        }[operand_format]
+
+    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return tcgemm(a, b, operand_format=self.operand_format, chunk_k=self.chunk_k)
+
+
+class EcTensorCoreEngine(GemmEngine):
+    """Error-corrected Tensor-Core GEMM (FP32-accurate; paper's EC-TCGEMM)."""
+
+    name = "ectc"
+    precision = Precision.FP16_EC_TC
+
+    def __init__(self, *, record: bool = False, chunk_k: int | None = None) -> None:
+        super().__init__(record=record)
+        self.chunk_k = chunk_k
+
+    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ec_tcgemm(a, b, chunk_k=self.chunk_k)
+
+
+def make_engine(precision: "Precision | str", *, record: bool = False) -> GemmEngine:
+    """Construct the numeric engine implementing a :class:`Precision` policy.
+
+    Parameters
+    ----------
+    precision : Precision or str
+        The precision policy (enum member or its string value).
+    record : bool
+        Whether the engine records its calls into a :class:`GemmTrace`.
+    """
+    mode = Precision.from_name(precision)
+    if mode is Precision.FP64:
+        return Fp64Engine(record=record)
+    if mode is Precision.FP32:
+        return SgemmEngine(record=record)
+    if mode is Precision.FP16_EC_TC:
+        return EcTensorCoreEngine(record=record)
+    return TensorCoreEngine(record=record, operand_format=mode.operand_format)

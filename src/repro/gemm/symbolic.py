@@ -1,0 +1,185 @@
+"""Symbolic (shape-only) GEMM trace executors.
+
+These functions replay the *control flow* of the band-reduction algorithms
+without touching data, emitting the exact GEMM shape stream the numeric
+drivers would issue.  This makes paper-scale shape streams (n = 32768)
+available in microseconds, which is how the performance figures (5–11) are
+regenerated without an A100.
+
+Fidelity contract (enforced by tests): for any (n, b, nb), the symbolic
+trace equals the numeric engine's recorded trace filtered to
+*algorithm-level* tags — the trailing updates, W/Q formation — i.e.
+everything except panel-internal GEMMs (tags ``panel_*``/``qr_*``/
+``tsqr``), whose cost the device model charges through its panel
+estimators instead.
+
+Tag vocabulary matches :mod:`repro.sbr.zy` / :mod:`repro.sbr.wy` /
+:mod:`repro.sbr.formw`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..validation import check_blocksizes
+from .trace import GemmRecord, GemmTrace
+
+__all__ = [
+    "ALGORITHM_TAGS",
+    "trace_sbr_zy",
+    "trace_sbr_wy",
+    "trace_form_q",
+    "is_algorithm_tag",
+]
+
+#: Tags that belong to the algorithm-level GEMM stream (vs panel internals).
+ALGORITHM_TAGS = frozenset(
+    {
+        "zy_aw",
+        "zy_wtaw",
+        "zy_z",
+        "zy_zyt",
+        "zy_yzt",
+        "zy_syr2k",
+        "form_w",
+        "wy_oaw",
+        "wy_right",
+        "wy_left",
+        "wy_full_right",
+        "wy_full_left",
+        "sbr_strip",
+        "formw",
+        "form_q",
+    }
+)
+
+
+def is_algorithm_tag(tag: str) -> bool:
+    """Whether ``tag`` belongs to the algorithm-level GEMM stream."""
+    return tag in ALGORITHM_TAGS
+
+
+def trace_sbr_zy(n: int, b: int, *, want_q: bool = True, use_syr2k: bool = False) -> GemmTrace:
+    """Shape stream of :func:`repro.sbr.zy.sbr_zy` (algorithm-level tags)."""
+    check_blocksizes(n, b)
+    trace = GemmTrace()
+    i = 0
+    while n - i - b >= 2:
+        m = n - i - b
+        w = min(b, m)
+        if w < b:
+            trace.record(w, b - w, m, tag="sbr_strip")
+            trace.record(m, b - w, w, tag="sbr_strip")
+        trace.record(m, w, m, tag="zy_aw")
+        trace.record(w, w, m, tag="zy_wtaw")
+        trace.record(m, w, w, tag="zy_z")
+        if use_syr2k:
+            trace.add(GemmRecord(m, m, w, tag="zy_syr2k", op="syr2k"))
+        else:
+            trace.record(m, m, w, tag="zy_zyt")
+            trace.record(m, m, w, tag="zy_yzt")
+        if want_q:
+            trace.record(n, w, m, tag="form_q")
+            trace.record(n, m, w, tag="form_q")
+        i += b
+    return trace
+
+
+def trace_sbr_wy(
+    n: int,
+    b: int,
+    nb: int,
+    *,
+    want_q: bool = True,
+    q_method: str = "tree",
+) -> GemmTrace:
+    """Shape stream of :func:`repro.sbr.wy.sbr_wy` (algorithm-level tags)."""
+    check_blocksizes(n, b, nb)
+    trace = GemmTrace()
+    block_ncols: list[tuple[int, int]] = []  # (offset, accumulated columns)
+
+    j0 = 0
+    while n - j0 - b >= 2:
+        M = n - j0 - b
+        k = 0
+        advance = False
+        for r in range(0, nb, b):
+            i = j0 + r
+            m = n - i - b
+            if m < 2:
+                break
+            w = min(b, m)
+            if w < b:
+                trace.record(w, b - w, m, tag="sbr_strip")
+                trace.record(m, b - w, w, tag="sbr_strip")
+            if k > 0:
+                trace.record(k, w, M, tag="form_w")
+                trace.record(M, w, k, tag="form_w")
+            trace.record(M, w, M, tag="wy_oaw")
+            k += w
+            if m <= b + 1:
+                _record_partial(trace, M, k, r, cn=m)
+                break
+            if r + b >= nb:
+                mf = M - r
+                trace.record(M, mf, k, tag="wy_full_right")
+                trace.record(k, mf, M, tag="wy_full_left")
+                trace.record(mf, mf, k, tag="wy_full_left")
+                advance = True
+                break
+            _record_partial(trace, M, k, r, cn=b)
+        if k > 0:
+            block_ncols.append((j0 + b, k))
+        if not advance:
+            break
+        j0 += nb
+
+    if want_q and block_ncols:
+        trace.extend(trace_form_q(n, block_ncols, method=q_method))
+    return trace
+
+
+def _record_partial(trace: GemmTrace, M: int, k: int, r: int, *, cn: int) -> None:
+    trace.record(M, cn, k, tag="wy_right")
+    trace.record(k, cn, M, tag="wy_left")
+    trace.record(M - r, cn, k, tag="wy_left")
+
+
+def trace_form_q(
+    n: int,
+    blocks: "list[tuple[int, int]]",
+    *,
+    method: str = "tree",
+) -> GemmTrace:
+    """Shape stream of :func:`repro.sbr.formw.form_q_from_blocks`.
+
+    ``blocks`` is a list of ``(offset, ncols)`` pairs in application order.
+    """
+    trace = GemmTrace()
+    if not blocks:
+        return trace
+    if method == "forward":
+        for offset, k in blocks:
+            m = n - offset
+            trace.record(n, k, m, tag="form_q")
+            trace.record(n, m, k, tag="form_q")
+        return trace
+    if method != "tree":
+        raise ConfigurationError(f"method must be 'tree' or 'forward', got {method!r}")
+
+    base = min(offset for offset, _ in blocks)
+    rows = n - base
+    ncols = [k for _, k in blocks]
+
+    def merge(lo: int, hi: int) -> int:
+        if hi - lo == 1:
+            return ncols[lo]
+        mid = (lo + hi) // 2
+        kl = merge(lo, mid)
+        kr = merge(mid, hi)
+        trace.record(kl, kr, rows, tag="formw")
+        trace.record(rows, kr, kl, tag="formw")
+        return kl + kr
+
+    k_all = merge(0, len(blocks))
+    trace.record(rows, rows, k_all, tag="form_q")
+    return trace

@@ -1,0 +1,156 @@
+"""GEMM call traces: shapes, flop accounting, aggregation.
+
+A :class:`GemmRecord` describes one matrix multiply ``C(m×n) = A(m×k) @
+B(k×n)`` with a semantic ``tag`` (e.g. ``"trailing_left"``) identifying
+which step of an algorithm issued it.  A :class:`GemmTrace` is an ordered
+collection of records with aggregate queries used by both the tests (flop
+cross-checks against the analytic formulas of Table 2) and the device
+performance model (Figures 5–11).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Iterator
+
+__all__ = ["GemmRecord", "GemmTrace"]
+
+
+@dataclass(frozen=True)
+class GemmRecord:
+    """One BLAS3 call: ``C(m, n) += A(m, k) @ B(k, n)`` or a ``syr2k``.
+
+    Attributes
+    ----------
+    m, n, k : int
+        Output rows, output columns, inner (contraction) dimension.
+    tag : str
+        Semantic label of the call site (algorithm step).
+    engine : str
+        Name of the engine that executed (or would execute) the call,
+        e.g. ``"tc"``, ``"sgemm"``, ``"ectc"``, ``"fp64"``.
+    op : str
+        ``"gemm"`` (default) or ``"syr2k"`` — the symmetric rank-2k update
+        ``C(m, m) += Y(m, k) Z(k, m)^T + Z Y^T`` that exploits the output's
+        symmetry.  Tensor Cores lack a native syr2k (paper §4.1), so TC
+        engines emulate it with GEMMs; the record kind lets the device
+        model price a hypothetical native implementation (the paper's
+        future-work ablation).
+    """
+
+    m: int
+    n: int
+    k: int
+    tag: str = ""
+    engine: str = ""
+    op: str = "gemm"
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0 or self.k <= 0:
+            raise ValueError(f"GEMM dimensions must be positive, got {self!r}")
+        if self.op not in ("gemm", "syr2k"):
+            raise ValueError(f"op must be 'gemm' or 'syr2k', got {self.op!r}")
+        if self.op == "syr2k" and self.m != self.n:
+            raise ValueError(f"syr2k output must be square, got {self.m}x{self.n}")
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations of the call (multiply + add).
+
+        For ``syr2k`` this is the symmetry-exploiting count — half of the
+        two explicit outer-product GEMMs it replaces.
+        """
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def min_dim(self) -> int:
+        """Smallest of the three dimensions — the 'skinniness' of the GEMM."""
+        return min(self.m, self.n, self.k)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The ``(m, n, k)`` triple."""
+        return (self.m, self.n, self.k)
+
+
+@dataclass
+class GemmTrace:
+    """An ordered stream of :class:`GemmRecord` with aggregate queries."""
+
+    records: list[GemmRecord] = field(default_factory=list)
+
+    def add(self, record: GemmRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def record(self, m: int, n: int, k: int, *, tag: str = "", engine: str = "") -> None:
+        """Convenience: construct and append a record."""
+        self.records.append(GemmRecord(m=m, n=n, k=k, tag=tag, engine=engine))
+
+    def extend(self, other: "GemmTrace | Iterable[GemmRecord]") -> None:
+        """Append all records from another trace or iterable."""
+        if isinstance(other, GemmTrace):
+            self.records.extend(other.records)
+        else:
+            self.records.extend(other)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[GemmRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    @property
+    def total_flops(self) -> int:
+        """Total flops over all recorded calls."""
+        return sum(r.flops for r in self.records)
+
+    def filter(self, predicate: Callable[[GemmRecord], bool]) -> "GemmTrace":
+        """New trace with the records satisfying ``predicate``."""
+        return GemmTrace([r for r in self.records if predicate(r)])
+
+    def by_tag(self, tag: str) -> "GemmTrace":
+        """New trace restricted to records with the given tag."""
+        return self.filter(lambda r: r.tag == tag)
+
+    def tags(self) -> Counter:
+        """Multiset of tags present in the trace."""
+        return Counter(r.tag for r in self.records)
+
+    def flops_by_tag(self) -> dict[str, int]:
+        """Total flops grouped by tag."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.tag] = out.get(r.tag, 0) + r.flops
+        return out
+
+    def shape_multiset(self) -> Counter:
+        """Multiset of ``(m, n, k)`` shapes (order-insensitive comparison aid).
+
+        Two traces of the same algorithm run may interleave calls
+        differently; comparing shape multisets (optionally per tag) is the
+        robust equality notion used by the symbolic-vs-recorded tests.
+        """
+        return Counter(r.shape for r in self.records)
+
+    def shape_multiset_by_tag(self) -> dict[str, Counter]:
+        """Per-tag multiset of shapes."""
+        out: dict[str, Counter] = {}
+        for r in self.records:
+            out.setdefault(r.tag, Counter())[r.shape] += 1
+        return out
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (per-tag calls and GFLOP)."""
+        lines = [f"GemmTrace: {len(self.records)} calls, {self.total_flops / 1e9:.3f} GFLOP"]
+        flops = self.flops_by_tag()
+        counts = self.tags()
+        for tag in sorted(flops, key=flops.get, reverse=True):
+            lines.append(
+                f"  {tag or '<untagged>'}: {counts[tag]} calls, {flops[tag] / 1e9:.3f} GFLOP"
+            )
+        return "\n".join(lines)

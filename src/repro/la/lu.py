@@ -1,0 +1,92 @@
+"""Non-pivoting LU factorization and triangular solves.
+
+The Householder-vector reconstruction (paper Algorithm 3, Ballard et al.
+2014) relies on the fact that ``I - Q S`` of an orthonormal ``Q`` with the
+right diagonal sign matrix ``S`` has a *unique, stable* LU factorization
+without pivoting — its diagonal entries are ``1 + |Q_ii|`` >= 1.  We
+therefore implement plain right-looking LU with no pivot search (the
+LAPACK ``getrf`` structure minus the pivoting), raising
+:class:`repro.errors.SingularMatrixError` only if a pivot collapses, which
+for valid inputs cannot happen.
+
+Triangular solves delegate to ``scipy.linalg.solve_triangular`` (LAPACK
+``trtrs``) — the solve itself is standard; what the paper contributes is
+*where* it is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from ..errors import ShapeError, SingularMatrixError
+
+__all__ = ["lu_nopivot", "solve_lower_unit", "solve_upper", "solve_upper_right"]
+
+
+def lu_nopivot(a, *, pivot_tol: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    """LU factorization without pivoting: ``A = L @ U``.
+
+    Parameters
+    ----------
+    a : array_like, shape (n, n)
+        Matrix to factor.
+    pivot_tol : float
+        A pivot with absolute value <= ``pivot_tol * max|A|`` raises
+        :class:`SingularMatrixError`.  The default 0.0 only rejects exact
+        zeros.
+
+    Returns
+    -------
+    l : ndarray
+        Unit lower-triangular factor.
+    u : ndarray
+        Upper-triangular factor.
+    """
+    a = np.array(a, copy=True)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"lu_nopivot requires a square matrix, got shape {a.shape}")
+    dtype = a.dtype if a.dtype.kind == "f" else np.dtype(np.float64)
+    a = a.astype(dtype, copy=False)
+    n = a.shape[0]
+    scale = float(np.max(np.abs(a))) if a.size else 0.0
+    threshold = pivot_tol * scale
+
+    for j in range(n - 1):
+        piv = a[j, j]
+        if abs(piv) <= threshold or piv == 0:
+            raise SingularMatrixError(
+                f"zero/tiny pivot {piv!r} at step {j} in non-pivoting LU"
+            )
+        a[j + 1 :, j] /= piv
+        # Rank-1 trailing update (right-looking), vectorized.
+        a[j + 1 :, j + 1 :] -= np.multiply.outer(a[j + 1 :, j], a[j, j + 1 :])
+    if n and (a[n - 1, n - 1] == 0 or abs(a[n - 1, n - 1]) <= threshold):
+        raise SingularMatrixError(f"zero/tiny final pivot in non-pivoting LU")
+
+    l = np.tril(a, k=-1)
+    idx = np.arange(n)
+    l[idx, idx] = 1
+    return l, np.triu(a)
+
+
+def solve_lower_unit(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L @ X = B`` for unit lower-triangular ``L``."""
+    if l.ndim != 2 or l.shape[0] != l.shape[1] or l.shape[1] != b.shape[0]:
+        raise ShapeError(f"shape mismatch: L {l.shape} vs B {b.shape}")
+    return solve_triangular(l, b, lower=True, unit_diagonal=True)
+
+
+def solve_upper(u: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``U @ X = B`` for upper-triangular ``U``."""
+    if u.ndim != 2 or u.shape[0] != u.shape[1] or u.shape[1] != b.shape[0]:
+        raise ShapeError(f"shape mismatch: U {u.shape} vs B {b.shape}")
+    return solve_triangular(u, b, lower=False)
+
+
+def solve_upper_right(b: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Solve ``X @ U = B`` for upper-triangular ``U`` (right-side TRSM)."""
+    if u.ndim != 2 or u.shape[0] != u.shape[1] or b.shape[1] != u.shape[0]:
+        raise ShapeError(f"shape mismatch: B {b.shape} vs U {u.shape}")
+    # X U = B  <=>  U^T X^T = B^T with U^T lower triangular.
+    return solve_triangular(u.T, b.T, lower=True).T

@@ -1,0 +1,114 @@
+"""Householder-vector reconstruction from an explicit Q (paper Algorithm 3).
+
+TSQR produces an *explicit* orthonormal ``Q`` (m×n), but the band-reduction
+trailing updates need the WY form ``I - W Y^T`` built from genuine
+Householder vectors — applying an explicit Q directly is unstable in the
+two-sided update chain (paper §5.2).  Ballard et al. (2014) showed how to
+recover the vectors from ``Q`` itself:
+
+For a diagonal sign matrix ``S`` matching the sign choices a Householder
+QR of ``Q`` would make, ``Q S`` is exactly a product of n reflectors,
+``Q S = I - Y T Y^T`` with ``Y`` unit lower trapezoidal and ``T`` upper
+triangular.  Rearranging,
+
+    Q - S = -Y T Y_1^T S  =  L @ U,
+
+an LU factorization with ``L = Y`` (unit lower trapezoidal, all m rows) and
+``U = -T Y_1^T S`` — *unique and needing no pivoting*.  The sign ``S_jj``
+must be chosen **during** the elimination: at step j the partially
+eliminated diagonal entry ``q̃_jj`` is the quantity whose sign the
+Householder QR would have seen, and ``S_jj = -sign(q̃_jj)`` makes the
+pivot ``q̃_jj - S_jj = q̃_jj + sign(q̃_jj)`` at least 1 in magnitude
+(this is also why no pivoting is required).  A static sign choice from
+``diag(Q)`` is wrong from the second column on and loses half the digits —
+the tests pin this down.
+
+After the LU, ``T`` follows from one triangular solve and ``W = Y T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from ..errors import ShapeError, SingularMatrixError
+from ..gemm.engine import GemmEngine, PlainEngine
+
+__all__ = ["reconstruct_wy"]
+
+
+def _lu_with_signs(q: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Trapezoidal non-pivoting LU of ``Q - S`` with on-the-fly signs.
+
+    Returns ``(y, u, s)`` where ``y`` is the unit lower-trapezoidal L over
+    all m rows, ``u`` the n×n upper factor, and ``s`` the chosen sign
+    diagonal.
+    """
+    m, n = q.shape
+    work = np.array(q, copy=True)
+    s = np.empty(n, dtype=work.dtype)
+    for j in range(n):
+        d = work[j, j]
+        # The Householder QR sign choice: alpha opposite to the transformed
+        # diagonal, so the pivot d - s_j = d + sign(d) never cancels.
+        s[j] = -1.0 if d >= 0 else 1.0
+        work[j, j] = d - s[j]
+        piv = work[j, j]
+        if piv == 0.0:
+            raise SingularMatrixError(
+                f"zero pivot at column {j} reconstructing Householder vectors"
+            )
+        work[j + 1 :, j] /= piv
+        if j + 1 < n:
+            work[j + 1 :, j + 1 : n] -= np.multiply.outer(
+                work[j + 1 :, j], work[j, j + 1 : n]
+            )
+    y = np.tril(work[:, :n], k=-1)
+    idx = np.arange(n)
+    y[idx, idx] = 1
+    u = np.triu(work[:n, :n])
+    return y, u, s
+
+
+def reconstruct_wy(
+    q,
+    *,
+    engine: GemmEngine | None = None,
+    tag: str = "reconstruct",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recover the WY representation from an explicit orthonormal Q.
+
+    Parameters
+    ----------
+    q : array_like, shape (m, n) with m >= n
+        Explicit orthonormal factor (e.g. from :func:`repro.la.tsqr.tsqr`).
+    engine : GemmEngine, optional
+        Engine for the ``W = Y @ T`` GEMM (tagged ``tag``).
+
+    Returns
+    -------
+    w, y : ndarrays, shape (m, n)
+        WY pair with ``Q @ diag(s) = (I - W Y^T)[:, :n]``.
+    s : ndarray, shape (n,)
+        The diagonal of the sign matrix ``S`` (entries ±1).  If the panel
+        factorization was ``A = Q R``, then ``A = (I - W Y^T)[:, :n] @
+        (diag(s) @ R)``.
+    """
+    q = np.asarray(q)
+    if q.ndim != 2:
+        raise ShapeError(f"reconstruct_wy requires a 2-D matrix, got shape {q.shape}")
+    m, n = q.shape
+    if m < n:
+        raise ShapeError(f"reconstruct_wy requires m >= n, got shape {q.shape}")
+    dtype = q.dtype if q.dtype.kind == "f" else np.dtype(np.float64)
+    q = np.asarray(q, dtype=dtype)
+    eng = engine if engine is not None else PlainEngine()
+
+    y, u, s = _lu_with_signs(q)
+
+    # U = -T Y_1^T S  =>  T = (-U S) Y_1^{-T}; with V = -U S (scale columns),
+    # solve T Y_1^T = V via Y_1 T^T = V^T (unit lower solve).
+    v = -(u * s[np.newaxis, :])
+    t = solve_triangular(y[:n, :], v.T, lower=True, unit_diagonal=True).T
+    w = eng.gemm(y, t, tag=tag)
+    return w, y, s

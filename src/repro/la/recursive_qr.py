@@ -1,0 +1,142 @@
+"""Recursive (divide & conquer) QR factorization — the paper's ref [41].
+
+Zhang, Baharlouei & Wu (HPDC 2020) showed that restructuring blocked QR
+*recursively* — factor the left half, apply its accumulated WY transform
+to the right half **once**, recurse on the bottom-right — replaces the
+stream of skinny trailing updates with near-square GEMMs whose inner
+dimension is half the current column count.  The paper's §4.2 takes this
+as the starting point for Algorithm 1 and explains why the trick does
+*not* transfer directly to the two-sided band reduction (the trailing
+matrix cannot be split left/right) — which is precisely what the
+WY-deferred update works around.
+
+This module implements the one-sided recursion (Elmroth–Gustavson
+``RGEQR3`` structure, WY form) so the library contains the lineage:
+
+    recursive_qr(A):                      # A is m×n, m >= n
+        if n small: panel QR              # leaf
+        (W1, Y1, R1) = recursive_qr(A_left)
+        A_right <- (I - W1 Y1^T)^T A_right      # ONE big update (tag rqr_update)
+        (W2, Y2, R2) = recursive_qr(A_right[bottom])
+        (W, Y) = merge(W1, Y1, W2, Y2)          # WY product     (tag rqr_merge)
+
+GEMM tags: ``rqr_update`` (the trailing applications), ``rqr_merge``
+(WY merges); leaves use the unblocked Householder kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..gemm.engine import GemmEngine, PlainEngine
+from ..gemm.trace import GemmTrace
+from .qr import householder_qr
+from .wy import build_wy
+
+__all__ = ["recursive_qr", "trace_recursive_qr"]
+
+
+def recursive_qr(
+    a,
+    *,
+    leaf_cols: int = 32,
+    engine: GemmEngine | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recursive QR in WY form: ``A = (I - W Y^T)[:, :n] @ R``.
+
+    Parameters
+    ----------
+    a : array_like (m, n), m >= n
+        Matrix to factor.
+    leaf_cols : int
+        Column count below which the unblocked Householder kernel runs.
+    engine : GemmEngine, optional
+        Engine for the trailing-update and merge GEMMs.
+
+    Returns
+    -------
+    w, y : ndarrays (m, n)
+        WY pair of the orthogonal factor.
+    r : ndarray (n, n)
+        Upper-triangular factor.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2 or a.shape[0] < a.shape[1] or a.size == 0:
+        raise ShapeError(f"recursive_qr requires m >= n >= 1, got shape {a.shape}")
+    if leaf_cols < 1:
+        raise ShapeError(f"leaf_cols must be >= 1, got {leaf_cols}")
+    dtype = a.dtype if a.dtype.kind == "f" else np.dtype(np.float64)
+    eng = engine if engine is not None else PlainEngine()
+    work = np.array(a, dtype=dtype, copy=True)
+    return _rqr(work, leaf_cols, eng)
+
+
+def _rqr(a: np.ndarray, leaf_cols: int, eng: GemmEngine):
+    m, n = a.shape
+    if n <= leaf_cols:
+        v, betas, r = householder_qr(a)
+        w, y = build_wy(v, betas)
+        return w, y, r
+
+    n1 = n // 2
+    w1, y1, r1 = _rqr(a[:, :n1], leaf_cols, eng)
+
+    # One big trailing application: A_right <- Q1^T A_right.
+    right = a[:, n1:]
+    wtr = eng.gemm(w1.T, right, tag="rqr_update")
+    right = right - eng.gemm(y1, wtr, tag="rqr_update")
+
+    top = right[:n1, :]
+    w2, y2, r2 = _rqr(right[n1:, :], leaf_cols, eng)
+
+    # Embed the bottom factor and merge the WY pairs: Q = Q1 Q2.
+    w2p = np.zeros((m, n - n1), dtype=a.dtype)
+    y2p = np.zeros((m, n - n1), dtype=a.dtype)
+    w2p[n1:] = w2
+    y2p[n1:] = y2
+    ytw = eng.gemm(y1.T, w2p, tag="rqr_merge")
+    w_new = w2p - eng.gemm(w1, ytw, tag="rqr_merge")
+
+    w = np.hstack([w1, w_new])
+    y = np.hstack([y1, y2p])
+    r = np.zeros((n, n), dtype=a.dtype)
+    r[:n1, :n1] = r1
+    r[:n1, n1:] = top
+    r[n1:, n1:] = r2
+    return w, y, r
+
+
+def trace_recursive_qr(m: int, n: int, *, leaf_cols: int = 32) -> GemmTrace:
+    """Symbolic GEMM shape stream of :func:`recursive_qr` (update + merge tags)."""
+    if m < n or n < 1:
+        raise ShapeError(f"need m >= n >= 1, got {(m, n)}")
+    trace = GemmTrace()
+
+    def rec(rows: int, cols: int) -> None:
+        if cols <= leaf_cols:
+            return
+        n1 = cols // 2
+        rec(rows, n1)
+        trace.record(n1, cols - n1, rows, tag="rqr_update")
+        trace.record(rows, cols - n1, n1, tag="rqr_update")
+        rec(rows - n1, cols - n1)
+        trace.record(n1, cols - n1, rows, tag="rqr_merge")
+        trace.record(rows, cols - n1, n1, tag="rqr_merge")
+
+    rec(m, n)
+    return trace
+
+
+def trace_blocked_qr(m: int, n: int, *, block: int = 32) -> GemmTrace:
+    """Symbolic GEMM shape stream of :func:`repro.la.qr.blocked_qr`."""
+    if m < n or n < 1:
+        raise ShapeError(f"need m >= n >= 1, got {(m, n)}")
+    trace = GemmTrace()
+    for j0 in range(0, n, block):
+        j1 = min(j0 + block, n)
+        if j1 < n:
+            rows = m - j0
+            trace.record(j1 - j0, n - j1, rows, tag="qr_trailing")
+            trace.record(rows, n - j1, j1 - j0, tag="qr_trailing")
+    return trace

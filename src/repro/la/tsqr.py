@@ -1,0 +1,130 @@
+"""Tall-Skinny QR (TSQR) with Householder local factorizations.
+
+TSQR (a special case of Communication-Avoiding QR, Demmel et al.) factors a
+tall matrix by a binary reduction tree: leaves factor row blocks
+independently, and each internal node factors the two stacked R factors of
+its children.  The explicit Q is recovered by propagating the small inner
+Q factors back down the tree with GEMMs — exactly the shape of work Tensor
+Cores accelerate, which is why the paper's TSQR panel beats the
+column-at-a-time MAGMA/cuSOLVER panels by ~5x (Figure 8).
+
+Two modifications from the reference GPU implementation are reflected
+here (paper §5.1): local factorizations use **Householder reflections**
+(not modified Gram–Schmidt) for stability, and the leaf kernel works on
+column-major blocks (a data-layout detail with no numerical effect, noted
+for completeness).
+
+The output is an **explicit Q** — downstream band reduction needs
+Householder vectors, which :func:`repro.la.reconstruct.reconstruct_wy`
+recovers via non-pivoted LU (Algorithm 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..gemm.engine import GemmEngine, PlainEngine
+from .qr import householder_qr, qr_explicit
+
+__all__ = ["tsqr"]
+
+
+def _leaf_qr(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Explicit-Q Householder QR of one leaf block (unblocked)."""
+    v_cols, betas, r = householder_qr(block)
+    m, n = block.shape
+    # Thin Q via backward reflector application to the identity: cheap at
+    # leaf sizes, avoids forming the full WY pair.
+    q = np.zeros((m, n), dtype=v_cols.dtype)
+    idx = np.arange(n)
+    q[idx, idx] = 1
+    for j in range(n - 1, -1, -1):
+        beta = betas[j]
+        if beta == 0.0:
+            continue
+        v = v_cols[j:, j]
+        w = v @ q[j:, :]
+        q[j:, :] -= np.multiply.outer(v * q.dtype.type(beta), w)
+    return q, r
+
+
+def tsqr(
+    a,
+    *,
+    leaf_rows: int | None = None,
+    engine: GemmEngine | None = None,
+    tag: str = "tsqr",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tall-skinny QR via a binary reduction tree.
+
+    Parameters
+    ----------
+    a : array_like, shape (m, n) with m >= n
+        The tall matrix to factor.
+    leaf_rows : int, optional
+        Row count per leaf block (default ``max(4 * n, 64)``).  Each leaf
+        must have at least ``n`` rows; the last leaf absorbs the remainder.
+    engine : GemmEngine, optional
+        Engine used for the Q back-propagation GEMMs (tagged ``tag``).
+
+    Returns
+    -------
+    q : ndarray, shape (m, n)
+        Explicit orthonormal factor.
+    r : ndarray, shape (n, n)
+        Upper-triangular factor with ``A = Q @ R``.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ShapeError(f"tsqr requires a 2-D matrix, got shape {a.shape}")
+    m, n = a.shape
+    if m < n:
+        raise ShapeError(f"tsqr requires m >= n, got shape {a.shape}")
+    dtype = a.dtype if a.dtype.kind == "f" else np.dtype(np.float64)
+    a = np.ascontiguousarray(a, dtype=dtype)
+    eng = engine if engine is not None else PlainEngine()
+
+    if leaf_rows is None:
+        leaf_rows = max(4 * n, 64)
+    if leaf_rows < n:
+        raise ShapeError(f"leaf_rows={leaf_rows} must be >= n={n}")
+
+    # --- Leaf stage: independent QR of each row block. -------------------
+    splits = list(range(0, m, leaf_rows))
+    # Merge a too-short trailing leaf into its predecessor.
+    if len(splits) > 1 and m - splits[-1] < n:
+        splits.pop()
+    bounds = [(s, (splits[i + 1] if i + 1 < len(splits) else m)) for i, s in enumerate(splits)]
+
+    q_blocks: list[np.ndarray] = []
+    r_blocks: list[np.ndarray] = []
+    for lo, hi in bounds:
+        q_leaf, r_leaf = _leaf_qr(a[lo:hi, :])
+        q_blocks.append(q_leaf)
+        r_blocks.append(r_leaf)
+
+    # --- Reduction tree: pairwise QR of stacked R factors. ---------------
+    # Each level halves the number of active R factors.  The inner Q of a
+    # merge is (2n × n); its top/bottom halves update the two children's
+    # explicit Q blocks by GEMM — the Tensor-Core-friendly part.
+    #
+    # q_blocks[i] always maps the i-th surviving R factor's coordinates
+    # back to original rows.
+    while len(r_blocks) > 1:
+        next_q: list[np.ndarray] = []
+        next_r: list[np.ndarray] = []
+        for i in range(0, len(r_blocks) - 1, 2):
+            stacked = np.vstack([r_blocks[i], r_blocks[i + 1]])
+            q_inner, r_merged = qr_explicit(stacked, engine=None)
+            top, bot = q_inner[:n, :], q_inner[n:, :]
+            q_upper = eng.gemm(q_blocks[i], top, tag=tag)
+            q_lower = eng.gemm(q_blocks[i + 1], bot, tag=tag)
+            next_q.append(np.vstack([q_upper, q_lower]))
+            next_r.append(r_merged)
+        if len(r_blocks) % 2 == 1:
+            next_q.append(q_blocks[-1])
+            next_r.append(r_blocks[-1])
+        q_blocks, r_blocks = next_q, next_r
+
+    return q_blocks[0], r_blocks[0]

@@ -1,0 +1,42 @@
+"""Test-matrix generation (the library's ``magma_generate`` equivalent).
+
+The paper's accuracy experiments (Tables 3, 4) use MAGMA's matrix
+generator to build random symmetric matrices whose singular values follow
+named distributions (normal, uniform, cluster0, cluster1, arithmetic,
+geometric) with prescribed condition numbers.  This package reimplements
+that generator: a spectrum is drawn from the requested distribution and a
+Haar-random orthogonal similarity transform produces the dense symmetric
+matrix.
+"""
+
+from .distributions import (
+    DISTRIBUTIONS,
+    spectrum_arith,
+    spectrum_cluster0,
+    spectrum_cluster1,
+    spectrum_geo,
+    spectrum_normal,
+    spectrum_uniform,
+    make_spectrum,
+)
+from .generate import (
+    MatrixSpec,
+    TABLE_MATRIX_SPECS,
+    generate_symmetric,
+    random_orthogonal,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "make_spectrum",
+    "spectrum_normal",
+    "spectrum_uniform",
+    "spectrum_cluster0",
+    "spectrum_cluster1",
+    "spectrum_arith",
+    "spectrum_geo",
+    "MatrixSpec",
+    "TABLE_MATRIX_SPECS",
+    "generate_symmetric",
+    "random_orthogonal",
+]

@@ -1,0 +1,146 @@
+"""Singular/eigenvalue spectrum distributions (MAGMA ``magma_generate`` style).
+
+Each generator returns ``n`` positive singular values in ``(0, 1]`` with
+``max/min = cond`` (where the distribution is condition-controlled).  The
+matrix generator then assigns random ± signs to turn singular values into a
+symmetric-indefinite eigenvalue spectrum, matching how MAGMA's SVD-type
+generators are used for symmetric eigenproblem testing.
+
+Distributions (names follow the paper's Table 3/4 rows):
+
+- ``normal`` — |N(0, 1)| samples, rescaled to (0, 1]; condition not
+  controlled.
+- ``uniform`` — U(0, 1] samples; condition not controlled.
+- ``cluster0`` — one value at 1, the rest clustered at ``1/cond``
+  (MAGMA's "cluster at 0" mode).
+- ``cluster1`` — one value at ``1/cond``, the rest clustered at 1
+  (MAGMA's "cluster at 1" mode).
+- ``arith`` — arithmetic progression from 1 down to ``1/cond``.
+- ``geo`` — geometric progression from 1 down to ``1/cond``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "spectrum_normal",
+    "spectrum_uniform",
+    "spectrum_cluster0",
+    "spectrum_cluster1",
+    "spectrum_arith",
+    "spectrum_geo",
+    "DISTRIBUTIONS",
+    "make_spectrum",
+]
+
+
+def _check_n(n: int) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"spectrum length must be positive, got {n}")
+
+
+def _check_cond(cond: float) -> None:
+    if not np.isfinite(cond) or cond < 1.0:
+        raise ConfigurationError(f"condition number must be >= 1, got {cond}")
+
+
+def spectrum_normal(n: int, cond: float | None, rng: np.random.Generator) -> np.ndarray:
+    """|N(0,1)| spectrum rescaled so the largest value is 1 (cond ignored)."""
+    _check_n(n)
+    s = np.abs(rng.standard_normal(n))
+    # Keep values strictly positive and bounded away from zero at float eps.
+    s = np.maximum(s, np.finfo(np.float64).tiny)
+    return s / s.max()
+
+
+def spectrum_uniform(n: int, cond: float | None, rng: np.random.Generator) -> np.ndarray:
+    """U(0, 1] spectrum (cond ignored)."""
+    _check_n(n)
+    return 1.0 - rng.random(n)  # in (0, 1]
+
+
+def spectrum_cluster0(n: int, cond: float, rng: np.random.Generator) -> np.ndarray:
+    """One value at 1, the rest tightly clustered at 1/cond."""
+    _check_n(n)
+    _check_cond(cond)
+    s = np.full(n, 1.0 / cond)
+    s[0] = 1.0
+    if n > 1:
+        # Small relative jitter so eigenvalues are distinct (deflation paths
+        # in D&C still trigger because the cluster is tight).
+        s[1:] *= 1.0 + 1e-8 * rng.standard_normal(n - 1)
+    return s
+
+
+def spectrum_cluster1(n: int, cond: float, rng: np.random.Generator) -> np.ndarray:
+    """One value at 1/cond, the rest tightly clustered at 1."""
+    _check_n(n)
+    _check_cond(cond)
+    s = np.ones(n)
+    s[-1] = 1.0 / cond
+    if n > 1:
+        s[:-1] *= 1.0 + 1e-8 * rng.standard_normal(n - 1)
+    return s
+
+
+def spectrum_arith(n: int, cond: float, rng: np.random.Generator) -> np.ndarray:
+    """Arithmetic progression from 1 down to 1/cond."""
+    _check_n(n)
+    _check_cond(cond)
+    if n == 1:
+        return np.ones(1)
+    return np.linspace(1.0, 1.0 / cond, n)
+
+
+def spectrum_geo(n: int, cond: float, rng: np.random.Generator) -> np.ndarray:
+    """Geometric progression from 1 down to 1/cond."""
+    _check_n(n)
+    _check_cond(cond)
+    if n == 1:
+        return np.ones(1)
+    return np.geomspace(1.0, 1.0 / cond, n)
+
+
+#: Registry mapping distribution names to generators.
+DISTRIBUTIONS = {
+    "normal": spectrum_normal,
+    "uniform": spectrum_uniform,
+    "cluster0": spectrum_cluster0,
+    "cluster1": spectrum_cluster1,
+    "arith": spectrum_arith,
+    "geo": spectrum_geo,
+}
+
+
+def make_spectrum(
+    name: str,
+    n: int,
+    *,
+    cond: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate a named spectrum of length ``n``.
+
+    Parameters
+    ----------
+    name : str
+        One of :data:`DISTRIBUTIONS`.
+    n : int
+        Number of singular values.
+    cond : float
+        Target condition number (ignored by ``normal``/``uniform``).
+    rng : numpy.random.Generator, optional
+        Randomness source (default: a fresh default_rng()).
+    """
+    try:
+        gen = DISTRIBUTIONS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown distribution {name!r}; expected one of {sorted(DISTRIBUTIONS)}"
+        ) from None
+    if rng is None:
+        rng = np.random.default_rng()
+    return gen(n, cond, rng)

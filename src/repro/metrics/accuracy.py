@@ -1,0 +1,83 @@
+"""The paper's accuracy measures (Tables 3 and 4).
+
+All three metrics normalize by the matrix size ``N`` exactly as the paper
+defines them, so values are directly comparable with the published tables:
+
+- backward (orthogonal-transformation) error of the band reduction::
+
+      E_b = ||A - Q B Q^{-1}||_F / (N * ||A||_F)
+
+- orthogonality of the accumulated transforms::
+
+      E_o = ||I - Q^{-1} Q||_F / N        (Q^{-1} = Q^T here)
+
+- eigenvalue error against a reference spectrum::
+
+      E_s = ||D_ref - D||_2 / (N * ||D_ref||_2)
+
+Computations run in float64 regardless of input dtype, so the metric never
+adds rounding noise of its own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..validation import as_square_matrix
+
+__all__ = ["backward_error", "orthogonality_error", "eigenvalue_error"]
+
+
+def backward_error(a, q, b) -> float:
+    """Normalized backward error ``||A - Q B Q^T||_F / (N ||A||_F)``.
+
+    Parameters
+    ----------
+    a : array_like, (n, n)
+        Original symmetric matrix.
+    q : array_like, (n, n)
+        Accumulated orthogonal transform with ``A ≈ Q B Q^T``.
+    b : array_like, (n, n)
+        Reduced (band or tridiagonal) matrix.
+    """
+    a = as_square_matrix(a, dtype=np.float64)
+    q = as_square_matrix(q, name="q", dtype=np.float64)
+    b = as_square_matrix(b, name="b", dtype=np.float64)
+    n = a.shape[0]
+    if q.shape[0] != n or b.shape[0] != n:
+        raise ShapeError(
+            f"size mismatch: A {a.shape}, Q {q.shape}, B {b.shape}"
+        )
+    residual = a - q @ b @ q.T
+    denom = n * float(np.linalg.norm(a, "fro"))
+    if denom == 0.0:
+        return float(np.linalg.norm(residual, "fro"))
+    return float(np.linalg.norm(residual, "fro")) / denom
+
+
+def orthogonality_error(q) -> float:
+    """Normalized orthogonality loss ``||I - Q^T Q||_F / N``."""
+    q = as_square_matrix(q, name="q", dtype=np.float64)
+    n = q.shape[0]
+    gram = q.T @ q
+    idx = np.arange(n)
+    gram[idx, idx] -= 1.0
+    return float(np.linalg.norm(gram, "fro")) / n
+
+
+def eigenvalue_error(d_ref, d) -> float:
+    """Normalized eigenvalue error ``||D_ref - D||_2 / (N ||D_ref||_2)``.
+
+    Both spectra are sorted ascending before comparison (eigenvalue order
+    is solver-dependent).
+    """
+    d_ref = np.sort(np.asarray(d_ref, dtype=np.float64))
+    d = np.sort(np.asarray(d, dtype=np.float64))
+    if d_ref.shape != d.shape or d_ref.ndim != 1:
+        raise ShapeError(f"spectra must be 1-D of equal length, got {d_ref.shape} and {d.shape}")
+    n = d_ref.size
+    denom = n * float(np.linalg.norm(d_ref))
+    if denom == 0.0:
+        return float(np.linalg.norm(d_ref - d))
+    return float(np.linalg.norm(d_ref - d)) / denom

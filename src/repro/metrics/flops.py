@@ -1,0 +1,114 @@
+"""Analytic operation counts of the SBR algorithms (paper Table 2).
+
+The counts are computed by *exact summation over the algorithm's loop
+structure*: the GEMM stream comes from the symbolic trace executors
+(:mod:`repro.gemm.symbolic`) — guaranteed by tests to match what the
+numeric drivers actually issue — and the panel (BLAS2) work is added from
+standard Householder-QR operation-count formulas.
+
+Paper reference points (n = 32768): ZY at b = 128 counts 0.70e14
+operations; WY grows from 0.93e14 (nb = 128) to 1.31e14 (nb = 4096) —
+the "more flops, better shapes" trade-off of §4.3.1.
+"""
+
+from __future__ import annotations
+
+from ..gemm.symbolic import trace_sbr_wy, trace_sbr_zy, trace_form_q
+from ..validation import check_blocksizes
+
+__all__ = [
+    "gemm_flops",
+    "panel_qr_flops",
+    "panel_wy_build_flops",
+    "sbr_zy_flops",
+    "sbr_wy_flops",
+    "formw_flops",
+]
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """Flop count of one GEMM ``C(m×n) += A(m×k) B(k×n)``."""
+    return 2 * m * n * k
+
+
+def panel_qr_flops(m: int, w: int) -> int:
+    """Householder QR flops of an m×w panel: ``2 w^2 (m - w/3)``.
+
+    The classic LAPACK ``geqrf`` operation count; TSQR performs the same
+    leading-order work re-distributed over the tree.
+    """
+    return int(2 * w * w * (m - w / 3))
+
+
+def panel_wy_build_flops(m: int, w: int) -> int:
+    """Flops to build the panel's W (or T) factor: ~``2 m w^2``.
+
+    Building column ``j`` of W costs two (m×j)-by-vector products; summed
+    over j this is ``2 m w^2`` to leading order (same for the
+    LU-reconstruction path: the reconstruction's triangular solves and the
+    ``W = Y T`` product are also Θ(m w^2)).
+    """
+    return 2 * m * w * w
+
+
+def sbr_zy_flops(n: int, b: int, *, want_q: bool = False, include_panel: bool = True) -> int:
+    """Total arithmetic operations of the ZY-based SBR.
+
+    Parameters
+    ----------
+    n, b : int
+        Matrix size and bandwidth.
+    want_q : bool
+        Include the cost of accumulating Q (Table 2 reports the reduction
+        alone, so the default is False).
+    include_panel : bool
+        Include panel QR + WY-build (BLAS2) work.
+    """
+    check_blocksizes(n, b)
+    total = trace_sbr_zy(n, b, want_q=want_q).total_flops
+    if include_panel:
+        i = 0
+        while n - i - b >= 2:
+            m = n - i - b
+            w = min(b, m)
+            total += panel_qr_flops(m, w) + panel_wy_build_flops(m, w)
+            i += b
+    return total
+
+
+def sbr_wy_flops(
+    n: int,
+    b: int,
+    nb: int,
+    *,
+    want_q: bool = False,
+    include_panel: bool = True,
+) -> int:
+    """Total arithmetic operations of the WY-based SBR (Algorithm 1)."""
+    check_blocksizes(n, b, nb)
+    total = trace_sbr_wy(n, b, nb, want_q=want_q).total_flops
+    if include_panel:
+        j0 = 0
+        while n - j0 - b >= 2:
+            advance = False
+            for r in range(0, nb, b):
+                i = j0 + r
+                m = n - i - b
+                if m < 2:
+                    break
+                w = min(b, m)
+                total += panel_qr_flops(m, w) + panel_wy_build_flops(m, w)
+                if m <= b + 1:
+                    break
+                if r + b >= nb:
+                    advance = True
+                    break
+            if not advance:
+                break
+            j0 += nb
+    return total
+
+
+def formw_flops(n: int, blocks: "list[tuple[int, int]]", *, method: str = "tree") -> int:
+    """Flops of assembling Q from per-block WY factors (Algorithm 2)."""
+    return trace_form_q(n, blocks, method=method).total_flops

@@ -1,0 +1,133 @@
+"""Compute-precision modes used throughout the library.
+
+A :class:`Precision` value names an end-to-end arithmetic policy for the
+matrix-multiply-heavy parts of the algorithms:
+
+- ``FP64`` / ``FP32``: plain IEEE arithmetic (SIMT-core "SGEMM"/"DGEMM").
+- ``FP16_TC`` / ``BF16_TC`` / ``TF32_TC``: emulated Tensor-Core GEMM —
+  operands rounded to the low-precision format, products accumulated in
+  FP32.
+- ``FP16_EC_TC``: the paper's EC-TCGEMM — FP16 Tensor-Core GEMMs with the
+  Ootomo–Yokota error correction, recovering FP32-level accuracy.
+
+The enum centralizes each mode's operand-rounding function and its machine
+epsilon so accuracy checks (Tables 3/4) can be written against
+``mode.machine_eps``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+
+import numpy as np
+
+from .rounding import (
+    BF16_EPS,
+    FP16_EPS,
+    FP32_EPS,
+    TF32_EPS,
+    round_bf16,
+    round_fp16,
+    round_tf32,
+)
+
+__all__ = ["Precision"]
+
+
+def _identity32(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32)
+
+
+def _identity64(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64)
+
+
+class Precision(enum.Enum):
+    """Arithmetic policy for GEMM-heavy kernels."""
+
+    FP64 = "fp64"
+    FP32 = "fp32"
+    FP16_TC = "fp16_tc"
+    BF16_TC = "bf16_tc"
+    TF32_TC = "tf32_tc"
+    FP16_EC_TC = "fp16_ec_tc"
+
+    @property
+    def uses_tensor_core(self) -> bool:
+        """Whether this mode routes GEMMs through (emulated) Tensor Cores."""
+        return self in (
+            Precision.FP16_TC,
+            Precision.BF16_TC,
+            Precision.TF32_TC,
+            Precision.FP16_EC_TC,
+        )
+
+    @property
+    def is_error_corrected(self) -> bool:
+        """Whether the mode applies the Ootomo–Yokota error correction."""
+        return self is Precision.FP16_EC_TC
+
+    @property
+    def operand_format(self) -> str:
+        """Storage format of GEMM operands (``fp16``/``bf16``/``tf32``/``fp32``/``fp64``)."""
+        return {
+            Precision.FP64: "fp64",
+            Precision.FP32: "fp32",
+            Precision.FP16_TC: "fp16",
+            Precision.BF16_TC: "bf16",
+            Precision.TF32_TC: "tf32",
+            Precision.FP16_EC_TC: "fp16",
+        }[self]
+
+    @property
+    def round_operand(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Function rounding an array to this mode's operand format.
+
+        For the error-corrected mode the *effective* operand precision is
+        FP32 (the correction restores it), so no rounding is exposed here;
+        the split happens inside :func:`repro.precision.ec_tcgemm`.
+        """
+        return {
+            Precision.FP64: _identity64,
+            Precision.FP32: _identity32,
+            Precision.FP16_TC: round_fp16,
+            Precision.BF16_TC: round_bf16,
+            Precision.TF32_TC: round_tf32,
+            Precision.FP16_EC_TC: _identity32,
+        }[self]
+
+    @property
+    def machine_eps(self) -> float:
+        """Unit roundoff governing the mode's error floor.
+
+        For plain TC modes this is the operand-format roundoff (the paper's
+        "machine epsilon of Tensor Core", ~1e-4 for FP16); for EC-TC and
+        FP32 it is the FP32 roundoff.
+        """
+        return {
+            Precision.FP64: float(2.0**-53),
+            Precision.FP32: FP32_EPS,
+            Precision.FP16_TC: FP16_EPS,
+            Precision.BF16_TC: BF16_EPS,
+            Precision.TF32_TC: TF32_EPS,
+            Precision.FP16_EC_TC: FP32_EPS,
+        }[self]
+
+    @property
+    def working_dtype(self) -> np.dtype:
+        """NumPy dtype in which matrices are stored between kernels."""
+        return np.dtype(np.float64 if self is Precision.FP64 else np.float32)
+
+    @classmethod
+    def from_name(cls, name: "str | Precision") -> "Precision":
+        """Resolve a mode from its enum value string (case-insensitive)."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(str(name).lower())
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown precision {name!r}; expected one of: {valid}"
+            ) from None

@@ -1,0 +1,137 @@
+"""Rounding FP32 values to Tensor-Core operand formats.
+
+All functions take an array (any float dtype), and return a **float32**
+array whose values are exactly representable in the target format.  Keeping
+the result in float32 lets downstream NumPy matmuls model the Tensor-Core
+pattern "low-precision multiply, FP32 accumulate" directly.
+
+Formats
+-------
+========  ========  ========  =====================
+format    mantissa  exponent  unit roundoff (2^-(p))
+========  ========  ========  =====================
+FP16      10 + 1    5         2^-11 ≈ 4.9e-4
+BF16      7 + 1     8         2^-8  ≈ 3.9e-3
+TF32      10 + 1    8         2^-11 ≈ 4.9e-4
+FP32      23 + 1    8         2^-24 ≈ 6.0e-8
+========  ========  ========  =====================
+
+The paper's "machine epsilon of Tensor Core" is the FP16/TF32 unit roundoff,
+~1e-4; Tables 3/4 check that band-reduction errors stay at that level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FP16_EPS",
+    "BF16_EPS",
+    "TF32_EPS",
+    "FP32_EPS",
+    "round_fp16",
+    "round_bf16",
+    "round_tf32",
+    "round_to_format",
+    "split_fp16",
+]
+
+#: Unit roundoff of IEEE half precision (10 explicit mantissa bits).
+FP16_EPS: float = float(2.0**-11)
+#: Unit roundoff of bfloat16 (7 explicit mantissa bits).
+BF16_EPS: float = float(2.0**-8)
+#: Unit roundoff of NVIDIA TF32 (10 explicit mantissa bits, FP32 exponent).
+TF32_EPS: float = float(2.0**-11)
+#: Unit roundoff of IEEE single precision.
+FP32_EPS: float = float(2.0**-24)
+
+#: Exponent-scaling factor used by the Ootomo–Yokota residual split: the
+#: FP16 mantissa holds 11 significant bits, so the residual ``x - fp16(x)``
+#: is scaled by 2^11 before its own FP16 rounding to avoid underflow.
+OOTOMO_SCALE: float = float(2.0**11)
+
+
+def round_fp16(x) -> np.ndarray:
+    """Round ``x`` to IEEE FP16 and return the values as float32.
+
+    Uses NumPy's native float16 conversion (round-to-nearest-even, with
+    IEEE overflow to inf and gradual underflow to subnormals), which is the
+    behaviour of the hardware conversion instruction feeding Tensor Cores.
+    """
+    return np.asarray(x, dtype=np.float32).astype(np.float16).astype(np.float32)
+
+
+def _round_mantissa_f32(x, drop_bits: int) -> np.ndarray:
+    """Round float32 ``x`` to ``23 - drop_bits`` mantissa bits (RNE).
+
+    This implements round-to-nearest-even directly on the bit pattern,
+    which is exactly what the TF32 conversion inside Tensor Cores and the
+    BF16 truncation unit do (modulo their treatment of NaN payloads, which
+    we do not model).
+    """
+    arr = np.asarray(x, dtype=np.float32)
+    bits = arr.view(np.uint32).copy()
+    # Round-to-nearest-even on the dropped low bits:
+    #   bias = (1 << (drop-1)) - 1 + guard-bit-of-result
+    lsb = np.uint32(1) << np.uint32(drop_bits)
+    guard = (bits >> np.uint32(drop_bits)) & np.uint32(1)
+    bias = (lsb >> np.uint32(1)) - np.uint32(1) + guard
+    bits = bits + bias
+    bits &= ~np.uint32(lsb - np.uint32(1))
+    out = bits.view(np.float32)
+    # Preserve NaNs (the bias addition may have corrupted payloads / turned
+    # a NaN into inf is impossible since exponent saturates, but be safe).
+    nan_mask = np.isnan(arr)
+    if np.any(nan_mask):
+        out = out.copy()
+        out[nan_mask] = np.float32(np.nan)
+    return out
+
+
+def round_bf16(x) -> np.ndarray:
+    """Round ``x`` to bfloat16 (8-bit exponent, 7-bit mantissa) as float32."""
+    return _round_mantissa_f32(x, drop_bits=16)
+
+
+def round_tf32(x) -> np.ndarray:
+    """Round ``x`` to TF32 (8-bit exponent, 10-bit mantissa) as float32.
+
+    TF32 keeps the FP32 exponent, so unlike FP16 it neither overflows nor
+    underflows for FP32-range inputs; only the mantissa is shortened.
+    """
+    return _round_mantissa_f32(x, drop_bits=13)
+
+
+_ROUNDERS = {
+    "fp16": round_fp16,
+    "bf16": round_bf16,
+    "tf32": round_tf32,
+    "fp32": lambda x: np.asarray(x, dtype=np.float32),
+}
+
+
+def round_to_format(x, fmt: str) -> np.ndarray:
+    """Round ``x`` to the named format (``fp16``/``bf16``/``tf32``/``fp32``)."""
+    try:
+        rounder = _ROUNDERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown operand format {fmt!r}; expected one of {sorted(_ROUNDERS)}"
+        ) from None
+    return rounder(x)
+
+
+def split_fp16(x, *, scale: float = OOTOMO_SCALE) -> tuple[np.ndarray, np.ndarray]:
+    """Ootomo–Yokota high/low FP16 split of an FP32 array.
+
+    Returns ``(hi, lo)`` with ``hi = fp16(x)`` and ``lo = fp16((x - hi) *
+    scale)``, both as float32.  The caller reconstructs
+    ``x ≈ hi + lo / scale``.  Scaling the residual by ``2^11`` before
+    rounding keeps its significant bits above the FP16 underflow threshold —
+    this is the "scale the matrix to reduce underflow" step of the paper's
+    Section 5.3.
+    """
+    arr = np.asarray(x, dtype=np.float32)
+    hi = round_fp16(arr)
+    lo = round_fp16((arr - hi) * np.float32(scale))
+    return hi, lo

@@ -1,0 +1,79 @@
+"""Emulated Tensor-Core GEMM: low-precision multiply, FP32 accumulate.
+
+A Tensor-Core MMA instruction computes an exact product of low-precision
+operands and adds it into an FP32 accumulator, rounding once per addition.
+On the CPU we emulate this as
+
+    C = fp32(round(A)) @ fp32(round(B))
+
+i.e. operands are rounded to the target format and the product runs in
+FP32.  NumPy's FP32 matmul accumulates in FP32 (BLAS sgemm), which matches
+the per-addition rounding of the hardware accumulator closely enough for
+the error levels studied in the paper (the dominant error source is operand
+rounding, ~2^-11, four orders of magnitude above FP32 accumulation error).
+
+``chunk_k`` optionally splits the inner dimension into chunks accumulated
+sequentially in FP32, modelling the "one rounding per MMA tile" behaviour
+even when the underlying BLAS uses higher-precision blocked summation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .rounding import round_to_format
+
+__all__ = ["tcgemm"]
+
+
+def tcgemm(
+    a,
+    b,
+    *,
+    operand_format: str = "fp16",
+    chunk_k: int | None = None,
+) -> np.ndarray:
+    """Emulated Tensor-Core matrix product ``A @ B``.
+
+    Parameters
+    ----------
+    a, b : array_like
+        FP32 (or convertible) matrices with ``a.shape[1] == b.shape[0]``.
+    operand_format : str
+        Low-precision operand format: ``"fp16"`` (default), ``"bf16"``,
+        ``"tf32"`` or ``"fp32"`` (no operand rounding, useful for testing).
+    chunk_k : int, optional
+        If given, the inner dimension is processed in chunks of this size
+        with an explicit FP32 accumulator between chunks, modelling MMA-tile
+        granularity accumulation.  ``None`` (default) uses a single FP32
+        matmul.
+
+    Returns
+    -------
+    numpy.ndarray
+        FP32 result of shape ``(a.shape[0], b.shape[1])``.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(f"tcgemm requires 2-D operands, got {a.ndim}-D and {b.ndim}-D")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+
+    ar = round_to_format(a, operand_format)
+    br = round_to_format(b, operand_format)
+
+    if chunk_k is None or chunk_k >= a.shape[1]:
+        return np.asarray(ar @ br, dtype=np.float32)
+
+    if chunk_k <= 0:
+        raise ValueError(f"chunk_k must be positive, got {chunk_k}")
+
+    k = a.shape[1]
+    acc = np.zeros((a.shape[0], b.shape[1]), dtype=np.float32)
+    for start in range(0, k, chunk_k):
+        stop = min(start + chunk_k, k)
+        # In-place FP32 accumulation: one rounding per chunk, as on hardware.
+        acc += ar[:, start:stop] @ br[start:stop, :]
+    return acc

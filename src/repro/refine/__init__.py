@@ -1,0 +1,23 @@
+"""Mixed-precision eigenpair refinement (the paper's "approximate-iterate"
+future work, §1/§7).
+
+The paper notes that mixed-precision factorizations usually follow an
+*approximate-iterate* scheme — a fast low-precision factorization as a
+preconditioner, then refinement to working accuracy — and defers the
+eigenvalue version (citing Tsai, Luszczek & Dongarra 2021) to future
+work.  This package implements that step:
+
+- :func:`refine_eigenpairs` — Ogita–Aishima-style Newton refinement of a
+  full approximate eigendecomposition: one iteration squares the error
+  when eigenvalue gaps are resolved, so two iterations take a Tensor-Core
+  (~1e-4) result to float64 working accuracy.
+- :func:`rayleigh_refine` — Rayleigh-quotient inverse iteration for a
+  single (or selected) eigenpair.
+- :func:`refined_syevd` — the composed pipeline: Tensor-Core two-stage
+  EVD for the approximation, float64 refinement on top.
+"""
+
+from .newton import refine_eigenpairs, rayleigh_refine
+from .driver import refined_syevd
+
+__all__ = ["refine_eigenpairs", "rayleigh_refine", "refined_syevd"]

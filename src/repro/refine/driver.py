@@ -1,0 +1,62 @@
+"""Composed approximate-iterate eigensolver: Tensor-Core EVD + refinement.
+
+This is the pipeline the paper's §1 describes for mixed-precision
+factorizations and §7 defers for eigenproblems: the cheap low-precision
+computation provides the approximate invariant subspaces, and a few
+working-precision Newton sweeps restore full accuracy.  The expensive
+O(n³) band reduction runs under the Tensor-Core policy; each refinement
+sweep costs a handful of n³ GEMM-equivalents in float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eig.driver import EvdResult, syevd_2stage
+from ..errors import ConfigurationError
+from ..precision.modes import Precision
+from .newton import refine_eigenpairs
+
+__all__ = ["refined_syevd"]
+
+
+def refined_syevd(
+    a,
+    *,
+    b: int = 16,
+    nb: int | None = None,
+    precision: "Precision | str" = Precision.FP16_TC,
+    refine_iterations: int = 2,
+    method: str = "wy",
+) -> EvdResult:
+    """Eigendecomposition at float64 accuracy from a low-precision pipeline.
+
+    Runs the two-stage solver under ``precision`` (eigenvectors included —
+    the refinement needs them), then applies ``refine_iterations`` of
+    Ogita–Aishima refinement in float64.
+
+    Returns
+    -------
+    EvdResult
+        With refined eigenvalues/eigenvectors; the ``sbr``/``tridiagonal``
+        intermediates are those of the low-precision pipeline.
+    """
+    if refine_iterations < 0:
+        raise ConfigurationError(
+            f"refine_iterations must be >= 0, got {refine_iterations}"
+        )
+    base = syevd_2stage(
+        a, b=b, nb=nb, method=method, precision=precision, want_vectors=True
+    )
+    lam, x = refine_eigenpairs(
+        np.asarray(a, dtype=np.float64),
+        base.eigenvectors,
+        iterations=refine_iterations,
+    )
+    return EvdResult(
+        eigenvalues=lam,
+        eigenvectors=x,
+        sbr=base.sbr,
+        tridiagonal=base.tridiagonal,
+        engine=base.engine,
+    )

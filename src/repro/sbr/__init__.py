@@ -1,0 +1,51 @@
+"""Successive Band Reduction (SBR) — the paper's core contribution.
+
+Reduces a dense symmetric matrix to symmetric band form ``A = Q B Q^T``
+(bandwidth ``b``), the first stage of two-stage tridiagonalization:
+
+- :mod:`~repro.sbr.zy` — the conventional ZY-representation algorithm
+  (Dongarra et al. 1989), the algorithm inside MAGMA's ``ssytrd_sy2sb``:
+  per panel, a rank-2b subtractive trailing update whose GEMMs are tall
+  and skinny with inner dimension ``b``.
+- :mod:`~repro.sbr.wy` — the paper's **Algorithm 1**: recursive WY-based
+  SBR with big-block size ``nb``.  Inside a big block only the next
+  panel's columns are updated (against the *original* trailing matrix);
+  the full trailing update is deferred to the block boundary, replacing
+  many skinny GEMMs with few near-square GEMMs of inner dimension up to
+  ``nb``.
+- :mod:`~repro.sbr.formw` — the paper's **Algorithm 2**: recursive
+  (tree) W construction for the back-transformation.
+- :mod:`~repro.sbr.panel` — pluggable panel factorizations: TSQR +
+  Householder reconstruction (the paper's), blocked Householder QR
+  (cuSOLVER-like), unblocked QR (MAGMA-panel-like).
+"""
+
+from .panel import (
+    BlockedQrPanel,
+    PanelFactorization,
+    PanelStrategy,
+    TsqrPanel,
+    UnblockedQrPanel,
+    make_panel_strategy,
+)
+from .types import SbrResult, WYBlock
+from .zy import sbr_zy
+from .wy import sbr_wy
+from .wy_compact import sbr_wy_compact
+from .formw import form_wy_tree, form_q_from_blocks
+
+__all__ = [
+    "PanelStrategy",
+    "PanelFactorization",
+    "TsqrPanel",
+    "BlockedQrPanel",
+    "UnblockedQrPanel",
+    "make_panel_strategy",
+    "SbrResult",
+    "WYBlock",
+    "sbr_zy",
+    "sbr_wy",
+    "sbr_wy_compact",
+    "form_wy_tree",
+    "form_q_from_blocks",
+]

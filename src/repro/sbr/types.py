@@ -1,0 +1,65 @@
+"""Result containers shared by the SBR drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WYBlock", "SbrResult"]
+
+
+@dataclass
+class WYBlock:
+    """One accumulated WY factor ``I - W Y^T`` acting on rows ``offset..n``.
+
+    The orthogonal transform of a whole reduction is the ordered product of
+    its blocks, each embedded into the identity at ``offset``:
+
+        Q = prod_j  embed(I - W_j Y_j^T, offset_j)
+
+    For the WY-based SBR there is one block per big block (``k`` up to
+    ``nb`` columns); for the ZY-based SBR one per panel (``k = b``).
+    """
+
+    offset: int
+    w: np.ndarray
+    y: np.ndarray
+
+    @property
+    def ncols(self) -> int:
+        """Number of accumulated reflectors in this block."""
+        return self.w.shape[1]
+
+    @property
+    def nrows(self) -> int:
+        """Active row count (below ``offset``)."""
+        return self.w.shape[0]
+
+
+@dataclass
+class SbrResult:
+    """Output of a band-reduction driver.
+
+    Attributes
+    ----------
+    band : numpy.ndarray
+        Dense n×n symmetric band matrix ``B`` with ``A ≈ Q B Q^T``.
+    bandwidth : int
+        The target bandwidth ``b``.
+    q : numpy.ndarray or None
+        Accumulated orthogonal transform (``None`` when not requested).
+    blocks : list of WYBlock
+        The per-block WY factors, enough to (re)build ``Q`` lazily via
+        :func:`repro.sbr.formw.form_q_from_blocks`.
+    """
+
+    band: np.ndarray
+    bandwidth: int
+    q: np.ndarray | None = None
+    blocks: list[WYBlock] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        """Matrix size."""
+        return self.band.shape[0]

@@ -1,0 +1,183 @@
+"""Storage-efficient (compact-WY) variant of the WY-based SBR.
+
+The paper's §7 concedes that Algorithm 1 "requires more device memory to
+store the original matrix and the WY representation".  Half of that WY
+cost is removable: the Schreiber–Van Loan compact form stores ``Q = I - Y
+T Y^T`` with a small k×k triangular ``T`` instead of the M×k ``W = Y T``,
+halving the representation's footprint during the inner loop (W is only
+materialized per block — and only when eigenvectors are wanted).
+
+The *large* GEMM shapes — the ``OA @ Y`` cache extension, the partial and
+full two-sided updates — are identical to the explicit variant; the
+per-panel W extension (two M-sized GEMMs) becomes a T-merge
+(one M-sized GEMM plus triangular work):
+
+    T_new = [[T, -T (Y^T Y_p) T_p], [0, T_p]].
+
+Note the trade is memory, not flops: applying ``T`` adds (k×k)·(k×width)
+products to every update, so the compact variant does slightly *more*
+arithmetic while keeping the M×k ``W`` out of the inner loop's working
+set (it is materialized once per block, for the back-transformation).
+
+GEMM tags: ``form_t`` (the merge), ``wy_oay`` (cache), plus the same
+``wy_right``/``wy_left``/``wy_full_*``/``sbr_strip`` tags as the explicit
+variant and ``form_w`` for the per-block W materialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gemm.engine import GemmEngine, SgemmEngine
+from ..la.lu import solve_lower_unit
+from ..validation import as_symmetric_matrix, check_blocksizes
+from .formw import form_q_from_blocks
+from .panel import PanelStrategy, make_panel_strategy
+from .types import SbrResult, WYBlock
+
+__all__ = ["sbr_wy_compact"]
+
+
+def _panel_t_factor(w_p: np.ndarray, y_p: np.ndarray) -> np.ndarray:
+    """Recover the compact T of a panel from its (W, Y): ``W = Y T``.
+
+    ``Y``'s top square block is unit lower triangular, so ``T`` solves the
+    small triangular system ``Y[:k] T = W[:k]``.
+    """
+    k = w_p.shape[1]
+    return np.asarray(solve_lower_unit(y_p[:k, :], w_p[:k, :]), dtype=w_p.dtype)
+
+
+def sbr_wy_compact(
+    a,
+    b: int,
+    nb: int,
+    *,
+    engine: GemmEngine | None = None,
+    panel: "str | PanelStrategy" = "tsqr",
+    want_q: bool = True,
+    q_method: str = "tree",
+) -> SbrResult:
+    """Algorithm 1 with the compact (Y, T) representation.
+
+    Same contract and numerical behaviour as :func:`repro.sbr.wy.sbr_wy`
+    (the two are cross-validated in the tests); the accumulated transform
+    is carried as ``I - Y T Y^T`` to halve the working-set memory.
+    """
+    eng = engine if engine is not None else SgemmEngine()
+    strategy = make_panel_strategy(panel)
+    a = as_symmetric_matrix(a, dtype=eng.working_dtype)
+    n = a.shape[0]
+    check_blocksizes(n, b, nb)
+
+    dtype = eng.working_dtype
+    A = np.array(a, dtype=dtype, copy=True)
+    blocks: list[WYBlock] = []
+
+    j0 = 0
+    while n - j0 - b >= 2:
+        M = n - j0 - b
+        OA = A[j0 + b :, j0 + b :].copy()
+        Y: np.ndarray | None = None
+        T: np.ndarray | None = None
+        OAY = np.empty((M, 0), dtype=dtype)
+        advance_full_block = False
+
+        for r in range(0, nb, b):
+            i = j0 + r
+            m = n - i - b
+            if m < 2:
+                break
+            w_cols = min(b, m)
+
+            pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
+            A[i + b : i + b + w_cols, i : i + w_cols] = pf.r.astype(dtype, copy=False)
+            A[i + b + w_cols :, i : i + w_cols] = 0
+            A[i : i + w_cols, i + b :] = A[i + b :, i : i + w_cols].T
+
+            if w_cols < b:
+                pw = pf.w.astype(dtype, copy=False)
+                py = pf.y.astype(dtype, copy=False)
+                strip = A[i + b :, i + w_cols : i + b]
+                wts = eng.gemm(pw.T, strip, tag="sbr_strip")
+                strip -= eng.gemm(py, wts, tag="sbr_strip")
+                A[i + w_cols : i + b, i + b :] = strip.T
+
+            # --- Extend (Y, T) over the block row space. ---------------------
+            yp = np.zeros((M, w_cols), dtype=dtype)
+            yp[r:] = pf.y.astype(dtype, copy=False)
+            tp = _panel_t_factor(
+                pf.w.astype(dtype, copy=False), pf.y.astype(dtype, copy=False)
+            )
+            if Y is None:
+                Y, T = yp, tp
+            else:
+                k = Y.shape[1]
+                yty = eng.gemm(Y.T, yp, tag="form_t")  # (k, w) over M rows
+                upper_right = -eng.gemm(eng.gemm(T, yty, tag="form_t"), tp, tag="form_t")
+                t_new = np.zeros((k + w_cols, k + w_cols), dtype=dtype)
+                t_new[:k, :k] = T
+                t_new[:k, k:] = upper_right
+                t_new[k:, k:] = tp
+                Y = np.hstack([Y, yp])
+                T = t_new
+
+            # --- Incremental OA @ Y cache (same big shape as wy_oaw). --------
+            OAY = np.hstack([OAY, eng.gemm(OA, Y[:, -w_cols:], tag="wy_oay")])
+
+            if m <= b + 1:
+                _partial_update_compact(A, OA, OAY, Y, T, eng, b=b, j0=j0, r=r, cn=m)
+                break
+            if r + b >= nb:
+                _full_update_compact(A, OA, OAY, Y, T, eng, b=b, j0=j0, r_end=r)
+                advance_full_block = True
+                break
+            _partial_update_compact(A, OA, OAY, Y, T, eng, b=b, j0=j0, r=r, cn=b)
+
+        if Y is not None:
+            # Materialize W = Y T once per block (the back-transformation
+            # work the paper's §4.4 credits as "not wasted").
+            w_blk = eng.gemm(Y, T, tag="form_w")
+            blocks.append(WYBlock(offset=j0 + b, w=w_blk, y=Y))
+        if not advance_full_block:
+            break
+        j0 += nb
+
+    A = (A + A.T) * dtype.type(0.5)
+    q = None
+    if want_q:
+        q = form_q_from_blocks(blocks, n, engine=eng, method=q_method, dtype=dtype)
+    return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks)
+
+
+def _partial_update_compact(A, OA, OAY, Y, T, eng, *, b, j0, r, cn) -> None:
+    """Two-sided update of ``cn`` columns using the (Y, T) form.
+
+    ``X = OA[:, c] - (OA Y) (T Y_c^T)`` then
+    ``GA = X[r:] - Y[r:] (T^T (Y^T X))``.
+    """
+    dtype = A.dtype
+    yc = Y[r : r + cn, :]
+    tyc = eng.gemm(T, yc.T, tag="wy_right")          # (k, cn)
+    x = OA[:, r : r + cn] - eng.gemm(OAY, tyc, tag="wy_right")
+    ytx = eng.gemm(Y.T, x, tag="wy_left")            # (k, cn)
+    tt_ytx = eng.gemm(T.T, ytx, tag="wy_left")
+    ga = x[r:] - eng.gemm(Y[r:], tt_ytx, tag="wy_left")
+    ga[:cn] = (ga[:cn] + ga[:cn].T) * dtype.type(0.5)
+    lo = j0 + b + r
+    A[lo:, lo : lo + cn] = ga
+    A[lo : lo + cn, lo:] = ga.T
+
+
+def _full_update_compact(A, OA, OAY, Y, T, eng, *, b, j0, r_end) -> None:
+    """Block-boundary full trailing update using the (Y, T) form."""
+    dtype = A.dtype
+    yc = Y[r_end:, :]
+    tyc = eng.gemm(T, yc.T, tag="wy_full_right")
+    x = OA[:, r_end:] - eng.gemm(OAY, tyc, tag="wy_full_right")
+    ytx = eng.gemm(Y.T, x, tag="wy_full_left")
+    tt_ytx = eng.gemm(T.T, ytx, tag="wy_full_left")
+    ga = x[r_end:] - eng.gemm(yc, tt_ytx, tag="wy_full_left")
+    ga = (ga + ga.T) * dtype.type(0.5)
+    lo = j0 + b + r_end
+    A[lo:, lo:] = ga

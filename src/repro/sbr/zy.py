@@ -1,0 +1,126 @@
+"""Conventional ZY-representation SBR (the MAGMA ``ssytrd_sy2sb`` algorithm).
+
+Per panel (Dongarra, Sorensen & Hammarling 1989; paper §3.3): QR-factor the
+panel, build its WY pair, then apply the two-sided update to the *entire*
+trailing matrix as a rank-2b subtraction,
+
+    Z = A W - (1/2) Y (W^T A W),
+    A <- A - Z Y^T - Y Z^T.
+
+Tensor Cores have no ``syr2k``, so — exactly as the paper notes — the
+symmetric rank-2b update is two independent outer-product GEMMs.  Every
+trailing GEMM here has inner dimension ``b`` (tall and skinny), which is
+what starves Tensor Cores and motivates the WY-based Algorithm 1.
+
+GEMM tags (recorded in the engine trace):
+
+====================  =====================================================
+``zy_aw``             ``A @ W``          (m×m)·(m×b)
+``zy_wtaw``           ``W^T @ (A W)``    (b×m)·(m×b)
+``zy_z``              ``Y @ (W^T A W)``  (m×b)·(b×b)
+``zy_zyt``/``zy_yzt`` the two rank-2b outer products  (m×b)·(b×m)
+``form_q``            trailing Q accumulation (when requested)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gemm.engine import GemmEngine, SgemmEngine
+from ..validation import as_symmetric_matrix, check_blocksizes
+from .panel import PanelStrategy, make_panel_strategy
+from .types import SbrResult, WYBlock
+
+__all__ = ["sbr_zy"]
+
+
+def sbr_zy(
+    a,
+    b: int,
+    *,
+    engine: GemmEngine | None = None,
+    panel: "str | PanelStrategy" = "blocked_qr",
+    want_q: bool = True,
+    use_syr2k: bool = False,
+) -> SbrResult:
+    """Reduce a symmetric matrix to band form with the ZY-based algorithm.
+
+    Parameters
+    ----------
+    a : array_like, (n, n) symmetric
+        Input matrix.
+    b : int
+        Target (semi-)bandwidth.
+    engine : GemmEngine, optional
+        GEMM engine implementing the precision policy (default FP32 SGEMM).
+    panel : str or PanelStrategy
+        Panel factorization (default blocked Householder QR, as in MAGMA).
+    want_q : bool
+        Whether to accumulate the orthogonal transform ``Q`` (with
+        ``A ≈ Q B Q^T``).
+    use_syr2k : bool
+        Perform the rank-2b update as a single symmetric ``syr2k`` call
+        instead of two explicit GEMMs.  Real Tensor Cores have no native
+        syr2k (paper §4.1) — this switch exists for the "what if they did"
+        ablation of the paper's future-work section.
+
+    Returns
+    -------
+    SbrResult
+        Band matrix, bandwidth, optional ``Q``, and the per-panel WY blocks.
+    """
+    eng = engine if engine is not None else SgemmEngine()
+    strategy = make_panel_strategy(panel)
+    a = as_symmetric_matrix(a, dtype=eng.working_dtype)
+    n = a.shape[0]
+    check_blocksizes(n, b)
+
+    dtype = eng.working_dtype
+    A = np.array(a, dtype=dtype, copy=True)
+    q = np.eye(n, dtype=dtype) if want_q else None
+    blocks: list[WYBlock] = []
+
+    i = 0
+    while n - i - b >= 2:
+        m = n - i - b
+        w_cols = min(b, m)
+        pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
+        w, y = pf.w.astype(dtype, copy=False), pf.y.astype(dtype, copy=False)
+
+        # Write R into the band, zero the annihilated part, mirror symmetric.
+        A[i + b : i + b + w_cols, i : i + w_cols] = pf.r.astype(dtype, copy=False)
+        A[i + b + w_cols :, i : i + w_cols] = 0
+        A[i : i + w_cols, i + b :] = A[i + b :, i : i + w_cols].T
+
+        if w_cols < b:
+            # Tail panel: columns [i+w, i+b) still carry in-band entries on
+            # the panel's row range; they see only this panel's transform
+            # from the left (no trailing panel follows).
+            strip = A[i + b :, i + w_cols : i + b]
+            wts = eng.gemm(w.T, strip, tag="sbr_strip")
+            strip -= eng.gemm(y, wts, tag="sbr_strip")
+            A[i + w_cols : i + b, i + b :] = strip.T
+
+        # ZY trailing update on the m×m trailing block (two-sided rank-2b).
+        trailing = A[i + b :, i + b :]
+        aw = eng.gemm(trailing, w, tag="zy_aw")
+        wtaw = eng.gemm(w.T, aw, tag="zy_wtaw")
+        z = aw - dtype.type(0.5) * eng.gemm(y, wtaw, tag="zy_z")
+        if use_syr2k:
+            trailing -= eng.syr2k(z, y, tag="zy_syr2k")
+        else:
+            trailing -= eng.gemm(z, y.T, tag="zy_zyt")
+            trailing -= eng.gemm(y, z.T, tag="zy_yzt")
+
+        blocks.append(WYBlock(offset=i + b, w=w, y=y))
+        if q is not None:
+            # Q <- Q @ embed(I - W Y^T): only columns i+b.. change.
+            qw = eng.gemm(q[:, i + b :], w, tag="form_q")
+            q[:, i + b :] -= eng.gemm(qw, y.T, tag="form_q")
+        i += b
+
+    # Exact symmetry of the band output (two independent outer products
+    # leave rounding-level asymmetry in the trailing block).
+    A = (A + A.T) * dtype.type(0.5)
+    return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks)

@@ -1,0 +1,34 @@
+"""Singular value decomposition and low-rank approximation on top of the
+symmetric eigensolver.
+
+The paper's title keywords include *Singular Value Decomposition* and
+*Low Rank Approximation*, and its introduction motivates reduced-precision
+EVD with exactly these consumers (PCA, randomized low-rank methods,
+kernel machines).  This package builds them on the library's two-stage
+eigensolver:
+
+- :func:`svd_via_evd` — full SVD of a general matrix through either the
+  Gram matrix (``A^T A``) or the Jordan–Wielandt embedding
+  (``[[0, A], [A^T, 0]]``), both reduced with the (Tensor-Core) band
+  reduction pipeline.
+- :func:`randomized_svd` — randomized subspace iteration (Halko et al.;
+  paper refs [16, 28]) with the library's QR for orthonormalization.
+- :func:`randomized_eig` — the symmetric variant (Nyström-free projection).
+- :func:`block_lanczos_eig` — randomized block Lanczos (paper ref [40]),
+  superlinearly convergent for the top of the spectrum.
+- :func:`low_rank_approx` — rank-k approximation façade over the above.
+"""
+
+from .via_evd import svd_via_evd
+from .direct import bidiagonalize, svd_direct
+from .randomized import block_lanczos_eig, low_rank_approx, randomized_eig, randomized_svd
+
+__all__ = [
+    "svd_via_evd",
+    "svd_direct",
+    "bidiagonalize",
+    "randomized_svd",
+    "randomized_eig",
+    "block_lanczos_eig",
+    "low_rank_approx",
+]

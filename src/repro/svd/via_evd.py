@@ -1,0 +1,112 @@
+"""Full SVD through the symmetric eigensolver.
+
+Two classic reductions of ``A = U S V^T`` (m×n, m >= n) to a symmetric
+eigenproblem, both solvable by the library's two-stage pipeline:
+
+- **gram**: ``A^T A = V S^2 V^T`` — one n×n eigenproblem plus
+  ``U = A V S^{-1}``.  Cheapest, but squares the condition number: small
+  singular values below ``sqrt(eps) * s_max`` lose all digits (we then
+  recover the corresponding ``U`` columns by completion).
+- **jordan_wielandt**: the (m+n)×(m+n) symmetric embedding
+  ``[[0, A], [A^T, 0]]`` whose eigenvalues are ``±s_i`` (plus m−n zeros)
+  and whose eigenvectors stack ``u_i`` and ``v_i``.  Numerically the
+  sound choice; twice the problem size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..eig.driver import syevd_2stage
+from ..precision.modes import Precision
+
+__all__ = ["svd_via_evd"]
+
+
+def _check_input(a) -> np.ndarray:
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.size == 0:
+        raise ShapeError(f"svd_via_evd requires a non-empty 2-D matrix, got {a.shape}")
+    return a
+
+
+def svd_via_evd(
+    a,
+    *,
+    method: str = "jordan_wielandt",
+    precision: "Precision | str" = Precision.FP32,
+    b: int = 8,
+    nb: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SVD ``A = U diag(s) V^T`` via the two-stage symmetric eigensolver.
+
+    Parameters
+    ----------
+    a : array_like, (m, n)
+        Input matrix (any shape; internally transposed so m >= n).
+    method : {"jordan_wielandt", "gram"}
+        The symmetric reduction (see module docstring).
+    precision, b, nb
+        Forwarded to :func:`repro.eig.syevd_2stage` for the inner
+        eigenproblem.
+
+    Returns
+    -------
+    u : ndarray (m, k), s : ndarray (k,), vt : ndarray (k, n)
+        Thin SVD factors with ``k = min(m, n)``, singular values
+        descending.
+    """
+    a = _check_input(a)
+    if a.shape[0] < a.shape[1]:
+        u, s, vt = svd_via_evd(a.T, method=method, precision=precision, b=b, nb=nb)
+        return vt.T, s, u.T
+    m, n = a.shape
+
+    if method == "gram":
+        gram = a.T @ a
+        res = syevd_2stage(gram, b=min(b, max(n // 4, 1)), nb=nb, precision=precision)
+        lam = res.eigenvalues[::-1]
+        v = res.eigenvectors[:, ::-1]
+        s = np.sqrt(np.maximum(lam, 0.0))
+        # U columns: A v_i / s_i where s_i is safely nonzero; complete the
+        # rest to an orthonormal basis of range(A)'s complement.
+        u = np.zeros((m, n))
+        safe = s > np.finfo(np.float64).eps ** 0.5 * max(float(s.max(initial=0.0)), 1e-300)
+        if np.any(safe):
+            u[:, safe] = (a @ v[:, safe]) / s[safe]
+        for j in np.nonzero(~safe)[0]:
+            vec = np.random.default_rng(j).standard_normal(m)
+            vec -= u @ (u.T @ vec)
+            vec -= u @ (u.T @ vec)
+            u[:, j] = vec / np.linalg.norm(vec)
+        return u, s, v.T
+
+    if method != "jordan_wielandt":
+        raise ConfigurationError(
+            f"method must be 'jordan_wielandt' or 'gram', got {method!r}"
+        )
+
+    # Jordan–Wielandt embedding: eigenpairs (±s_i, [u_i; ±v_i] / sqrt(2)).
+    big = np.zeros((m + n, m + n))
+    big[:m, m:] = a
+    big[m:, :m] = a.T
+    res = syevd_2stage(big, b=min(b, max((m + n) // 4, 1)), nb=nb, precision=precision)
+    lam = res.eigenvalues
+    x = res.eigenvectors
+    # Take the n largest (positive) eigenvalues: descending order.
+    order = np.argsort(lam)[::-1][:n]
+    s = lam[order]
+    u = x[:m, order] * np.sqrt(2.0)
+    v = x[m:, order] * np.sqrt(2.0)
+    # Zero singular values (rank-deficient A) leave u/v badly scaled;
+    # renormalize columns defensively.
+    for j in range(n):
+        nu = np.linalg.norm(u[:, j])
+        nv = np.linalg.norm(v[:, j])
+        if nu > 0:
+            u[:, j] /= nu
+        if nv > 0:
+            v[:, j] /= nv
+    s = np.maximum(s, 0.0)
+    return u, s, v.T

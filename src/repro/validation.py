@@ -1,0 +1,95 @@
+"""Input validation helpers shared across the library.
+
+These are deliberately cheap: validation is O(n) or O(n^2) on already-dense
+inputs and is skipped inside inner loops.  Public entry points validate once
+and then call private kernels that trust their inputs, following the usual
+HPC-library layering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import NotSymmetricError, ShapeError
+
+__all__ = [
+    "as_matrix",
+    "as_square_matrix",
+    "as_symmetric_matrix",
+    "check_positive_int",
+    "check_blocksizes",
+]
+
+
+def as_matrix(a, *, name: str = "a", dtype=None) -> np.ndarray:
+    """Return ``a`` as a 2-D contiguous ndarray, validating dimensionality.
+
+    Parameters
+    ----------
+    a : array_like
+        Input to coerce.
+    name : str
+        Argument name used in error messages.
+    dtype : numpy dtype, optional
+        If given, the result is converted to this dtype.
+    """
+    arr = np.asarray(a, dtype=dtype)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def as_square_matrix(a, *, name: str = "a", dtype=None) -> np.ndarray:
+    """Return ``a`` as a square 2-D ndarray or raise :class:`ShapeError`."""
+    arr = as_matrix(a, name=name, dtype=dtype)
+    if arr.shape[0] != arr.shape[1]:
+        raise ShapeError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def as_symmetric_matrix(
+    a, *, name: str = "a", dtype=None, rtol: float = 1e-5, atol: float = 1e-6
+) -> np.ndarray:
+    """Return ``a`` as a symmetric square ndarray.
+
+    Symmetry is checked up to a tolerance scaled for single-precision inputs;
+    the returned matrix is explicitly symmetrized (``(A + A.T) / 2``) so
+    downstream two-sided updates see an exactly symmetric operand.
+    """
+    arr = as_square_matrix(a, name=name, dtype=dtype)
+    if not np.allclose(arr, arr.T, rtol=rtol, atol=atol):
+        raise NotSymmetricError(f"{name} is not symmetric within tolerance")
+    # Exact symmetrization: two-sided updates assume A == A.T bitwise.
+    sym = (arr + arr.T) * arr.dtype.type(0.5)
+    return np.ascontiguousarray(sym)
+
+
+def check_positive_int(value: int, *, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ShapeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ShapeError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_blocksizes(n: int, b: int, nb: int | None = None) -> None:
+    """Validate SBR block sizes: bandwidth ``b`` and big-block size ``nb``.
+
+    ``nb`` (when given) must be a multiple of ``b``; both must not exceed
+    ``n``.  Raises :class:`repro.errors.ConfigurationError` on violation.
+    """
+    from .errors import ConfigurationError
+
+    check_positive_int(n, name="n")
+    check_positive_int(b, name="b")
+    if b > n:
+        raise ConfigurationError(f"bandwidth b={b} exceeds matrix size n={n}")
+    if nb is not None:
+        check_positive_int(nb, name="nb")
+        if nb % b != 0:
+            raise ConfigurationError(f"nb={nb} must be a multiple of b={b}")
+        if nb > n:
+            raise ConfigurationError(f"nb={nb} exceeds matrix size n={n}")

@@ -1,0 +1,67 @@
+"""Tests for the ablation experiments (design-choice studies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_panel_ablation,
+    run_precision_ablation,
+    run_q_method_ablation,
+    run_syr2k_ablation,
+)
+
+
+class TestSyr2kAblation:
+    def test_native_syr2k_beats_two_gemms(self):
+        res = run_syr2k_ablation(sizes=(8192, 32768))
+        for row in res.rows:
+            assert row["zy_native_syr2k_s"] < row["zy_two_gemms_s"]
+
+    def test_future_work_flips_conclusion(self):
+        # The quantified insight: with a native TC syr2k the ZY algorithm
+        # would beat Algorithm 1 — the WY advantage rests on the missing
+        # hardware primitive.
+        res = run_syr2k_ablation(sizes=(32768,))
+        row = res.rows[0]
+        assert row["wy_still_wins"] is False
+        assert row["zy_native_syr2k_s"] < row["wy_s"]
+
+
+class TestQMethodAblation:
+    def test_runs_and_reports_both_methods(self):
+        res = run_q_method_ablation(n=8192, nb=512)
+        methods = {r["method"] for r in res.rows}
+        assert methods == {"tree", "forward"}
+        for row in res.rows:
+            assert row["time_s"] > 0 and row["gemm_calls"] > 0
+
+    def test_tree_does_more_flops(self):
+        res = run_q_method_ablation(n=8192, nb=512)
+        by = {r["method"]: r for r in res.rows}
+        assert by["tree"]["total_tflop"] > by["forward"]["total_tflop"]
+
+
+class TestPanelAblation:
+    def test_all_strategies_factor_accurately(self):
+        res = run_panel_ablation(m=256, w=16, repeats=1)
+        assert len(res.rows) == 3
+        for row in res.rows:
+            assert row["factorization_error"] < 1e-4  # fp32 panel
+            assert row["time_ms"] > 0
+
+
+class TestPrecisionAblation:
+    def test_error_tracks_machine_eps(self):
+        res = run_precision_ablation(n=96, b=8, nb=32)
+        rows = {r["precision"]: r for r in res.rows}
+        # Ladder: fp64 < fp32 ~ ec << fp16/tf32 << bf16.
+        assert rows["fp64"]["orthogonality"] < rows["fp32"]["orthogonality"]
+        assert rows["fp32"]["orthogonality"] < rows["fp16_tc"]["orthogonality"]
+        assert rows["fp16_tc"]["orthogonality"] < rows["bf16_tc"]["orthogonality"]
+        assert rows["fp16_ec_tc"]["orthogonality"] < rows["fp16_tc"]["orthogonality"] / 10
+
+    def test_every_row_within_its_eps(self):
+        res = run_precision_ablation(n=96, b=8, nb=32)
+        for row in res.rows:
+            assert row["orthogonality"] < row["machine_eps"] * 2

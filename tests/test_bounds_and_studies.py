@@ -1,0 +1,100 @@
+"""Tests for the error-bound envelopes and the newer ablation studies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_experiment
+from repro.gemm import make_engine
+from repro.matrices.generate import TABLE_MATRIX_SPECS, generate_from_spec
+from repro.metrics import (
+    backward_error,
+    orthogonality_error,
+    sbr_backward_error_bound,
+    sbr_orthogonality_bound,
+)
+from repro.sbr import sbr_wy
+
+
+class TestErrorBounds:
+    @pytest.mark.parametrize("n,b,nb", [(64, 8, 16), (96, 8, 32), (128, 16, 64)])
+    @pytest.mark.parametrize("precision", ["fp16_tc", "fp32"])
+    def test_measured_below_bound(self, n, b, nb, precision):
+        rng = np.random.default_rng(n + b)
+        eb_bound = sbr_backward_error_bound(n, b, precision=precision)
+        eo_bound = sbr_orthogonality_bound(n, b, precision=precision)
+        for spec in TABLE_MATRIX_SPECS[:3]:
+            a, _ = generate_from_spec(spec, n, rng=rng)
+            res = sbr_wy(a, b, nb, engine=make_engine(precision), want_q=True)
+            assert backward_error(a, res.q, res.band) < eb_bound, spec.label
+            assert orthogonality_error(res.q) < eo_bound, spec.label
+
+    def test_bound_scales_with_precision(self):
+        assert sbr_backward_error_bound(1024, 32, precision="fp16_tc") > \
+            sbr_backward_error_bound(1024, 32, precision="fp32") * 1000
+
+    def test_bound_decreases_with_bandwidth(self):
+        # Fewer block transforms -> smaller envelope.
+        assert sbr_backward_error_bound(1024, 64) < sbr_backward_error_bound(1024, 8)
+
+    def test_normalized_bound_decreases_with_n(self):
+        # The per-N normalization: E_o bound falls as n grows at fixed n/b.
+        b_small = sbr_orthogonality_bound(256, 16)
+        b_large = sbr_orthogonality_bound(4096, 256)
+        assert b_large < b_small
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sbr_backward_error_bound(0, 8)
+        with pytest.raises(ConfigurationError):
+            sbr_orthogonality_bound(8, 0)
+
+
+class TestEvdVectorsStudy:
+    def test_amdahl_damping(self):
+        res = run_experiment("ablation_evd_vectors", sizes=(16384,))
+        row = res.rows[0]
+        # With-vectors speedup is real but smaller than eigenvalues-only.
+        assert 1.0 <= row["speedup"] < row["novec_speedup"]
+
+    def test_back_transform_methods_priced(self):
+        res = run_experiment("ablation_evd_vectors", sizes=(32768,))
+        row = res.rows[0]
+        assert row["back_transform_tree_s"] > 0
+        assert row["back_transform_forward_s"] > 0
+
+    def test_model_want_vectors_costs_more(self):
+        from repro.device import PerfModel
+
+        pm = PerfModel()
+        nv = pm.evd_time(8192, 128, 1024, variant="ours").total
+        wv = pm.evd_time(8192, 128, 1024, variant="ours", want_vectors=True).total
+        assert wv > 2 * nv
+
+
+class TestAccumulatorStudy:
+    def test_error_at_fp16_level(self):
+        res = run_experiment("ablation_accumulator", m=96, k_values=(64, 512))
+        for row in res.rows:
+            assert 1e-6 < row["rel_error"] < 1e-2
+
+    def test_chunking_does_not_dominate(self):
+        # Chunked and unchunked errors agree to within 2x: operand rounding
+        # dominates accumulation order (the docs/numerics.md claim).
+        res = run_experiment("ablation_accumulator", m=96, k_values=(512,), chunks=(None, 16))
+        errs = [row["rel_error"] for row in res.rows]
+        assert max(errs) < 2 * min(errs)
+
+
+class TestScalingStudy:
+    def test_normalized_error_falls_with_n(self):
+        res = run_experiment("ablation_scaling", sizes=(96, 192, 384))
+        eo = res.column("orthogonality")
+        assert eo[-1] < eo[0]
+
+    def test_unnormalized_defect_grows_sublinearly(self):
+        res = run_experiment("ablation_scaling", sizes=(96, 384))
+        raw = res.column("Eo_times_N")
+        assert raw[-1] < raw[0] * (384 / 96)  # sub-linear growth

@@ -1,0 +1,227 @@
+"""Tests for the calibrated A100 performance model.
+
+Beyond unit behaviour, these tests pin the *paper-structure* facts the
+model must reproduce: Table 1 anchors, the nb=1024 sweet spot (Fig 5),
+the TC-only WY advantage and its crossover (Figs 6/7), panel ratios
+(Fig 8), the ablation ordering (Fig 9), headline speedups (Fig 10), and
+the ~2x EVD speedup (Fig 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    A100Spec,
+    DeviceSpec,
+    PerfModel,
+    TABLE1_K,
+    TABLE1_SGEMM_OUTER,
+    TABLE1_SGEMM_TS,
+    TABLE1_TC_OUTER,
+    TABLE1_TC_TS,
+    ThroughputCurve,
+)
+from repro.errors import ConfigurationError
+from repro.gemm import GemmRecord, GemmTrace
+from repro.gemm.symbolic import trace_sbr_wy, trace_sbr_zy
+
+
+@pytest.fixture(scope="module")
+def pm() -> PerfModel:
+    return PerfModel()
+
+
+class TestThroughputCurve:
+    def test_interpolates_anchors_exactly(self):
+        curve = ThroughputCurve((32, 128, 512), (5.0, 20.0, 60.0))
+        assert curve.rate(32) == pytest.approx(5e12)
+        assert curve.rate(128) == pytest.approx(20e12)
+
+    def test_log_interpolation_midpoint(self):
+        curve = ThroughputCurve((64, 256), (10.0, 30.0))
+        assert curve.rate(128) == pytest.approx(20e12)  # halfway in log2
+
+    def test_clamped_outside(self):
+        curve = ThroughputCurve((64, 256), (10.0, 30.0))
+        assert curve.rate(1) == pytest.approx(10e12)
+        assert curve.rate(10**6) == pytest.approx(30e12)
+
+    def test_scaled(self):
+        curve = ThroughputCurve((64, 256), (10.0, 30.0))
+        assert curve.scaled(0.5).rate(64) == pytest.approx(5e12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputCurve((64,), (10.0,))
+        with pytest.raises(ValueError):
+            ThroughputCurve((64, 32), (10.0, 5.0))
+        with pytest.raises(ValueError):
+            ThroughputCurve((32, 64), (10.0, -1.0))
+
+
+class TestDeviceSpec:
+    def test_a100_facts(self):
+        assert A100Spec.tc_fp16_peak == pytest.approx(312e12)
+        assert A100Spec.fp32_peak == pytest.approx(19.5e12)
+        assert A100Spec.pcie_bandwidth == pytest.approx(12e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                tc_fp16_peak=-1,
+                fp32_peak=1,
+                hbm_bandwidth=1,
+                pcie_bandwidth=1,
+                ec_tcgemm_rate=1,
+            )
+
+
+class TestGemmPricing:
+    def test_table1_anchors_reproduced(self, pm):
+        m = 32768
+        for i, k in enumerate(TABLE1_K):
+            assert pm.gemm_rate(m, k, m, "tc") / 1e12 == pytest.approx(TABLE1_TC_TS[i])
+            assert pm.gemm_rate(m, m, k, "tc") / 1e12 == pytest.approx(TABLE1_TC_OUTER[i])
+            assert pm.gemm_rate(m, k, m, "sgemm") / 1e12 == pytest.approx(TABLE1_SGEMM_TS[i])
+            assert pm.gemm_rate(m, m, k, "sgemm") / 1e12 == pytest.approx(TABLE1_SGEMM_OUTER[i])
+
+    def test_family_selection(self, pm):
+        # Contraction smallest -> outer curve (faster on TC at k=128).
+        outer = pm.gemm_rate(4096, 4096, 128, "tc")
+        ts = pm.gemm_rate(4096, 128, 4096, "tc")
+        assert outer > ts
+
+    def test_time_includes_launch(self, pm):
+        t = pm.gemm_time(8, 8, 8, "tc")
+        assert t >= pm.spec.kernel_launch
+
+    def test_memory_roofline_floor(self, pm):
+        # A 1×1×huge dot product is memory bound, not rate bound.
+        t = pm.gemm_time(1, 1, 10**7, "sgemm")
+        assert t >= 4.0 * 2 * 10**7 / pm.spec.hbm_bandwidth
+
+    def test_ec_between_sgemm_and_tc(self, pm):
+        # EC never below SGEMM (floor) and never above plain TC.
+        for k in (32, 128, 1024, 4096):
+            ec = pm.gemm_rate(32768, 32768, k, "ectc")
+            sg = pm.gemm_rate(32768, 32768, k, "sgemm")
+            tc = pm.gemm_rate(32768, 32768, k, "tc")
+            assert sg <= ec <= tc
+
+    def test_unknown_engine(self, pm):
+        with pytest.raises(ConfigurationError):
+            pm.gemm_rate(8, 8, 8, "dgemm")
+
+    def test_bad_dims(self, pm):
+        with pytest.raises(ConfigurationError):
+            pm.gemm_time(0, 8, 8)
+
+    def test_trace_time_additive(self, pm):
+        tr = GemmTrace([GemmRecord(64, 64, 64), GemmRecord(128, 128, 128)])
+        assert pm.trace_time(tr) == pytest.approx(
+            pm.record_time(tr[0]) + pm.record_time(tr[1])
+        )
+
+    def test_trace_tflops(self, pm):
+        tr = GemmTrace([GemmRecord(4096, 4096, 4096)])
+        assert 0 < pm.trace_tflops(tr, "tc") < 400
+
+
+class TestPanelPricing:
+    def test_tsqr_fastest(self, pm):
+        for n in (4096, 16384, 32768):
+            t = pm.sbr_panel_total(n, 128, "tsqr")
+            c = pm.sbr_panel_total(n, 128, "cusolver")
+            m = pm.sbr_panel_total(n, 128, "magma")
+            assert t < c < m
+
+    def test_fig8_ratio_band(self, pm):
+        # Paper: ~5x vs both baselines.
+        for n in (8192, 16384, 32768):
+            ratio = pm.sbr_panel_total(n, 128, "cusolver") / pm.sbr_panel_total(n, 128, "tsqr")
+            assert 2.5 < ratio < 12
+
+    def test_unknown_panel(self, pm):
+        with pytest.raises(ConfigurationError):
+            pm.panel_time(1024, 128, "lapack")
+
+    def test_panel_time_positive_and_monotone_in_m(self, pm):
+        for kind in ("tsqr", "cusolver", "magma"):
+            assert 0 < pm.panel_time(2048, 128, kind) < pm.panel_time(32768, 128, kind)
+
+
+class TestComposedModels:
+    def test_fig5_optimum_at_1024(self, pm):
+        times = {
+            nb: pm.trace_time(trace_sbr_wy(32768, 128, nb, want_q=False), "tc")
+            for nb in (128, 256, 512, 1024, 2048, 4096)
+        }
+        assert min(times, key=times.get) == 1024
+
+    def test_fig6_crossover(self, pm):
+        def ratio(n):
+            wy = pm.trace_time(trace_sbr_wy(n, 128, 1024, want_q=False), "tc")
+            zy = pm.trace_time(trace_sbr_zy(n, 128, want_q=False), "tc")
+            return zy / wy
+
+        assert ratio(4096) < 1.0   # ZY wins small
+        assert ratio(32768) > 1.05  # WY wins large
+
+    def test_fig7_zy_always_wins_on_sgemm(self, pm):
+        for n in (4096, 16384, 32768):
+            wy = pm.trace_time(trace_sbr_wy(n, 128, 1024, want_q=False), "sgemm")
+            zy = pm.trace_time(trace_sbr_zy(n, 128, want_q=False), "sgemm")
+            assert zy < wy
+
+    def test_fig9_orderings(self, pm):
+        n = 32768
+        ours = pm.sbr_time(n, 128, 1024, method="wy", engine="tc", panel="tsqr").total
+        no_tc = pm.sbr_time(n, 128, 1024, method="wy", engine="sgemm", panel="tsqr").total
+        no_tsqr = pm.sbr_time(n, 128, 1024, method="wy", engine="tc", panel="cusolver").total
+        magma = pm.magma_sy2sb_time(n, 128).total
+        assert ours < no_tsqr < magma  # both ingredients matter
+        assert no_tc > magma           # paper: TC off is worse than MAGMA at scale
+
+    def test_fig10_headline_speedups(self, pm):
+        n = 32768
+        wy = pm.sbr_time(n, 128, 1024, method="wy", engine="tc", panel="tsqr").total
+        ec = pm.sbr_time(n, 128, 1024, method="wy", engine="ectc", panel="tsqr").total
+        magma = pm.magma_sy2sb_time(n, 128).total
+        assert 2.0 < magma / wy < 5.5   # paper: up to 3.7x
+        assert 1.0 < magma / ec < 2.5   # paper: ~1.3-1.8x
+
+    def test_fig11_evd_speedup(self, pm):
+        for n in (8192, 32768):
+            ours = pm.evd_time(n, 128, 1024, variant="ours").total
+            magma = pm.evd_time(n, 128, variant="magma").total
+            assert 1.3 < magma / ours < 3.0  # paper: ~2x, up to 2.3x
+
+    def test_sbr_time_requires_nb_for_wy(self, pm):
+        with pytest.raises(ConfigurationError):
+            pm.sbr_time(4096, 128, method="wy")
+
+    def test_sbr_time_bad_method(self, pm):
+        with pytest.raises(ConfigurationError):
+            pm.sbr_time(4096, 128, 1024, method="lu")
+
+    def test_evd_bad_variant(self, pm):
+        with pytest.raises(ConfigurationError):
+            pm.evd_time(4096, 128, variant="cusolver")
+
+    def test_evd_breakdown_sums(self, pm):
+        bd = pm.evd_time(8192, 128, 1024, variant="ours")
+        assert bd.total == pytest.approx(bd.sbr + bd.transfer + bd.bulge + bd.solver)
+
+    def test_transfer_time(self, pm):
+        assert pm.transfer_time(12e9) == pytest.approx(1.0)
+
+    def test_dc_vectors_cost_more(self, pm):
+        assert pm.dc_time(8192, want_vectors=True) > pm.dc_time(8192, want_vectors=False)
+
+    def test_sbr_breakdown_by_tag(self, pm):
+        bd = pm.sbr_time(8192, 128, 1024, method="wy", engine="tc", panel="tsqr")
+        assert bd.gemm == pytest.approx(sum(bd.gemm_by_tag.values()))
+        assert "wy_oaw" in bd.gemm_by_tag

@@ -1,0 +1,124 @@
+"""Tests for the end-to-end EVD drivers (the paper's §6.4 case study)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import eigh
+
+from repro.errors import ConfigurationError
+from repro.eig import syevd_1stage, syevd_2stage
+from repro.gemm import Fp64Engine
+from repro.matrices import generate_symmetric
+from repro.metrics import eigenvalue_error
+from tests.conftest import random_symmetric
+
+
+class TestSyevd2Stage:
+    @pytest.mark.parametrize("method", ["wy", "zy"])
+    def test_fp64_matches_lapack(self, rng, method):
+        a = random_symmetric(96, rng)
+        res = syevd_2stage(a, b=8, nb=32, method=method, precision="fp64")
+        ref = np.linalg.eigvalsh(a)
+        np.testing.assert_allclose(res.eigenvalues, ref, atol=1e-11)
+        x = res.eigenvectors
+        np.testing.assert_allclose(x.T @ x, np.eye(96), atol=1e-11)
+        np.testing.assert_allclose(a @ x, x * res.eigenvalues, atol=1e-10)
+
+    def test_values_only(self, rng):
+        a = random_symmetric(64, rng)
+        res = syevd_2stage(a, b=8, nb=16, want_vectors=False, precision="fp64")
+        assert res.eigenvectors is None
+        np.testing.assert_allclose(res.eigenvalues, np.linalg.eigvalsh(a), atol=1e-11)
+
+    @pytest.mark.parametrize("solver", ["dc", "ql"])
+    def test_tridiag_solver_choice(self, rng, solver):
+        a = random_symmetric(48, rng)
+        res = syevd_2stage(a, b=4, nb=16, tridiag_solver=solver, precision="fp64")
+        np.testing.assert_allclose(res.eigenvalues, np.linalg.eigvalsh(a), atol=1e-11)
+
+    def test_bisect_values_only(self, rng):
+        a = random_symmetric(48, rng)
+        res = syevd_2stage(a, b=4, nb=16, tridiag_solver="bisect", want_vectors=False, precision="fp64")
+        np.testing.assert_allclose(res.eigenvalues, np.linalg.eigvalsh(a), atol=1e-9)
+
+    def test_bisect_with_vectors_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            syevd_2stage(random_symmetric(32, rng), b=4, tridiag_solver="bisect")
+
+    def test_bad_method(self, rng):
+        with pytest.raises(ConfigurationError):
+            syevd_2stage(random_symmetric(32, rng), b=4, method="xy")
+
+    def test_default_nb(self, rng):
+        a = random_symmetric(64, rng)
+        res = syevd_2stage(a, b=8, precision="fp64")  # nb defaults to 4b = 32
+        np.testing.assert_allclose(res.eigenvalues, np.linalg.eigvalsh(a), atol=1e-11)
+
+    def test_fp16_tc_accuracy_level(self, rng):
+        a, lam_true = generate_symmetric(128, distribution="arith", cond=1e3, rng=rng)
+        res = syevd_2stage(a, b=8, nb=32, precision="fp16_tc", want_vectors=False)
+        err = eigenvalue_error(lam_true, res.eigenvalues)
+        # Paper Table 4: normalized error ~1e-5 at their scale; anything
+        # below 1e-4 passes here, and it must be clearly worse than fp32.
+        assert err < 1e-4
+        res32 = syevd_2stage(a, b=8, nb=32, precision="fp32", want_vectors=False)
+        assert eigenvalue_error(lam_true, res32.eigenvalues) < err
+
+    def test_ec_tc_close_to_fp32(self, rng):
+        a, lam_true = generate_symmetric(96, distribution="geo", cond=1e2, rng=rng)
+        err_ec = eigenvalue_error(
+            lam_true, syevd_2stage(a, b=8, nb=32, precision="fp16_ec_tc", want_vectors=False).eigenvalues
+        )
+        err_tc = eigenvalue_error(
+            lam_true, syevd_2stage(a, b=8, nb=32, precision="fp16_tc", want_vectors=False).eigenvalues
+        )
+        assert err_ec < err_tc / 10
+
+    def test_explicit_engine_overrides_precision(self, rng):
+        a = random_symmetric(48, rng)
+        eng = Fp64Engine(record=True)
+        res = syevd_2stage(a, b=4, nb=16, engine=eng, precision="fp16_tc")
+        assert res.engine is eng
+        assert len(eng.trace) > 0
+        np.testing.assert_allclose(res.eigenvalues, np.linalg.eigvalsh(a), atol=1e-11)
+
+    def test_record_trace(self, rng):
+        a = random_symmetric(48, rng)
+        res = syevd_2stage(a, b=4, nb=16, precision="fp32", record_trace=True)
+        assert res.engine.trace is not None and len(res.engine.trace) > 0
+
+    def test_result_contains_band_and_tridiagonal(self, rng):
+        a = random_symmetric(48, rng)
+        res = syevd_2stage(a, b=4, nb=16, precision="fp64")
+        assert res.sbr is not None and res.sbr.bandwidth == 4
+        d, e = res.tridiagonal
+        assert d.shape == (48,) and e.shape == (47,)
+
+    def test_eigh_agreement_with_vectors_subspace(self, rng):
+        # For well-separated eigenvalues, eigenvectors match LAPACK's up to
+        # sign.
+        a, _ = generate_symmetric(32, distribution="arith", cond=10, rng=rng)
+        res = syevd_2stage(a, b=4, nb=8, precision="fp64")
+        lam_ref, v_ref = eigh(a)
+        overlap = np.abs(np.sum(res.eigenvectors * v_ref, axis=0))
+        np.testing.assert_allclose(overlap, 1.0, atol=1e-8)
+
+
+class TestSyevd1Stage:
+    def test_matches_lapack(self, rng):
+        a = random_symmetric(64, rng)
+        res = syevd_1stage(a)
+        np.testing.assert_allclose(res.eigenvalues, np.linalg.eigvalsh(a), atol=1e-11)
+        x = res.eigenvectors
+        np.testing.assert_allclose(a @ x, x * res.eigenvalues, atol=1e-10)
+
+    def test_values_only(self, rng):
+        res = syevd_1stage(random_symmetric(32, rng), want_vectors=False)
+        assert res.eigenvectors is None
+
+    def test_agrees_with_2stage(self, rng):
+        a = random_symmetric(72, rng)
+        lam1 = syevd_1stage(a, want_vectors=False).eigenvalues
+        lam2 = syevd_2stage(a, b=8, nb=24, precision="fp64", want_vectors=False).eigenvalues
+        np.testing.assert_allclose(lam1, lam2, atol=1e-11)

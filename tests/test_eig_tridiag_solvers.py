@@ -1,0 +1,261 @@
+"""Tests for the tridiagonal eigensolvers: QL, secular/D&C, Sturm bisection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ShapeError
+from repro.eig import (
+    eigvals_bisect,
+    secular_eig,
+    solve_secular,
+    sturm_count,
+    tridiag_eig_dc,
+    tridiag_eig_ql,
+)
+from repro.la import tridiag_to_dense
+
+
+def _random_tridiag(n, rng):
+    return rng.standard_normal(n), rng.standard_normal(max(n - 1, 0))
+
+
+def _check_solution(d, e, lam, v, *, atol=1e-12):
+    t = tridiag_to_dense(d, e)
+    ref = np.linalg.eigvalsh(t)
+    np.testing.assert_allclose(lam, ref, atol=atol * 10 * max(1.0, np.abs(ref).max()))
+    assert np.all(np.diff(lam) >= -1e-12)
+    if v is not None:
+        n = d.size
+        np.testing.assert_allclose(v.T @ v, np.eye(n), atol=1e-11)
+        np.testing.assert_allclose(t @ v, v * lam, atol=1e-10 * max(1.0, np.abs(ref).max()))
+
+
+class TestQL:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 64, 150])
+    def test_random(self, rng, n):
+        d, e = _random_tridiag(n, rng)
+        lam, v = tridiag_eig_ql(d, e)
+        _check_solution(d, e, lam, v)
+
+    def test_values_only(self, rng):
+        d, e = _random_tridiag(20, rng)
+        lam, v = tridiag_eig_ql(d, e, want_vectors=False)
+        assert v is None
+        _check_solution(d, e, lam, None)
+
+    def test_diagonal_input(self):
+        lam, v = tridiag_eig_ql([3.0, 1.0, 2.0], [0.0, 0.0])
+        np.testing.assert_array_equal(lam, [1, 2, 3])
+        np.testing.assert_allclose(np.abs(v), np.eye(3)[:, [1, 2, 0]], atol=1e-15)
+
+    def test_z0_premultiplication(self, rng):
+        d, e = _random_tridiag(12, rng)
+        z0 = rng.standard_normal((5, 12))
+        lam, v0 = tridiag_eig_ql(d, e, z0=z0)
+        _, v = tridiag_eig_ql(d, e)
+        np.testing.assert_allclose(v0, z0 @ v, atol=1e-10)
+
+    def test_z0_shape_check(self, rng):
+        d, e = _random_tridiag(6, rng)
+        with pytest.raises(ShapeError):
+            tridiag_eig_ql(d, e, z0=np.eye(5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            tridiag_eig_ql([1.0, 2.0], [1.0, 2.0])
+
+    def test_constant_diagonal(self, rng):
+        # Known spectrum: d + 2 e cos(k pi / (n+1)).
+        n = 50
+        lam, _ = tridiag_eig_ql(np.full(n, 2.0), np.full(n - 1, -1.0), want_vectors=False)
+        k = np.arange(1, n + 1)
+        expected = 2.0 - 2.0 * np.cos(k * np.pi / (n + 1))
+        np.testing.assert_allclose(np.sort(lam), np.sort(expected), atol=1e-12)
+
+
+class TestSecular:
+    def _problem(self, n, rng, *, min_gap=1e-8):
+        d = np.sort(rng.standard_normal(n))
+        while n > 1 and np.min(np.diff(d)) < min_gap:
+            d = np.sort(rng.standard_normal(n))
+        z = rng.standard_normal(n)
+        z[np.abs(z) < 1e-3] = 1e-3
+        return d, z
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 40, 150])
+    @pytest.mark.parametrize("rho", [0.5, 2.0, -0.75])
+    def test_eigendecomposition(self, rng, n, rho):
+        d, z = self._problem(n, rng)
+        m = np.diag(d) + rho * np.outer(z, z)
+        lam, v = secular_eig(d, z, rho)
+        np.testing.assert_allclose(lam, np.linalg.eigvalsh(m), atol=1e-11)
+        np.testing.assert_allclose(v.T @ v, np.eye(n), atol=1e-12)
+        np.testing.assert_allclose(m @ v, v * lam, atol=1e-9)
+
+    def test_interlacing(self, rng):
+        d, z = self._problem(20, rng)
+        lam, anchor, offset = solve_secular(d, z, 1.5)
+        assert np.all(lam[:-1] > d[:-1]) and np.all(lam[:-1] < d[1:])
+        assert lam[-1] > d[-1]
+        np.testing.assert_allclose(d[anchor] + offset, lam, rtol=0, atol=1e-12)
+
+    def test_tight_gaps(self, rng):
+        gaps = 10.0 ** rng.uniform(-12, 0, 39)
+        d = np.concatenate([[0.0], np.cumsum(gaps)])
+        z = rng.standard_normal(40)
+        m = np.diag(d) + np.outer(z, z)
+        lam, v = secular_eig(d, z, 1.0)
+        np.testing.assert_allclose(lam, np.linalg.eigvalsh(m), atol=1e-11)
+        np.testing.assert_allclose(v.T @ v, np.eye(40), atol=1e-11)
+
+    def test_rho_zero(self, rng):
+        d, z = self._problem(8, rng)
+        lam, v = secular_eig(d, z, 0.0)
+        np.testing.assert_array_equal(lam, d)
+        np.testing.assert_array_equal(v, np.eye(8))
+
+    def test_values_only(self, rng):
+        d, z = self._problem(10, rng)
+        lam, v = secular_eig(d, z, 1.0, want_vectors=False)
+        assert v is None
+        assert lam.shape == (10,)
+
+    def test_solve_secular_requires_positive_rho(self, rng):
+        d, z = self._problem(5, rng)
+        with pytest.raises(ShapeError):
+            solve_secular(d, z, -1.0)
+
+    def test_solve_secular_requires_sorted(self, rng):
+        with pytest.raises(ShapeError):
+            solve_secular(np.array([1.0, 0.0]), np.ones(2), 1.0)
+
+    def test_large_rho_dominates(self, rng):
+        # For huge rho the top eigenvalue tends to rho ||z||^2.
+        d, z = self._problem(10, rng)
+        rho = 1e6
+        lam, _ = secular_eig(d, z, rho, want_vectors=False)
+        assert lam[-1] == pytest.approx(rho * (z @ z), rel=1e-3)
+
+
+class TestDC:
+    @pytest.mark.parametrize("n", [1, 2, 5, 31, 32, 33, 100, 257])
+    def test_random(self, rng, n):
+        d, e = _random_tridiag(n, rng)
+        lam, v = tridiag_eig_dc(d, e)
+        _check_solution(d, e, lam, v)
+
+    def test_values_only(self, rng):
+        d, e = _random_tridiag(64, rng)
+        lam, v = tridiag_eig_dc(d, e, want_vectors=False)
+        assert v is None
+        _check_solution(d, e, lam, None)
+
+    @pytest.mark.parametrize("cutoff", [3, 8, 64])
+    def test_cutoff_invariance(self, rng, cutoff):
+        d, e = _random_tridiag(60, rng)
+        lam, v = tridiag_eig_dc(d, e, cutoff=cutoff)
+        _check_solution(d, e, lam, v)
+
+    def test_bad_cutoff(self, rng):
+        d, e = _random_tridiag(10, rng)
+        with pytest.raises(ShapeError):
+            tridiag_eig_dc(d, e, cutoff=2)
+
+    def test_zero_offdiagonal_split(self, rng):
+        d, e = _random_tridiag(64, rng)
+        e[31] = 0.0  # exactly at the tear point
+        lam, v = tridiag_eig_dc(d, e)
+        _check_solution(d, e, lam, v)
+
+    def test_clustered_spectrum_deflation(self, rng):
+        n = 120
+        d = np.ones(n) + 1e-13 * rng.standard_normal(n)
+        e = 1e-11 * rng.standard_normal(n - 1)
+        lam, v = tridiag_eig_dc(d, e)
+        _check_solution(d, e, lam, v)
+
+    def test_wilkinson_glued(self, rng):
+        n = 126
+        d = np.tile(np.abs(np.arange(-10, 11)), 6).astype(float)
+        e = np.ones(n - 1)
+        lam, v = tridiag_eig_dc(d, e)
+        _check_solution(d, e, lam, v)
+
+    def test_negative_offdiagonals(self, rng):
+        d = rng.standard_normal(40)
+        e = -np.abs(rng.standard_normal(39))
+        lam, v = tridiag_eig_dc(d, e)
+        _check_solution(d, e, lam, v)
+
+    def test_matches_ql(self, rng):
+        d, e = _random_tridiag(80, rng)
+        lam_dc, _ = tridiag_eig_dc(d, e, want_vectors=False)
+        lam_ql, _ = tridiag_eig_ql(d, e, want_vectors=False)
+        np.testing.assert_allclose(lam_dc, lam_ql, atol=1e-11)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            tridiag_eig_dc([1.0], [1.0])
+
+
+class TestSturm:
+    def test_count_monotone(self, rng):
+        d, e = _random_tridiag(30, rng)
+        xs = np.linspace(-6, 6, 50)
+        counts = sturm_count(d, e, xs)
+        assert np.all(np.diff(counts) >= 0)
+        assert counts[0] == 0 and counts[-1] == 30
+
+    def test_count_matches_reference(self, rng):
+        d, e = _random_tridiag(25, rng)
+        ref = np.linalg.eigvalsh(tridiag_to_dense(d, e))
+        for x in (-1.0, 0.0, 0.5, 2.0):
+            assert int(sturm_count(d, e, x)) == int(np.sum(ref < x))
+
+    def test_count_scalar_shape(self, rng):
+        d, e = _random_tridiag(10, rng)
+        assert np.ndim(sturm_count(d, e, 0.0)) == 0
+
+    def test_bisect_all(self, rng):
+        d, e = _random_tridiag(40, rng)
+        lam = eigvals_bisect(d, e)
+        ref = np.linalg.eigvalsh(tridiag_to_dense(d, e))
+        np.testing.assert_allclose(lam, ref, atol=1e-10)
+
+    def test_bisect_select_range(self, rng):
+        d, e = _random_tridiag(30, rng)
+        ref = np.linalg.eigvalsh(tridiag_to_dense(d, e))
+        lam = eigvals_bisect(d, e, select=(5, 12))
+        np.testing.assert_allclose(lam, ref[5:12], atol=1e-10)
+
+    def test_bisect_interval(self, rng):
+        d, e = _random_tridiag(30, rng)
+        ref = np.linalg.eigvalsh(tridiag_to_dense(d, e))
+        lam = eigvals_bisect(d, e, interval=(-0.5, 1.5))
+        expected = ref[(ref > -0.5) & (ref <= 1.5)]
+        np.testing.assert_allclose(lam, expected, atol=1e-9)
+
+    def test_bisect_empty_selection(self, rng):
+        d, e = _random_tridiag(10, rng)
+        assert eigvals_bisect(d, e, select=(3, 3)).size == 0
+
+    def test_bisect_select_and_interval_conflict(self, rng):
+        d, e = _random_tridiag(10, rng)
+        with pytest.raises(ShapeError):
+            eigvals_bisect(d, e, select=(0, 2), interval=(0.0, 1.0))
+
+    def test_bisect_out_of_range_select(self, rng):
+        d, e = _random_tridiag(10, rng)
+        with pytest.raises(ShapeError):
+            eigvals_bisect(d, e, select=(0, 11))
+
+    def test_bisect_matches_dc(self, rng):
+        d, e = _random_tridiag(50, rng)
+        lam_b = eigvals_bisect(d, e)
+        lam_dc, _ = tridiag_eig_dc(d, e, want_vectors=False)
+        np.testing.assert_allclose(lam_b, lam_dc, atol=1e-9)
+
+    def test_single_element(self):
+        np.testing.assert_allclose(eigvals_bisect([4.0], []), [4.0], atol=1e-12)

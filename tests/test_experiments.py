@@ -1,0 +1,160 @@
+"""Tests for the experiment harness: each table/figure driver runs and
+reports the paper's qualitative structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentResult, available_experiments, run_experiment
+from repro.experiments.runner import _EXPERIMENTS
+
+
+class TestRunner:
+    def test_all_experiments_registered(self):
+        assert set(available_experiments()) == {
+            "table1", "table2", "table3", "table4",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "ablation_syr2k", "ablation_q_method", "ablation_panel",
+            "ablation_precision", "ablation_recursive_qr",
+            "ablation_scaling", "ablation_evd_vectors", "ablation_accumulator",
+        }
+
+    def test_ablations_run_through_registry(self):
+        res = run_experiment("ablation_syr2k", sizes=(8192,))
+        assert res.name == "ablation_syr2k" and len(res.rows) == 1
+        res = run_experiment("ablation_recursive_qr", shapes=((8192, 4096),))
+        assert res.rows[0]["speedup"] > 1.0
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_result_markdown(self):
+        res = ExperimentResult(name="x", title="t", columns=["a", "b"])
+        res.add_row(a=1, b=2.5)
+        res.notes.append("note")
+        md = res.to_markdown()
+        assert "| a | b |" in md and "| 1 | 2.500 |" in md and "- note" in md
+
+    def test_result_column_access(self):
+        res = ExperimentResult(name="x", title="t", columns=["a"])
+        res.add_row(a=1)
+        res.add_row(a=2)
+        assert res.column("a") == [1, 2]
+
+    def test_cell_formatting(self):
+        res = ExperimentResult(name="x", title="t", columns=["v"])
+        res.add_row(v=1.23456e-8)
+        assert "1.235e-08" in res.to_markdown()
+
+
+class TestModelExperiments:
+    def test_table1_model_matches_paper(self):
+        res = run_experiment("table1")
+        assert len(res.rows) == 8
+        for row in res.rows:
+            assert row["tc_ts_model"] == pytest.approx(row["tc_ts_paper"], rel=1e-9)
+            assert row["sgemm_outer_model"] == pytest.approx(row["sgemm_outer_paper"], rel=1e-9)
+
+    def test_table2_matches_paper_baseline(self):
+        res = run_experiment("table2", n=32768, b=128, nb_values=(128,))
+        zy = next(r for r in res.rows if r["algorithm"] == "ZY")
+        wy = next(r for r in res.rows if r["algorithm"] == "WY")
+        assert zy["flops_1e14"] == pytest.approx(0.70, abs=0.02)
+        assert wy["flops_1e14"] == pytest.approx(0.93, abs=0.02)
+
+    def test_fig5_sweet_spot(self):
+        res = run_experiment("fig5")
+        times = {r["nb"]: r["gemm_time_s"] for r in res.rows}
+        assert min(times, key=times.get) == 1024
+
+    def test_fig6_crossover(self):
+        res = run_experiment("fig6")
+        ratios = {r["n"]: r["zy_over_wy"] for r in res.rows}
+        assert ratios[4096] < 1 < ratios[32768]
+
+    def test_fig7_zy_wins(self):
+        res = run_experiment("fig7")
+        assert all(r["zy_over_wy"] < 1 for r in res.rows)
+
+    def test_fig8_tsqr_wins(self):
+        res = run_experiment("fig8")
+        assert all(r["speedup_vs_magma"] > 2 for r in res.rows)
+
+    def test_fig9_ablation_ordering(self):
+        res = run_experiment("fig9", sizes=(32768,))
+        row = res.rows[0]
+        assert row["tc_tsqr_s"] < row["no_tsqr_s"] < row["magma_s"] < row["no_tc_s"]
+
+    def test_fig10_speedups(self):
+        res = run_experiment("fig10", sizes=(32768,))
+        row = res.rows[0]
+        assert row["speedup_wy_vs_magma"] > 2
+        assert row["speedup_ec_vs_magma"] > 1
+        assert row["speedup_wy_vs_zy"] > 1
+
+    def test_fig11_speedup_band(self):
+        res = run_experiment("fig11", sizes=(16384,))
+        assert 1.2 < res.rows[0]["speedup"] < 3.0
+
+
+class TestNumericExperiments:
+    def test_table3_errors_bounded_by_tc_eps(self):
+        res = run_experiment("table3", n=96, b=8, nb=32)
+        assert len(res.rows) == 10
+        for row in res.rows:
+            assert row["backward_error"] < 5e-4   # TC machine epsilon
+            assert row["orthogonality"] < 5e-4
+
+    def test_table3_fp64_is_exact(self):
+        res = run_experiment("table3", n=64, b=8, nb=16, precision="fp64")
+        for row in res.rows:
+            assert row["backward_error"] < 1e-13
+
+    def test_table4_tc_worse_than_fp32(self):
+        res = run_experiment("table4", n=96, b=8, nb=32)
+        assert len(res.rows) == 10
+        for row in res.rows:
+            assert row["tensor_core"] < 1e-4
+            assert row["fp32_magma_like"] < row["tensor_core"]
+
+    def test_table3_row_labels(self):
+        res = run_experiment("table3", n=64, b=8, nb=16)
+        labels = [r["matrix"] for r in res.rows]
+        assert labels[0] == "Normal" and "SVD_Geo 1e5" in labels
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table3" in out
+
+    def test_run_selected_ci(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--scale", "ci", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "gemm_time_s" in out
+
+    def test_unknown_name_errors(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestCliOutput:
+    def test_output_file_written(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_file = tmp_path / "report.md"
+        assert main(["--scale", "ci", "--output", str(out_file), "table1", "fig5"]) == 0
+        capsys.readouterr()
+        text = out_file.read_text()
+        assert "# Reproduction output" in text
+        assert "table1" in text and "fig5" in text

@@ -1,0 +1,182 @@
+"""Tests for GEMM trace records, aggregation, and engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gemm import (
+    EcTensorCoreEngine,
+    Fp64Engine,
+    GemmRecord,
+    GemmTrace,
+    SgemmEngine,
+    TensorCoreEngine,
+    make_engine,
+)
+from repro.gemm.engine import PlainEngine
+from repro.precision import Precision
+
+
+class TestGemmRecord:
+    def test_flops(self):
+        assert GemmRecord(3, 4, 5).flops == 2 * 3 * 4 * 5
+
+    def test_min_dim(self):
+        assert GemmRecord(100, 7, 50).min_dim == 7
+
+    def test_shape(self):
+        assert GemmRecord(2, 3, 4).shape == (2, 3, 4)
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_rejects_nonpositive_dims(self, bad):
+        with pytest.raises(ValueError):
+            GemmRecord(*bad)
+
+    def test_frozen(self):
+        rec = GemmRecord(1, 2, 3)
+        with pytest.raises(AttributeError):
+            rec.m = 5
+
+
+class TestGemmTrace:
+    def test_record_and_len(self):
+        tr = GemmTrace()
+        tr.record(2, 3, 4, tag="a")
+        tr.record(5, 6, 7, tag="b")
+        assert len(tr) == 2
+
+    def test_total_flops(self):
+        tr = GemmTrace()
+        tr.record(2, 3, 4)
+        tr.record(1, 1, 1)
+        assert tr.total_flops == 48 + 2
+
+    def test_by_tag(self):
+        tr = GemmTrace()
+        tr.record(2, 2, 2, tag="x")
+        tr.record(3, 3, 3, tag="y")
+        tr.record(4, 4, 4, tag="x")
+        assert len(tr.by_tag("x")) == 2
+        assert tr.tags() == {"x": 2, "y": 1}
+
+    def test_flops_by_tag(self):
+        tr = GemmTrace()
+        tr.record(2, 2, 2, tag="x")
+        tr.record(2, 2, 2, tag="x")
+        assert tr.flops_by_tag() == {"x": 32}
+
+    def test_shape_multiset_order_insensitive(self):
+        t1, t2 = GemmTrace(), GemmTrace()
+        t1.record(2, 3, 4)
+        t1.record(5, 6, 7)
+        t2.record(5, 6, 7)
+        t2.record(2, 3, 4)
+        assert t1.shape_multiset() == t2.shape_multiset()
+
+    def test_extend_with_trace_and_iterable(self):
+        t1, t2 = GemmTrace(), GemmTrace()
+        t1.record(1, 1, 1)
+        t2.record(2, 2, 2)
+        t1.extend(t2)
+        t1.extend([GemmRecord(3, 3, 3)])
+        assert len(t1) == 3
+
+    def test_filter(self):
+        tr = GemmTrace()
+        tr.record(10, 10, 10, tag="big")
+        tr.record(1, 1, 1, tag="small")
+        assert len(tr.filter(lambda r: r.flops > 100)) == 1
+
+    def test_summary_mentions_tags(self):
+        tr = GemmTrace()
+        tr.record(8, 8, 8, tag="trailing")
+        s = tr.summary()
+        assert "trailing" in s and "1 calls" in s
+
+    def test_iteration_and_indexing(self):
+        tr = GemmTrace()
+        tr.record(1, 2, 3, tag="t")
+        assert list(tr)[0].tag == "t"
+        assert tr[0].shape == (1, 2, 3)
+
+
+class TestEngines:
+    @pytest.mark.parametrize(
+        "engine_cls", [SgemmEngine, Fp64Engine, TensorCoreEngine, EcTensorCoreEngine, PlainEngine]
+    )
+    def test_gemm_shape(self, rng, engine_cls):
+        eng = engine_cls()
+        a = rng.standard_normal((6, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        assert eng.gemm(a, b).shape == (6, 5)
+
+    def test_recording(self, rng):
+        eng = SgemmEngine(record=True)
+        eng.gemm(rng.standard_normal((3, 4)), rng.standard_normal((4, 5)), tag="t")
+        assert len(eng.trace) == 1
+        assert eng.trace[0] == GemmRecord(3, 5, 4, tag="t", engine="sgemm")
+
+    def test_no_recording_by_default(self, rng):
+        eng = SgemmEngine()
+        eng.gemm(rng.standard_normal((3, 4)), rng.standard_normal((4, 5)))
+        assert eng.trace is None
+
+    def test_reset_trace(self, rng):
+        eng = SgemmEngine(record=True)
+        eng.gemm(rng.standard_normal((3, 3)), rng.standard_normal((3, 3)))
+        eng.reset_trace()
+        assert len(eng.trace) == 0
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            SgemmEngine().gemm(rng.standard_normal((3, 4)), rng.standard_normal((5, 6)))
+
+    def test_sgemm_returns_float32(self, rng):
+        out = SgemmEngine().gemm(rng.standard_normal((3, 3)), rng.standard_normal((3, 3)))
+        assert out.dtype == np.float32
+
+    def test_fp64_returns_float64(self, rng):
+        out = Fp64Engine().gemm(
+            rng.standard_normal((3, 3)).astype(np.float32),
+            rng.standard_normal((3, 3)).astype(np.float32),
+        )
+        assert out.dtype == np.float64
+
+    def test_plain_preserves_dtype(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert PlainEngine().gemm(a, a).dtype == np.float64
+        assert PlainEngine().gemm(a.astype(np.float32), a.astype(np.float32)).dtype == np.float32
+
+    def test_tc_engine_error_level(self, rng):
+        a = rng.standard_normal((32, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 32)).astype(np.float32)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        err_tc = np.abs(TensorCoreEngine().gemm(a, b) - exact).max()
+        err_ec = np.abs(EcTensorCoreEngine().gemm(a, b) - exact).max()
+        assert err_tc > 100 * err_ec
+
+    def test_tc_engine_tf32_format(self, rng):
+        eng = TensorCoreEngine(operand_format="tf32")
+        assert eng.precision is Precision.TF32_TC
+
+    def test_make_engine_dispatch(self):
+        assert isinstance(make_engine("fp32"), SgemmEngine)
+        assert isinstance(make_engine("fp64"), Fp64Engine)
+        assert isinstance(make_engine("fp16_tc"), TensorCoreEngine)
+        assert isinstance(make_engine("fp16_ec_tc"), EcTensorCoreEngine)
+        assert isinstance(make_engine(Precision.BF16_TC), TensorCoreEngine)
+
+    def test_make_engine_records(self, rng):
+        eng = make_engine("fp32", record=True)
+        eng.gemm(rng.standard_normal((2, 2)), rng.standard_normal((2, 2)))
+        assert len(eng.trace) == 1
+
+    def test_make_engine_unknown(self):
+        with pytest.raises(ValueError):
+            make_engine("fp12")
+
+    def test_working_dtype(self):
+        assert make_engine("fp64").working_dtype == np.float64
+        assert make_engine("fp16_tc").working_dtype == np.float32

@@ -1,0 +1,226 @@
+"""Tests for Householder QR, blocked QR, TSQR, and WY reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SingularMatrixError
+from repro.gemm import Fp64Engine, SgemmEngine
+from repro.la import (
+    blocked_qr,
+    build_wy,
+    householder_qr,
+    lu_nopivot,
+    qr_explicit,
+    reconstruct_wy,
+    solve_lower_unit,
+    solve_upper,
+    solve_upper_right,
+    tsqr,
+    wy_matrix,
+)
+from tests.conftest import assert_orthonormal_columns, assert_upper_triangular
+
+
+class TestHouseholderQR:
+    @pytest.mark.parametrize("m,n", [(8, 8), (20, 5), (100, 3), (7, 1)])
+    def test_factorization(self, rng, m, n):
+        a = rng.standard_normal((m, n))
+        v_cols, betas, r = householder_qr(a)
+        w, y = build_wy(v_cols, betas)
+        q_thin = wy_matrix(w, y)[:, :n]
+        np.testing.assert_allclose(q_thin @ r, a, atol=1e-12)
+        assert_upper_triangular(r)
+
+    def test_v_unit_lower(self, rng):
+        v_cols, _, _ = householder_qr(rng.standard_normal((10, 4)))
+        for j in range(4):
+            assert v_cols[j, j] == 1.0
+            np.testing.assert_array_equal(v_cols[:j, j], 0)
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ShapeError):
+            householder_qr(rng.standard_normal((3, 5)))
+
+    def test_rank_deficient_still_factors(self, rng):
+        a = np.zeros((8, 3))
+        a[:, 0] = rng.standard_normal(8)
+        a[:, 1] = 2 * a[:, 0]
+        v_cols, betas, r = householder_qr(a)
+        w, y = build_wy(v_cols, betas)
+        np.testing.assert_allclose(wy_matrix(w, y)[:, :3] @ r, a, atol=1e-12)
+
+
+class TestBlockedQR:
+    @pytest.mark.parametrize("block", [1, 2, 3, 8, 100])
+    def test_matches_unblocked(self, rng, block):
+        a = rng.standard_normal((24, 10))
+        vu, bu, ru = householder_qr(a)
+        vb, bb, rb = blocked_qr(a, block=block, engine=Fp64Engine())
+        np.testing.assert_allclose(rb, ru, atol=1e-12)
+        np.testing.assert_allclose(vb, vu, atol=1e-12)
+
+    def test_records_trailing_gemms(self, rng):
+        eng = Fp64Engine(record=True)
+        blocked_qr(rng.standard_normal((32, 16)), block=8, engine=eng)
+        tags = eng.trace.tags()
+        assert tags["qr_trailing"] == 2 * 1  # hmm: panels with trailing: 1 per non-final panel
+
+    def test_bad_block(self, rng):
+        with pytest.raises(ShapeError):
+            blocked_qr(rng.standard_normal((8, 4)), block=0)
+
+
+class TestQrExplicit:
+    @pytest.mark.parametrize("m,n", [(12, 12), (30, 8), (64, 16)])
+    def test_factorization(self, rng, m, n):
+        a = rng.standard_normal((m, n))
+        q, r = qr_explicit(a, engine=Fp64Engine())
+        np.testing.assert_allclose(q @ r, a, atol=1e-12)
+        assert_orthonormal_columns(q)
+        assert_upper_triangular(r)
+
+    def test_matches_numpy_up_to_signs(self, rng):
+        a = rng.standard_normal((20, 6))
+        q, r = qr_explicit(a, engine=Fp64Engine())
+        q_np, r_np = np.linalg.qr(a)
+        signs = np.sign(np.diagonal(r)) * np.sign(np.diagonal(r_np))
+        np.testing.assert_allclose(q * signs, q_np, atol=1e-12)
+
+
+class TestTSQR:
+    @pytest.mark.parametrize("m,n,leaf", [(64, 8, None), (100, 5, 20), (33, 4, 8), (256, 16, 32), (16, 16, None)])
+    def test_factorization(self, rng, m, n, leaf):
+        a = rng.standard_normal((m, n))
+        q, r = tsqr(a, leaf_rows=leaf, engine=Fp64Engine())
+        np.testing.assert_allclose(q @ r, a, atol=1e-11)
+        assert_orthonormal_columns(q, atol=1e-11)
+        assert_upper_triangular(r)
+
+    def test_single_leaf(self, rng):
+        a = rng.standard_normal((10, 4))
+        q, r = tsqr(a, leaf_rows=100, engine=Fp64Engine())
+        np.testing.assert_allclose(q @ r, a, atol=1e-12)
+
+    def test_r_matches_householder_up_to_signs(self, rng):
+        a = rng.standard_normal((80, 6))
+        _, r_tree = tsqr(a, leaf_rows=20, engine=Fp64Engine())
+        _, _, r_flat = householder_qr(a)
+        np.testing.assert_allclose(np.abs(r_tree), np.abs(r_flat), atol=1e-11)
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ShapeError):
+            tsqr(rng.standard_normal((3, 6)))
+
+    def test_rejects_small_leaf(self, rng):
+        with pytest.raises(ShapeError):
+            tsqr(rng.standard_normal((20, 6)), leaf_rows=4)
+
+    def test_records_merge_gemms(self, rng):
+        eng = Fp64Engine(record=True)
+        tsqr(rng.standard_normal((64, 4)), leaf_rows=16, engine=eng)
+        assert eng.trace.tags()["tsqr"] > 0
+
+    def test_float32_input(self, rng):
+        a = rng.standard_normal((40, 6)).astype(np.float32)
+        q, r = tsqr(a, engine=SgemmEngine())
+        assert q.dtype == np.float32
+        np.testing.assert_allclose(q @ r, a, atol=1e-4)
+
+
+class TestLU:
+    def test_factorization(self, rng):
+        a = rng.standard_normal((8, 8)) + 8 * np.eye(8)
+        l, u = lu_nopivot(a)
+        np.testing.assert_allclose(l @ u, a, atol=1e-12)
+        np.testing.assert_array_equal(np.triu(l, 1), 0)
+        np.testing.assert_array_equal(np.diagonal(l), 1)
+        np.testing.assert_array_equal(np.tril(u, -1), 0)
+
+    def test_singular_raises(self):
+        a = np.ones((3, 3))  # rank 1 -> zero pivot at step 1
+        with pytest.raises(SingularMatrixError):
+            lu_nopivot(a)
+
+    def test_zero_leading_pivot(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(SingularMatrixError):
+            lu_nopivot(a)
+
+    def test_pivot_tolerance(self):
+        a = np.diag([1.0, 1e-14, 1.0])
+        lu_nopivot(a)  # fine with tol 0
+        with pytest.raises(SingularMatrixError):
+            lu_nopivot(a, pivot_tol=1e-10)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ShapeError):
+            lu_nopivot(rng.standard_normal((3, 4)))
+
+    def test_solve_lower_unit(self, rng):
+        l = np.tril(rng.standard_normal((6, 6)), -1) + np.eye(6)
+        b = rng.standard_normal((6, 3))
+        np.testing.assert_allclose(l @ solve_lower_unit(l, b), b, atol=1e-12)
+
+    def test_solve_upper(self, rng):
+        u = np.triu(rng.standard_normal((6, 6))) + 6 * np.eye(6)
+        b = rng.standard_normal((6, 2))
+        np.testing.assert_allclose(u @ solve_upper(u, b), b, atol=1e-12)
+
+    def test_solve_upper_right(self, rng):
+        u = np.triu(rng.standard_normal((5, 5))) + 5 * np.eye(5)
+        b = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(solve_upper_right(b, u) @ u, b, atol=1e-12)
+
+    @pytest.mark.parametrize("fn", [solve_lower_unit, solve_upper])
+    def test_solve_shape_mismatch(self, rng, fn):
+        with pytest.raises(ShapeError):
+            fn(rng.standard_normal((4, 4)), rng.standard_normal((5, 2)))
+
+
+class TestReconstructWY:
+    @pytest.mark.parametrize("m,n", [(8, 8), (40, 6), (128, 16), (9, 2)])
+    def test_reconstruction_exact(self, rng, m, n):
+        a = rng.standard_normal((m, n))
+        q, r = tsqr(a, engine=Fp64Engine())
+        w, y, s = reconstruct_wy(q, engine=Fp64Engine())
+        q_full = wy_matrix(w, y)
+        # (I - W Y^T)[:, :n] == Q S
+        np.testing.assert_allclose(q_full[:, :n], q * s, atol=1e-12)
+        # Full matrix orthogonal.
+        np.testing.assert_allclose(q_full.T @ q_full, np.eye(m), atol=1e-12)
+        # And the original factorization is recovered with flipped R.
+        np.testing.assert_allclose(q_full[:, :n] @ (s[:, None] * r), a, atol=1e-11)
+
+    def test_y_unit_lower_trapezoidal(self, rng):
+        q, _ = tsqr(rng.standard_normal((20, 5)), engine=Fp64Engine())
+        _, y, _ = reconstruct_wy(q, engine=Fp64Engine())
+        for j in range(5):
+            assert y[j, j] == 1.0
+            np.testing.assert_array_equal(y[:j, j], 0)
+
+    def test_signs_are_unit(self, rng):
+        q, _ = tsqr(rng.standard_normal((30, 4)), engine=Fp64Engine())
+        _, _, s = reconstruct_wy(q, engine=Fp64Engine())
+        np.testing.assert_array_equal(np.abs(s), 1)
+
+    def test_static_sign_choice_would_fail(self, rng):
+        # Regression guard for the on-the-fly sign choice: with enough
+        # columns, at least one sign decision differs from sign(diag(Q)),
+        # and the reconstruction stays exact anyway.
+        a = rng.standard_normal((60, 12))
+        q, _ = tsqr(a, engine=Fp64Engine())
+        w, y, s = reconstruct_wy(q, engine=Fp64Engine())
+        q_full = wy_matrix(w, y)
+        assert np.abs(q_full[:, :12] - q * s).max() < 1e-12
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ShapeError):
+            reconstruct_wy(rng.standard_normal((3, 5)))
+
+    def test_records_gemm(self, rng):
+        q, _ = tsqr(rng.standard_normal((20, 4)), engine=Fp64Engine())
+        eng = Fp64Engine(record=True)
+        reconstruct_wy(q, engine=eng)
+        assert eng.trace.tags()["reconstruct"] == 1

@@ -1,0 +1,96 @@
+"""Tests for the LOBPCG iterative eigensolver (paper §7 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eig import lobpcg
+from repro.errors import ConfigurationError, ConvergenceError, ShapeError
+from repro.gemm import Fp64Engine, SgemmEngine
+from repro.matrices import generate_symmetric
+from tests.conftest import random_symmetric
+
+
+class TestLobpcg:
+    def test_largest_eigenpairs(self, rng):
+        a, lam_true = generate_symmetric(160, distribution="geo", cond=1e4,
+                                         signs="positive", rng=rng)
+        lam, x, its = lobpcg(a, 5, largest=True, rng=rng)
+        np.testing.assert_allclose(lam, lam_true[-5:], atol=1e-8)
+        np.testing.assert_allclose(x.T @ x, np.eye(5), atol=1e-10)
+        assert its < 100
+
+    def test_smallest_eigenpairs_arith(self, rng):
+        a, lam_true = generate_symmetric(120, distribution="arith", cond=100,
+                                         signs="positive", rng=rng)
+        lam, x, _ = lobpcg(a, 4, rng=rng, tol=1e-7, max_iter=400)
+        np.testing.assert_allclose(lam, lam_true[:4], atol=1e-7)
+        resid = np.abs(a @ x - x * lam).max()
+        assert resid < 1e-5
+
+    def test_preconditioner_accelerates(self, rng):
+        import networkx as nx
+
+        g = nx.grid_2d_graph(10, 10)
+        l_mat = nx.laplacian_matrix(g).toarray().astype(float) + 0.1 * np.eye(100)
+        dinv = 1.0 / np.diagonal(l_mat)
+        _, _, its_pc = lobpcg(
+            l_mat, 3, preconditioner=lambda r: r * dinv[:, None],
+            rng=rng, max_iter=800, tol=1e-6,
+        )
+        _, _, its_plain = lobpcg(l_mat, 3, rng=rng, max_iter=800, tol=1e-6)
+        assert its_pc <= its_plain * 1.5  # never much worse, usually better
+
+    def test_initial_guess_speeds_convergence(self, rng):
+        a, _ = generate_symmetric(100, distribution="arith", cond=50,
+                                  signs="positive", rng=rng)
+        lam_ref, v_ref = np.linalg.eigh(a)
+        x0 = v_ref[:, :3] + 1e-4 * rng.standard_normal((100, 3))
+        lam, _, its_warm = lobpcg(a, 3, x0=x0, rng=rng, tol=1e-8, max_iter=500)
+        _, _, its_cold = lobpcg(a, 3, rng=rng, tol=1e-8, max_iter=500)
+        assert its_warm <= its_cold
+        np.testing.assert_allclose(lam, lam_ref[:3], atol=1e-9)
+
+    def test_matches_dense_solver(self, rng):
+        a = random_symmetric(90, rng)
+        lam, x, _ = lobpcg(a, 4, largest=True, rng=rng, tol=1e-8, max_iter=500)
+        ref = np.linalg.eigvalsh(a)[-4:]
+        np.testing.assert_allclose(lam, ref, atol=1e-7)
+
+    def test_engine_routing_and_tags(self, rng):
+        a, _ = generate_symmetric(64, distribution="arith", cond=10,
+                                  signs="positive", rng=rng)
+        eng = Fp64Engine(record=True)
+        lobpcg(a, 3, largest=True, engine=eng, rng=rng, tol=1e-7)
+        tags = eng.trace.tags()
+        assert tags["lobpcg_ax"] > 0 and tags["lobpcg_project"] > 0
+
+    def test_fp32_engine_reaches_fp32_tolerance(self, rng):
+        a, lam_true = generate_symmetric(96, distribution="arith", cond=10,
+                                         signs="positive", rng=rng)
+        lam, _, _ = lobpcg(a, 3, largest=True, engine=SgemmEngine(), rng=rng,
+                           tol=1e-5, max_iter=300)
+        np.testing.assert_allclose(lam, lam_true[-3:], atol=1e-3)
+
+    def test_convergence_error(self, rng):
+        a, _ = generate_symmetric(120, distribution="geo", cond=1e6,
+                                  signs="positive", rng=rng)
+        with pytest.raises(ConvergenceError):
+            lobpcg(a, 3, rng=rng, tol=1e-14, max_iter=3)
+
+    def test_k_validation(self, rng):
+        a = random_symmetric(12, rng)
+        with pytest.raises(ShapeError):
+            lobpcg(a, 0)
+        with pytest.raises(ShapeError):
+            lobpcg(a, 5)  # 3k > n
+
+    def test_x0_shape_validation(self, rng):
+        a = random_symmetric(30, rng)
+        with pytest.raises(ShapeError):
+            lobpcg(a, 3, x0=np.ones((30, 2)))
+
+    def test_max_iter_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            lobpcg(random_symmetric(30, rng), 3, max_iter=0)

@@ -1,0 +1,144 @@
+"""Tests for spectrum distributions and symmetric matrix generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.matrices import (
+    DISTRIBUTIONS,
+    MatrixSpec,
+    TABLE_MATRIX_SPECS,
+    generate_symmetric,
+    make_spectrum,
+    random_orthogonal,
+)
+from repro.matrices.generate import generate_from_spec
+
+
+class TestSpectra:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_positive_and_bounded(self, rng, name):
+        s = make_spectrum(name, 100, cond=1e4, rng=rng)
+        assert s.shape == (100,)
+        assert np.all(s > 0)
+        assert np.all(s <= 1.0 + 1e-6)  # cluster modes add 1e-8 jitter
+
+    @pytest.mark.parametrize("name", ["arith", "geo", "cluster0", "cluster1"])
+    @pytest.mark.parametrize("cond", [1e1, 1e3, 1e5])
+    def test_condition_number(self, rng, name, cond):
+        s = make_spectrum(name, 64, cond=cond, rng=rng)
+        achieved = s.max() / s.min()
+        assert achieved == pytest.approx(cond, rel=1e-4)
+
+    def test_arith_is_arithmetic(self, rng):
+        s = make_spectrum("arith", 10, cond=100, rng=rng)
+        np.testing.assert_allclose(np.diff(s), np.diff(s)[0], rtol=1e-10)
+
+    def test_geo_is_geometric(self, rng):
+        s = make_spectrum("geo", 10, cond=100, rng=rng)
+        ratios = s[1:] / s[:-1]
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-10)
+
+    def test_cluster0_shape(self, rng):
+        s = make_spectrum("cluster0", 50, cond=1e5, rng=rng)
+        assert s[0] == 1.0
+        assert np.all(np.abs(s[1:] * 1e5 - 1.0) < 1e-4)
+
+    def test_cluster1_shape(self, rng):
+        s = make_spectrum("cluster1", 50, cond=1e5, rng=rng)
+        assert np.sum(s < 0.5) == 1
+
+    def test_unknown_distribution(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_spectrum("zipf", 10, rng=rng)
+
+    def test_bad_cond(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_spectrum("geo", 10, cond=0.5, rng=rng)
+
+    def test_bad_n(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_spectrum("normal", 0, rng=rng)
+
+    def test_n_equals_one(self, rng):
+        for name in DISTRIBUTIONS:
+            s = make_spectrum(name, 1, cond=10.0, rng=rng)
+            assert s.shape == (1,)
+
+    def test_deterministic_given_rng(self):
+        s1 = make_spectrum("normal", 20, rng=np.random.default_rng(5))
+        s2 = make_spectrum("normal", 20, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(s1, s2)
+
+
+class TestRandomOrthogonal:
+    @pytest.mark.parametrize("n", [1, 2, 10, 50])
+    def test_orthogonal(self, rng, n):
+        q = random_orthogonal(n, rng=rng)
+        np.testing.assert_allclose(q @ q.T, np.eye(n), atol=1e-12)
+
+    def test_haar_sign_fix(self):
+        # With the Mezzadri fix the diagonal of R is positive, so repeated
+        # draws should have dets of both signs (Haar property).
+        rng = np.random.default_rng(0)
+        dets = [np.sign(np.linalg.det(random_orthogonal(5, rng=rng))) for _ in range(20)]
+        assert len(set(dets)) == 2
+
+    def test_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            random_orthogonal(0)
+
+
+class TestGenerateSymmetric:
+    def test_symmetric_and_spectrum(self, rng):
+        a, lam = generate_symmetric(32, distribution="arith", cond=1e3, rng=rng)
+        np.testing.assert_array_equal(a, a.T)
+        np.testing.assert_allclose(np.linalg.eigvalsh(a), lam, atol=1e-12)
+
+    def test_lam_sorted(self, rng):
+        _, lam = generate_symmetric(16, rng=rng)
+        assert np.all(np.diff(lam) >= 0)
+
+    def test_positive_signs(self, rng):
+        _, lam = generate_symmetric(16, signs="positive", rng=rng)
+        assert np.all(lam > 0)
+
+    def test_random_signs_indefinite(self, rng):
+        _, lam = generate_symmetric(64, signs="random", rng=rng)
+        assert np.any(lam < 0) and np.any(lam > 0)
+
+    def test_condition_number(self, rng):
+        a, lam = generate_symmetric(32, distribution="geo", cond=1e4, signs="positive", rng=rng)
+        assert np.linalg.cond(a) == pytest.approx(1e4, rel=1e-3)
+
+    def test_bad_signs(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_symmetric(8, signs="negative", rng=rng)
+
+    def test_dtype(self, rng):
+        a, _ = generate_symmetric(8, dtype=np.float32, rng=rng)
+        assert a.dtype == np.float32
+
+
+class TestTableSpecs:
+    def test_ten_rows(self):
+        assert len(TABLE_MATRIX_SPECS) == 10
+
+    def test_labels_match_paper(self):
+        labels = [s.label for s in TABLE_MATRIX_SPECS]
+        assert labels[0] == "Normal"
+        assert "SVD_Arith 1e5" in labels
+        assert "SVD_Geo 1e3" in labels
+
+    def test_generate_from_spec(self, rng):
+        spec = MatrixSpec("test", "geo", 1e3)
+        a, lam = generate_from_spec(spec, 24, rng=rng)
+        assert a.shape == (24, 24)
+        assert lam.shape == (24,)
+
+    def test_all_specs_generate(self, rng):
+        for spec in TABLE_MATRIX_SPECS:
+            a, _ = generate_from_spec(spec, 16, rng=rng)
+            np.testing.assert_array_equal(a, a.T)

@@ -1,0 +1,141 @@
+"""Tests for accuracy metrics and operation-count formulas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices import random_orthogonal
+from repro.metrics import (
+    backward_error,
+    eigenvalue_error,
+    formw_flops,
+    gemm_flops,
+    orthogonality_error,
+    sbr_wy_flops,
+    sbr_zy_flops,
+)
+from repro.metrics.flops import panel_qr_flops, panel_wy_build_flops
+from tests.conftest import random_symmetric
+
+
+class TestBackwardError:
+    def test_exact_decomposition_is_zero(self, rng):
+        a = random_symmetric(12, rng)
+        q = random_orthogonal(12, rng=rng)
+        b = q.T @ a @ q
+        assert backward_error(a, q, b) < 1e-15
+
+    def test_scales_with_perturbation(self, rng):
+        a = random_symmetric(10, rng)
+        q = random_orthogonal(10, rng=rng)
+        b = q.T @ a @ q
+        b_pert = b + 1e-3 * random_symmetric(10, rng)
+        assert backward_error(a, q, b_pert) > 1e-6
+
+    def test_normalization_by_n(self, rng):
+        # E_b divides by N * ||A||_F: doubling the perturbation doubles E_b.
+        a = random_symmetric(10, rng)
+        q = np.eye(10)
+        p = random_symmetric(10, rng)
+        e1 = backward_error(a, q, a + 1e-4 * p)
+        e2 = backward_error(a, q, a + 2e-4 * p)
+        assert e2 == pytest.approx(2 * e1, rel=1e-6)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            backward_error(random_symmetric(4, rng), np.eye(5), random_symmetric(4, rng))
+
+
+class TestOrthogonalityError:
+    def test_orthogonal_is_zero(self, rng):
+        q = random_orthogonal(20, rng=rng)
+        assert orthogonality_error(q) < 1e-15
+
+    def test_scaled_matrix_nonzero(self, rng):
+        q = 1.001 * random_orthogonal(10, rng=rng)
+        assert orthogonality_error(q) > 1e-5
+
+    def test_identity(self):
+        assert orthogonality_error(np.eye(7)) == 0.0
+
+
+class TestEigenvalueError:
+    def test_identical_spectra(self, rng):
+        d = rng.standard_normal(30)
+        assert eigenvalue_error(d, d) == 0.0
+
+    def test_order_insensitive(self, rng):
+        d = rng.standard_normal(30)
+        assert eigenvalue_error(d, d[::-1]) == 0.0
+
+    def test_perturbation_scale(self, rng):
+        d = np.sort(rng.standard_normal(16))
+        d2 = d + 1e-5
+        err = eigenvalue_error(d, d2)
+        assert 0 < err < 1e-4
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            eigenvalue_error(rng.standard_normal(4), rng.standard_normal(5))
+
+
+class TestFlopFormulas:
+    def test_gemm_flops(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_panel_qr_formula(self):
+        # Square QR: 2 n^2 (n - n/3) = (4/3) n^3.
+        n = 30
+        assert panel_qr_flops(n, n) == pytest.approx((4 / 3) * n**3, rel=1e-6)
+
+    def test_panel_wy_formula(self):
+        assert panel_wy_build_flops(100, 10) == 2 * 100 * 100
+
+    def test_table2_zy_value(self):
+        # Paper Table 2: ZY at n=32768, b=128 counts 0.70e14 operations.
+        assert sbr_zy_flops(32768, 128) / 1e14 == pytest.approx(0.70, abs=0.02)
+
+    def test_table2_wy_nb128_value(self):
+        # Paper Table 2: WY at nb=128 counts 0.93e14 operations.
+        assert sbr_wy_flops(32768, 128, 128) / 1e14 == pytest.approx(0.93, abs=0.02)
+
+    def test_wy_flops_increase_with_nb(self):
+        vals = [sbr_wy_flops(16384, 128, nb) for nb in (128, 512, 2048, 4096)]
+        assert all(v2 > v1 for v1, v2 in zip(vals, vals[1:]))
+
+    def test_wy_exceeds_zy(self):
+        for nb in (128, 1024):
+            assert sbr_wy_flops(8192, 128, nb) > sbr_zy_flops(8192, 128)
+
+    def test_zy_leading_order_2n3(self):
+        # GEMM-only ZY flops tend to 2 n^3 (no syr2k symmetry on TC).
+        n = 16384
+        assert sbr_zy_flops(n, 128, include_panel=False) == pytest.approx(
+            2 * n**3, rel=0.03
+        )
+
+    def test_want_q_adds_flops(self):
+        base = sbr_zy_flops(4096, 64)
+        with_q = sbr_zy_flops(4096, 64, want_q=True)
+        assert with_q > base
+
+    def test_panel_toggle(self):
+        assert sbr_wy_flops(2048, 32, 128, include_panel=False) < sbr_wy_flops(2048, 32, 128)
+
+    def test_formw_flops_positive(self):
+        blocks = [(128, 128), (256, 128), (384, 128)]
+        assert formw_flops(4096, blocks) > 0
+        assert formw_flops(4096, blocks, method="forward") > 0
+
+    def test_flops_match_traced_gemms(self):
+        # The GEMM part of the analytic count must equal the symbolic trace.
+        from repro.gemm.symbolic import trace_sbr_wy, trace_sbr_zy
+
+        n, b, nb = 1024, 32, 128
+        assert sbr_zy_flops(n, b, include_panel=False) == trace_sbr_zy(n, b, want_q=False).total_flops
+        assert (
+            sbr_wy_flops(n, b, nb, include_panel=False)
+            == trace_sbr_wy(n, b, nb, want_q=False).total_flops
+        )

@@ -1,0 +1,178 @@
+"""Property-based tests for the extension packages (svd, refine, qdwh,
+recursive QR, syr2k)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.eig.qdwh import qdwh_polar
+from repro.gemm import Fp64Engine
+from repro.la import recursive_qr, wy_matrix
+from repro.refine import refine_eigenpairs
+from repro.svd import randomized_svd, svd_via_evd
+
+
+class TestRecursiveQrProperties:
+    @given(
+        m=st.integers(2, 48),
+        n=st.integers(1, 24),
+        leaf=st.integers(1, 16),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_factorization_identity(self, m, n, leaf, seed):
+        if m < n:
+            m, n = n, m
+        a = np.random.default_rng(seed).standard_normal((m, n))
+        w, y, r = recursive_qr(a, leaf_cols=leaf, engine=Fp64Engine())
+        q = wy_matrix(w, y)
+        assert np.allclose(q[:, :n] @ r, a, atol=1e-9)
+        assert np.allclose(q.T @ q, np.eye(m), atol=1e-9)
+        assert np.allclose(np.tril(r, -1), 0, atol=1e-11)
+
+
+class TestQdwhProperties:
+    @given(
+        n=st.integers(1, 20),
+        log_cond=st.floats(0, 8),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_polar_invariants(self, n, log_cond, seed):
+        g = np.random.default_rng(seed)
+        u0, _ = np.linalg.qr(g.standard_normal((n, n)))
+        v0, _ = np.linalg.qr(g.standard_normal((n, n)))
+        s = np.geomspace(1.0, 10.0 ** (-log_cond), n)
+        a = (u0 * s) @ v0.T
+        u, h, its = qdwh_polar(a)
+        assert its <= 10
+        assert np.allclose(u.T @ u, np.eye(n), atol=1e-10)
+        assert np.allclose(u @ h, a, atol=1e-9)
+        assert np.linalg.eigvalsh(h).min() > -1e-10
+
+
+class TestSvdProperties:
+    @given(
+        m=st.integers(2, 36),
+        n=st.integers(2, 24),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_jordan_wielandt_reconstructs(self, m, n, seed):
+        a = np.random.default_rng(seed).standard_normal((m, n))
+        u, s, vt = svd_via_evd(a, precision="fp64")
+        assert np.allclose((u * s) @ vt, a, atol=1e-8)
+        assert np.all(s >= -1e-12)
+        assert np.all(np.diff(s) <= 1e-10)
+
+    @given(
+        m=st.integers(10, 50),
+        rank=st.integers(1, 6),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_randomized_svd_exact_on_low_rank(self, m, rank, seed):
+        g = np.random.default_rng(seed)
+        n = max(rank + 2, m // 2)
+        a = g.standard_normal((m, rank)) @ g.standard_normal((rank, n))
+        u, s, vt = randomized_svd(a, rank, rng=g)
+        denom = max(np.linalg.norm(a), 1e-12)
+        assert np.linalg.norm(a - (u * s) @ vt) / denom < 1e-8
+
+
+class TestRefineProperties:
+    @given(
+        n=st.integers(4, 40),
+        noise_exp=st.floats(-6, -2),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_refinement_contracts_residual(self, n, noise_exp, seed):
+        g = np.random.default_rng(seed)
+        a = g.standard_normal((n, n))
+        a = (a + a.T) / 2
+        lam_ref, v_ref = np.linalg.eigh(a)
+        # Perturb the exact eigenvectors and refine back.
+        x0 = v_ref + 10.0**noise_exp * g.standard_normal((n, n))
+        lam, x = refine_eigenpairs(a, x0, iterations=2)
+        resid0 = float(np.abs(a @ x0 - x0 * lam_ref).max())
+        resid = float(np.abs(a @ x - x * lam).max())
+        assert resid < max(resid0 / 10, 1e-10 * max(1.0, np.abs(a).max()))
+
+
+class TestSyr2kProperties:
+    @given(
+        m=st.integers(1, 20),
+        k=st.integers(1, 10),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_syr2k_symmetric_and_correct(self, m, k, seed):
+        g = np.random.default_rng(seed)
+        y = g.standard_normal((m, k))
+        z = g.standard_normal((m, k))
+        out = Fp64Engine().syr2k(y, z)
+        assert np.array_equal(out, out.T)
+        assert np.allclose(out, y @ z.T + z @ y.T, atol=1e-10)
+
+
+class TestBidiagProperties:
+    @given(
+        m=st.integers(1, 30),
+        n=st.integers(1, 20),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_svd_direct_reconstructs(self, m, n, seed):
+        from repro.svd import svd_direct
+
+        a = np.random.default_rng(seed).standard_normal((m, n))
+        u, s, vt = svd_direct(a)
+        k = min(m, n)
+        scale = max(float(np.abs(a).max()), 1.0)
+        assert np.allclose((u * s) @ vt, a, atol=1e-9 * scale)
+        assert np.allclose(u.T @ u, np.eye(k), atol=1e-9)
+        assert np.allclose(vt @ vt.T, np.eye(k), atol=1e-9)
+        assert np.all(s >= -1e-12) and np.all(np.diff(s) <= 1e-9 * scale)
+
+    @given(
+        m=st.integers(2, 30),
+        rank=st.integers(1, 5),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_svd_direct_rank_detection(self, m, rank, seed):
+        from repro.svd import svd_direct
+
+        g = np.random.default_rng(seed)
+        n = min(m, rank + 3)
+        rank = min(rank, n)
+        a = g.standard_normal((m, rank)) @ g.standard_normal((rank, n))
+        _, s, _ = svd_direct(a)
+        smax = float(s.max(initial=0.0))
+        if smax > 1e-8:
+            assert int(np.sum(s > 1e-9 * smax * max(m, n))) <= rank + 0
+
+
+class TestLobpcgProperties:
+    @given(
+        n=st.integers(12, 60),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_largest_pairs_residual(self, n, k, seed):
+        from repro.eig import lobpcg
+        from repro.errors import ConvergenceError
+
+        g = np.random.default_rng(seed)
+        a = g.standard_normal((n, n))
+        a = (a + a.T) / 2
+        try:
+            lam, x, _ = lobpcg(a, k, largest=True, rng=g, tol=1e-6, max_iter=500)
+        except ConvergenceError:
+            return  # pathologically clustered top — acceptable to bail
+        scale = max(float(np.abs(a).max()), 1.0)
+        assert np.abs(a @ x - x * lam).max() < 1e-3 * scale
+        assert np.allclose(x.T @ x, np.eye(k), atol=1e-8)

@@ -1,0 +1,97 @@
+"""Tests for the recursive QR factorization (paper ref [41] lineage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import PerfModel
+from repro.errors import ShapeError
+from repro.experiments.ablations import run_recursive_qr_study
+from repro.gemm import Fp64Engine
+from repro.la import recursive_qr, trace_recursive_qr, wy_matrix
+from repro.la.recursive_qr import trace_blocked_qr
+
+
+class TestRecursiveQr:
+    @pytest.mark.parametrize(
+        "m,n,leaf", [(64, 64, 8), (100, 40, 8), (50, 50, 64), (33, 17, 4), (16, 1, 4), (40, 40, 1)]
+    )
+    def test_factorization(self, rng, m, n, leaf):
+        a = rng.standard_normal((m, n))
+        w, y, r = recursive_qr(a, leaf_cols=leaf, engine=Fp64Engine())
+        q = wy_matrix(w, y)
+        np.testing.assert_allclose(q[:, :n] @ r, a, atol=1e-11)
+        np.testing.assert_allclose(q.T @ q, np.eye(m), atol=1e-12)
+        np.testing.assert_allclose(np.tril(r, -1), 0, atol=1e-13)
+
+    def test_matches_blocked_qr_r_factor(self, rng):
+        from repro.la import blocked_qr
+
+        a = rng.standard_normal((48, 24))
+        _, _, r_rec = recursive_qr(a, leaf_cols=4, engine=Fp64Engine())
+        _, _, r_blk = blocked_qr(a, block=4, engine=Fp64Engine())
+        # Same algorithm family, same sign conventions at the leaves.
+        np.testing.assert_allclose(np.abs(r_rec), np.abs(r_blk), atol=1e-11)
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ShapeError):
+            recursive_qr(rng.standard_normal((4, 8)))
+
+    def test_rejects_bad_leaf(self, rng):
+        with pytest.raises(ShapeError):
+            recursive_qr(rng.standard_normal((8, 4)), leaf_cols=0)
+
+    def test_float32_flow(self, rng):
+        a = rng.standard_normal((40, 20)).astype(np.float32)
+        w, y, r = recursive_qr(a, leaf_cols=4)
+        assert w.dtype == np.float32
+        q = wy_matrix(w.astype(np.float64), y.astype(np.float64))
+        np.testing.assert_allclose(q[:, :20] @ r, a, atol=1e-4)
+
+
+class TestRecursiveQrTraces:
+    def test_symbolic_matches_recorded(self, rng):
+        eng = Fp64Engine(record=True)
+        recursive_qr(rng.standard_normal((128, 64)), leaf_cols=8, engine=eng)
+        rec = eng.trace.filter(lambda r: r.tag.startswith("rqr"))
+        sym = trace_recursive_qr(128, 64, leaf_cols=8)
+        assert rec.shape_multiset_by_tag() == sym.shape_multiset_by_tag()
+
+    def test_leaf_only_has_no_gemms(self):
+        assert len(trace_recursive_qr(64, 16, leaf_cols=16)) == 0
+
+    def test_recursive_inner_dims_grow(self):
+        tr = trace_recursive_qr(1024, 1024, leaf_cols=32)
+        # The top-level update has inner dimension n/2 = 512.
+        assert max(r.k for r in tr.by_tag("rqr_update")) >= 512
+
+    def test_blocked_inner_dims_fixed(self):
+        tb = trace_blocked_qr(1024, 1024, block=32)
+        assert all(min(r.shape) <= 32 for r in tb)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            trace_recursive_qr(8, 16)
+        with pytest.raises(ShapeError):
+            trace_blocked_qr(8, 16)
+
+
+class TestRecursiveQrStudy:
+    def test_ref41_headline(self):
+        # Recursion beats blocked QR on the model, more so at larger n —
+        # the qualitative result of the paper's ref [41].
+        res = run_recursive_qr_study(shapes=((32768, 4096), (32768, 32768)))
+        speedups = [r["speedup"] for r in res.rows]
+        assert all(s > 1.2 for s in speedups)
+        assert speedups[-1] > speedups[0]
+
+    def test_recursion_does_more_flops(self):
+        res = run_recursive_qr_study(shapes=((16384, 16384),))
+        row = res.rows[0]
+        assert row["recursive_tflop"] > row["blocked_tflop"]
+
+    def test_model_times_positive(self):
+        pm = PerfModel()
+        t = pm.trace_time(trace_recursive_qr(8192, 2048, leaf_cols=128), "tc")
+        assert t > 0

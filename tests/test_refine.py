@@ -1,0 +1,119 @@
+"""Tests for mixed-precision eigenpair refinement (the approximate-iterate
+scheme of the paper's §1/§7 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eig import syevd_2stage
+from repro.errors import ConfigurationError, ShapeError
+from repro.matrices import generate_symmetric
+from repro.metrics import eigenvalue_error, orthogonality_error
+from repro.refine import rayleigh_refine, refine_eigenpairs, refined_syevd
+from tests.conftest import random_symmetric
+
+
+class TestRefineEigenpairs:
+    @pytest.mark.parametrize(
+        "dist,cond",
+        [("geo", 1e3), ("arith", 1e5), ("cluster1", 1e5), ("cluster0", 1e5), ("normal", 1.0)],
+    )
+    def test_two_sweeps_reach_fp64(self, dist, cond):
+        rng = np.random.default_rng(17)
+        a, lam_true = generate_symmetric(96, distribution=dist, cond=cond, rng=rng)
+        base = syevd_2stage(a, b=8, nb=32, precision="fp16_tc")
+        lam, x = refine_eigenpairs(a, base.eigenvectors, iterations=2)
+        assert eigenvalue_error(lam_true, lam) < 1e-12
+        assert orthogonality_error(x) < 1e-10
+        assert float(np.abs(a @ x - x * lam).max()) < 1e-9
+
+    def test_quadratic_convergence(self, rng):
+        a, lam_true = generate_symmetric(80, distribution="uniform", rng=rng)
+        base = syevd_2stage(a, b=8, nb=16, precision="fp16_tc")
+        errs = []
+        for it in (0, 1, 2):
+            lam, x = refine_eigenpairs(a, base.eigenvectors, iterations=it)
+            errs.append(float(np.abs(a @ x - x * lam).max()))
+        assert errs[1] < errs[0] / 10
+        assert errs[2] < errs[1] / 10
+
+    def test_zero_iterations_is_rayleigh_cleanup(self, rng):
+        a = random_symmetric(32, rng)
+        base = syevd_2stage(a, b=4, nb=8, precision="fp32")
+        lam, x = refine_eigenpairs(a, base.eigenvectors, iterations=0)
+        assert lam.shape == (32,)
+        assert np.all(np.diff(lam) >= -1e-12)
+
+    def test_exact_input_stays_exact(self, rng):
+        a = random_symmetric(48, rng)
+        lam_ref, v_ref = np.linalg.eigh(a)
+        lam, x = refine_eigenpairs(a, v_ref, iterations=1)
+        np.testing.assert_allclose(lam, lam_ref, atol=1e-12)
+        assert orthogonality_error(x) < 1e-13
+
+    def test_shape_checks(self, rng):
+        a = random_symmetric(8, rng)
+        with pytest.raises(ShapeError):
+            refine_eigenpairs(a, np.eye(6))
+        with pytest.raises(ShapeError):
+            refine_eigenpairs(a, np.eye(8), iterations=-1)
+
+    def test_explicit_cluster_tol(self, rng):
+        a, _ = generate_symmetric(48, distribution="cluster1", cond=1e5, rng=rng)
+        base = syevd_2stage(a, b=4, nb=16, precision="fp32")
+        lam, x = refine_eigenpairs(a, base.eigenvectors, iterations=2, cluster_tol=1e-6)
+        assert float(np.abs(a @ x - x * lam).max()) < 1e-8
+
+
+class TestRayleighRefine:
+    def test_converges_cubically(self, rng):
+        a, lam_true = generate_symmetric(64, distribution="arith", cond=100, rng=rng)
+        _, v_ref = np.linalg.eigh(a)
+        x0 = v_ref[:, -1] + 1e-3 * rng.standard_normal(64)
+        lam, x = rayleigh_refine(a, x0, iterations=3)
+        assert abs(lam - lam_true[-1]) < 1e-12
+        assert float(np.abs(a @ x - lam * x).max()) < 1e-10
+
+    def test_exact_start(self, rng):
+        a = random_symmetric(16, rng)
+        lam_ref, v_ref = np.linalg.eigh(a)
+        lam, x = rayleigh_refine(a, v_ref[:, 0])
+        assert abs(lam - lam_ref[0]) < 1e-12
+
+    def test_rejects_zero_vector(self, rng):
+        with pytest.raises(ShapeError):
+            rayleigh_refine(random_symmetric(8, rng), np.zeros(8))
+
+    def test_rejects_wrong_shape(self, rng):
+        with pytest.raises(ShapeError):
+            rayleigh_refine(random_symmetric(8, rng), np.ones(9))
+
+
+class TestRefinedSyevd:
+    def test_tc_pipeline_reaches_fp64(self):
+        rng = np.random.default_rng(23)
+        a, lam_true = generate_symmetric(96, distribution="geo", cond=1e3, rng=rng)
+        res = refined_syevd(a, b=8, nb=32, precision="fp16_tc", refine_iterations=2)
+        assert eigenvalue_error(lam_true, res.eigenvalues) < 1e-12
+        x = res.eigenvectors
+        assert float(np.abs(a @ x - x * res.eigenvalues).max()) < 1e-9
+
+    def test_beats_unrefined_by_many_digits(self):
+        rng = np.random.default_rng(29)
+        a, lam_true = generate_symmetric(64, distribution="uniform", rng=rng)
+        raw = syevd_2stage(a, b=8, nb=16, precision="fp16_tc")
+        ref = refined_syevd(a, b=8, nb=16, precision="fp16_tc", refine_iterations=2)
+        e_raw = eigenvalue_error(lam_true, raw.eigenvalues)
+        e_ref = eigenvalue_error(lam_true, ref.eigenvalues)
+        assert e_ref < e_raw / 1e3
+
+    def test_keeps_intermediates(self, rng):
+        a = random_symmetric(48, rng)
+        res = refined_syevd(a, b=4, nb=16, precision="fp32", refine_iterations=1)
+        assert res.sbr is not None
+        assert res.tridiagonal[0].shape == (48,)
+
+    def test_rejects_negative_iterations(self, rng):
+        with pytest.raises(ConfigurationError):
+            refined_syevd(random_symmetric(16, rng), b=4, refine_iterations=-1)
