@@ -29,6 +29,7 @@ Package map
 - :mod:`repro.matrices` — test-matrix generation (Tables 3/4 classes)
 - :mod:`repro.metrics` — accuracy metrics and flop counts
 - :mod:`repro.device` — calibrated A100 performance model
+- :mod:`repro.obs` — telemetry: phase spans, run manifests, reports
 - :mod:`repro.experiments` — per-table/figure reproduction drivers
 """
 
@@ -73,6 +74,7 @@ from .svd import low_rank_approx, randomized_svd, svd_direct, svd_via_evd
 from .matrices import MatrixSpec, TABLE_MATRIX_SPECS, generate_symmetric
 from .metrics import backward_error, eigenvalue_error, orthogonality_error
 from .device import A100Spec, DeviceSpec, PerfModel
+from . import obs
 
 __version__ = "1.0.0"
 
@@ -129,5 +131,6 @@ __all__ = [
     "DeviceSpec",
     "A100Spec",
     "PerfModel",
+    "obs",
     "__version__",
 ]

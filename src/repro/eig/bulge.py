@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeError
+from ..obs import spans as obs
 from ..validation import as_symmetric_matrix
 
 __all__ = ["bulge_chase", "reduce_bandwidth"]
@@ -137,30 +138,34 @@ def reduce_bandwidth(
 
     # Peel the bandwidth one diagonal at a time: cur = current bandwidth.
     for cur in range(min(b, n - 1), target, -1):
-        for j in range(n - cur):
-            # Annihilate the band-edge entry A[j+cur, j], then chase the
-            # fill element it spawns every `cur` rows down the band.
-            col = j
-            r = j + cur
-            while r < n:
-                f_val = float(A[r - 1, col])
-                g_val = float(A[r, col])
-                if g_val == 0.0:
-                    break
-                c, s = _givens(f_val, g_val)
-                i, k = r - 1, r
-                # Window: all columns where rows (i, k) may be nonzero.
-                lo = max(col, 0)
-                hi = min(k + cur + 1, n)
-                _rot_rows(A, i, k, c, s, lo, hi)
-                _rot_cols(A, i, k, c, s, lo, hi)
-                if q is not None:
-                    _rot_cols(q, i, k, c, s, 0, n)
-                # The rotation spawned one fill element at (r + cur, r - 1)
-                # (both triangles); chase it: it is the next entry to kill,
-                # in column r - 1, `cur` rows below the one just zeroed.
-                A[k, col] = 0.0
-                A[col, k] = 0.0
-                col = r - 1
-                r = r + cur
+        with obs.span("bulge.sweep", bandwidth=cur) as sweep:
+            nrot = 0
+            for j in range(n - cur):
+                # Annihilate the band-edge entry A[j+cur, j], then chase the
+                # fill element it spawns every `cur` rows down the band.
+                col = j
+                r = j + cur
+                while r < n:
+                    f_val = float(A[r - 1, col])
+                    g_val = float(A[r, col])
+                    if g_val == 0.0:
+                        break
+                    c, s = _givens(f_val, g_val)
+                    i, k = r - 1, r
+                    nrot += 1
+                    # Window: all columns where rows (i, k) may be nonzero.
+                    lo = max(col, 0)
+                    hi = min(k + cur + 1, n)
+                    _rot_rows(A, i, k, c, s, lo, hi)
+                    _rot_cols(A, i, k, c, s, lo, hi)
+                    if q is not None:
+                        _rot_cols(q, i, k, c, s, 0, n)
+                    # The rotation spawned one fill element at (r + cur, r - 1)
+                    # (both triangles); chase it: it is the next entry to kill,
+                    # in column r - 1, `cur` rows below the one just zeroed.
+                    A[k, col] = 0.0
+                    A[col, k] = 0.0
+                    col = r - 1
+                    r = r + cur
+            sweep.count("rotations", nrot)
     return A, q

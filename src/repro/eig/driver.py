@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..gemm.engine import GemmEngine, make_engine
+from ..obs import spans as obs
 from ..precision.modes import Precision
 from ..sbr.panel import PanelStrategy
 from ..sbr.types import SbrResult
@@ -141,22 +142,27 @@ def syevd_2stage(
     check_blocksizes(n, b, nb if method == "wy" else None)
 
     eng = engine if engine is not None else make_engine(precision, record=record_trace)
-    if method == "wy":
-        sbr = sbr_wy(a, b, nb, engine=eng, panel=panel or "tsqr", want_q=want_vectors)
-    elif method == "zy":
-        sbr = sbr_zy(a, b, engine=eng, panel=panel or "blocked_qr", want_q=want_vectors)
-    else:
-        raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
+    with obs.span("syevd", n=n, b=b, nb=nb, method=method, solver=tridiag_solver):
+        with obs.span("sbr"):
+            if method == "wy":
+                sbr = sbr_wy(a, b, nb, engine=eng, panel=panel or "tsqr", want_q=want_vectors)
+            elif method == "zy":
+                sbr = sbr_zy(a, b, engine=eng, panel=panel or "blocked_qr", want_q=want_vectors)
+            else:
+                raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
 
-    # Stage 2 onward in float64 (host-side MAGMA stages in the paper).
-    band64 = np.asarray(sbr.band, dtype=np.float64)
-    d, e, q2 = bulge_chase(band64, b, want_q=want_vectors)
-    lam, v_tri = _solve_tridiagonal(d, e, tridiag_solver, want_vectors)
+        # Stage 2 onward in float64 (host-side MAGMA stages in the paper).
+        with obs.span("bulge"):
+            band64 = np.asarray(sbr.band, dtype=np.float64)
+            d, e, q2 = bulge_chase(band64, b, want_q=want_vectors)
+        with obs.span("tridiag_solve", solver=tridiag_solver):
+            lam, v_tri = _solve_tridiagonal(d, e, tridiag_solver, want_vectors)
 
-    x = None
-    if want_vectors:
-        # X = Q_sbr @ Q_bulge @ V_tri.
-        x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
+        x = None
+        if want_vectors:
+            with obs.span("back_transform"):
+                # X = Q_sbr @ Q_bulge @ V_tri.
+                x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
     return EvdResult(
         eigenvalues=lam,
         eigenvectors=x,
@@ -178,9 +184,13 @@ def syevd_1stage(
     correctness baseline the two-stage driver is validated against.
     """
     a = as_symmetric_matrix(a, dtype=np.float64)
-    d, e, q1 = householder_tridiagonalize(a, want_q=want_vectors)
-    lam, v_tri = _solve_tridiagonal(d, e, tridiag_solver, want_vectors)
-    x = q1 @ v_tri if want_vectors else None
+    with obs.span("syevd_1stage", n=a.shape[0], solver=tridiag_solver):
+        with obs.span("tridiagonalize"):
+            d, e, q1 = householder_tridiagonalize(a, want_q=want_vectors)
+        with obs.span("tridiag_solve", solver=tridiag_solver):
+            lam, v_tri = _solve_tridiagonal(d, e, tridiag_solver, want_vectors)
+        with obs.span("back_transform"):
+            x = q1 @ v_tri if want_vectors else None
     return EvdResult(
         eigenvalues=lam,
         eigenvectors=x,
@@ -234,23 +244,29 @@ def syevd_selected(
     check_blocksizes(n, b, nb if method == "wy" else None)
 
     eng = make_engine(precision)
-    if method == "wy":
-        sbr = sbr_wy(a, b, nb, engine=eng, panel="tsqr", want_q=want_vectors)
-    elif method == "zy":
-        sbr = sbr_zy(a, b, engine=eng, panel="blocked_qr", want_q=want_vectors)
-    else:
-        raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
+    with obs.span("syevd_selected", n=n, b=b, nb=nb, method=method):
+        with obs.span("sbr"):
+            if method == "wy":
+                sbr = sbr_wy(a, b, nb, engine=eng, panel="tsqr", want_q=want_vectors)
+            elif method == "zy":
+                sbr = sbr_zy(a, b, engine=eng, panel="blocked_qr", want_q=want_vectors)
+            else:
+                raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
 
-    band64 = np.asarray(sbr.band, dtype=np.float64)
-    d, e, q2 = bulge_chase(band64, b, want_q=want_vectors)
-    lam = eigvals_bisect(d, e, select=select, interval=interval)
+        with obs.span("bulge"):
+            band64 = np.asarray(sbr.band, dtype=np.float64)
+            d, e, q2 = bulge_chase(band64, b, want_q=want_vectors)
+        with obs.span("bisect"):
+            lam = eigvals_bisect(d, e, select=select, interval=interval)
 
-    x = None
-    if want_vectors and lam.size:
-        v_tri = tridiag_inverse_iteration(d, e, lam)
-        x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
-    elif want_vectors:
-        x = np.zeros((n, 0))
+        x = None
+        if want_vectors and lam.size:
+            with obs.span("inverse_iteration"):
+                v_tri = tridiag_inverse_iteration(d, e, lam)
+            with obs.span("back_transform"):
+                x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
+        elif want_vectors:
+            x = np.zeros((n, 0))
     return EvdResult(
         eigenvalues=lam,
         eigenvectors=x,

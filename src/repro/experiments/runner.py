@@ -6,6 +6,7 @@ import importlib
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
+from ..obs import spans as obs
 
 __all__ = ["ExperimentResult", "available_experiments", "run_experiment"]
 
@@ -113,13 +114,20 @@ def available_experiments() -> tuple[str, ...]:
 
 
 def run_experiment(name: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by name, forwarding keyword options to its ``run``."""
+    """Run one experiment by name, forwarding keyword options to its ``run``.
+
+    Each run executes under a telemetry span ``experiment.<name>``, so a
+    session collected around many experiments (``python -m
+    repro.experiments --manifest`` or the benchmark harness) yields a
+    per-experiment phase timeline in its manifest.
+    """
     if name not in _EXPERIMENTS:
         raise ConfigurationError(
             f"unknown experiment {name!r}; expected one of {_EXPERIMENTS}"
         )
-    if name in _ABLATION_FUNCS:
-        module = importlib.import_module(".ablations", __package__)
-        return getattr(module, _ABLATION_FUNCS[name])(**kwargs)
-    module = importlib.import_module(f".{name}", __package__)
-    return module.run(**kwargs)
+    with obs.span(f"experiment.{name}"):
+        if name in _ABLATION_FUNCS:
+            module = importlib.import_module(".ablations", __package__)
+            return getattr(module, _ABLATION_FUNCS[name])(**kwargs)
+        module = importlib.import_module(f".{name}", __package__)
+        return module.run(**kwargs)

@@ -7,16 +7,26 @@ for the performance model.
 
 Engines are deliberately *stateless* apart from the optional trace: they
 are cheap to construct and safe to share across calls of the same
-algorithm invocation (but not across threads while recording).
+algorithm invocation.  Trace appends are guarded by a per-engine lock,
+so concurrent threads may record through a shared engine; note that
+interleaved records then reflect thread scheduling, not program order.
+
+When a telemetry collector is active (:mod:`repro.obs`), every call is
+additionally timed and reported as a :class:`repro.obs.spans.GemmEvent`
+attributed to the enclosing phase span — the join between the semantic
+GEMM stream (tags) and the wall-clock timeline.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from abc import ABC, abstractmethod
 
 import numpy as np
 
 from ..errors import ShapeError
+from ..obs import spans as _obs
 from ..precision.ec_tcgemm import ec_tcgemm
 from ..precision.modes import Precision
 from ..precision.tcgemm import tcgemm
@@ -48,6 +58,7 @@ class GemmEngine(ABC):
 
     def __init__(self, *, record: bool = False) -> None:
         self.trace: GemmTrace | None = GemmTrace() if record else None
+        self._trace_lock = threading.Lock()
 
     @property
     def working_dtype(self) -> np.dtype:
@@ -75,11 +86,20 @@ class GemmEngine(ABC):
         if a.shape[1] != b.shape[0]:
             raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
         if self.trace is not None:
-            self.trace.add(
-                GemmRecord(
-                    m=a.shape[0], n=b.shape[1], k=a.shape[1], tag=tag, engine=self.name
-                )
+            rec = GemmRecord(
+                m=a.shape[0], n=b.shape[1], k=a.shape[1], tag=tag, engine=self.name
             )
+            with self._trace_lock:
+                self.trace.add(rec)
+        if _obs.is_enabled():
+            t0 = time.perf_counter()
+            out = self._matmul(a, b)
+            _obs.gemm_event(
+                a.shape[0], b.shape[1], a.shape[1],
+                tag=tag, engine=self.name, op="gemm",
+                seconds=time.perf_counter() - t0,
+            )
+            return out
         return self._matmul(a, b)
 
     def syr2k(self, y, z, *, tag: str = "") -> np.ndarray:
@@ -98,18 +118,29 @@ class GemmEngine(ABC):
                 f"syr2k requires equal-shape 2-D operands, got {y.shape} and {z.shape}"
             )
         if self.trace is not None:
-            self.trace.add(
-                GemmRecord(
-                    m=y.shape[0], n=y.shape[0], k=y.shape[1],
-                    tag=tag, engine=self.name, op="syr2k",
-                )
+            rec = GemmRecord(
+                m=y.shape[0], n=y.shape[0], k=y.shape[1],
+                tag=tag, engine=self.name, op="syr2k",
             )
+            with self._trace_lock:
+                self.trace.add(rec)
+        if _obs.is_enabled():
+            t0 = time.perf_counter()
+            p = self._matmul(y, z.T)
+            out = p + p.T
+            _obs.gemm_event(
+                y.shape[0], y.shape[0], y.shape[1],
+                tag=tag, engine=self.name, op="syr2k",
+                seconds=time.perf_counter() - t0,
+            )
+            return out
         p = self._matmul(y, z.T)
         return p + p.T
 
     def reset_trace(self) -> None:
         """Clear the recorded trace (enables recording if it was off)."""
-        self.trace = GemmTrace()
+        with self._trace_lock:
+            self.trace = GemmTrace()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rec = "recording" if self.trace is not None else "not recording"

@@ -10,6 +10,7 @@ performance model (Figures 5–11).
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Iterator
@@ -72,6 +73,26 @@ class GemmRecord:
     def shape(self) -> tuple[int, int, int]:
         """The ``(m, n, k)`` triple."""
         return (self.m, self.n, self.k)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (defaults omitted for compactness)."""
+        out: dict = {"m": self.m, "n": self.n, "k": self.k}
+        if self.tag:
+            out["tag"] = self.tag
+        if self.engine:
+            out["engine"] = self.engine
+        if self.op != "gemm":
+            out["op"] = self.op
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GemmRecord":
+        """Inverse of :meth:`to_dict` (revalidates the dimensions)."""
+        return cls(
+            m=d["m"], n=d["n"], k=d["k"],
+            tag=d.get("tag", ""), engine=d.get("engine", ""),
+            op=d.get("op", "gemm"),
+        )
 
 
 @dataclass
@@ -143,6 +164,34 @@ class GemmTrace:
         for r in self.records:
             out.setdefault(r.tag, Counter())[r.shape] += 1
         return out
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form: ``{"records": [...]}``.
+
+        This is what run manifests embed (``kind: "trace"`` line), so the
+        exact GEMM shape stream of a run can be diffed across PRs.
+        """
+        return {"records": [r.to_dict() for r in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GemmTrace":
+        """Inverse of :meth:`to_dict`."""
+        return cls([GemmRecord.from_dict(d) for d in data.get("records", [])])
+
+    def to_json(self) -> str:
+        """Compact JSON string of the trace (round-trips via :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, data: "str | bytes | dict") -> "GemmTrace":
+        """Rebuild a trace from :meth:`to_json` output (or its parsed dict)."""
+        if isinstance(data, (str, bytes)):
+            data = json.loads(data)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"expected a JSON object with a 'records' key, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
 
     def summary(self) -> str:
         """Human-readable multi-line summary (per-tag calls and GFLOP)."""

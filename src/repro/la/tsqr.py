@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from ..gemm.engine import GemmEngine, PlainEngine
+from ..obs import spans as obs
 from .qr import householder_qr, qr_explicit
 
 __all__ = ["tsqr"]
@@ -99,10 +100,11 @@ def tsqr(
 
     q_blocks: list[np.ndarray] = []
     r_blocks: list[np.ndarray] = []
-    for lo, hi in bounds:
-        q_leaf, r_leaf = _leaf_qr(a[lo:hi, :])
-        q_blocks.append(q_leaf)
-        r_blocks.append(r_leaf)
+    with obs.span("tsqr.leaf", leaves=len(bounds), cols=n):
+        for lo, hi in bounds:
+            q_leaf, r_leaf = _leaf_qr(a[lo:hi, :])
+            q_blocks.append(q_leaf)
+            r_blocks.append(r_leaf)
 
     # --- Reduction tree: pairwise QR of stacked R factors. ---------------
     # Each level halves the number of active R factors.  The inner Q of a
@@ -111,20 +113,21 @@ def tsqr(
     #
     # q_blocks[i] always maps the i-th surviving R factor's coordinates
     # back to original rows.
-    while len(r_blocks) > 1:
-        next_q: list[np.ndarray] = []
-        next_r: list[np.ndarray] = []
-        for i in range(0, len(r_blocks) - 1, 2):
-            stacked = np.vstack([r_blocks[i], r_blocks[i + 1]])
-            q_inner, r_merged = qr_explicit(stacked, engine=None)
-            top, bot = q_inner[:n, :], q_inner[n:, :]
-            q_upper = eng.gemm(q_blocks[i], top, tag=tag)
-            q_lower = eng.gemm(q_blocks[i + 1], bot, tag=tag)
-            next_q.append(np.vstack([q_upper, q_lower]))
-            next_r.append(r_merged)
-        if len(r_blocks) % 2 == 1:
-            next_q.append(q_blocks[-1])
-            next_r.append(r_blocks[-1])
-        q_blocks, r_blocks = next_q, next_r
+    with obs.span("tsqr.tree", leaves=len(r_blocks)):
+        while len(r_blocks) > 1:
+            next_q: list[np.ndarray] = []
+            next_r: list[np.ndarray] = []
+            for i in range(0, len(r_blocks) - 1, 2):
+                stacked = np.vstack([r_blocks[i], r_blocks[i + 1]])
+                q_inner, r_merged = qr_explicit(stacked, engine=None)
+                top, bot = q_inner[:n, :], q_inner[n:, :]
+                q_upper = eng.gemm(q_blocks[i], top, tag=tag)
+                q_lower = eng.gemm(q_blocks[i + 1], bot, tag=tag)
+                next_q.append(np.vstack([q_upper, q_lower]))
+                next_r.append(r_merged)
+            if len(r_blocks) % 2 == 1:
+                next_q.append(q_blocks[-1])
+                next_r.append(r_blocks[-1])
+            q_blocks, r_blocks = next_q, next_r
 
     return q_blocks[0], r_blocks[0]

@@ -1,0 +1,71 @@
+"""repro.obs — telemetry: phase spans, GEMM events, manifests, reports.
+
+The observability layer of the reproduction (the paper's performance
+narrative, made measurable between PRs):
+
+- :mod:`repro.obs.spans` — ``span("sbr.panel")`` context managers with
+  wall-clock timing, nesting, and counters; a process-wide collector
+  that is a no-op when disabled.
+- :mod:`repro.obs.manifest` — JSONL run manifests (spans, GEMM
+  aggregates, precision policy, matrix metadata, accuracy probes).
+- :mod:`repro.obs.report` — per-phase breakdown tables and phase-level
+  regression comparison between two manifests.
+- :mod:`repro.obs.record` — one-call instrumented ``syevd_2stage``
+  runs (used by the CLI and CI smoke test).
+
+CLI::
+
+    python -m repro.obs run --n 256            # instrumented run → runs/
+    python -m repro.obs report runs/X.jsonl    # per-phase breakdown
+    python -m repro.obs report --compare A B   # phase delta + regressions
+    python -m repro.obs list                   # manifests under runs/
+
+Typical library use::
+
+    from repro import obs, syevd_2stage
+    with obs.collect() as session:
+        res = syevd_2stage(a, b=16, record_trace=True)
+    path = obs.write_manifest(session, trace=res.engine.trace)
+    print(obs.render_report(path))
+
+This package deliberately imports only the standard library at module
+scope (numeric imports are deferred inside :mod:`repro.obs.record`), so
+the GEMM engines and kernels can hook into it without import cycles.
+"""
+
+from .spans import (
+    Collector,
+    GemmEvent,
+    Span,
+    active_collector,
+    collect,
+    counter,
+    gemm_event,
+    is_enabled,
+    span,
+)
+from .manifest import SCHEMA_VERSION, RunManifest, load_manifest, write_manifest
+from .report import compare_phases, render_compare, render_report
+from .record import RecordedRun, evd_accuracy_probes, record_syevd
+
+__all__ = [
+    "Span",
+    "GemmEvent",
+    "Collector",
+    "collect",
+    "span",
+    "counter",
+    "gemm_event",
+    "is_enabled",
+    "active_collector",
+    "SCHEMA_VERSION",
+    "RunManifest",
+    "write_manifest",
+    "load_manifest",
+    "render_report",
+    "render_compare",
+    "compare_phases",
+    "RecordedRun",
+    "record_syevd",
+    "evd_accuracy_probes",
+]

@@ -1,0 +1,133 @@
+"""Telemetry CLI.
+
+Usage::
+
+    python -m repro.obs run [--n 256 --b 16 --nb 64 --precision fp32]
+    python -m repro.obs report MANIFEST
+    python -m repro.obs report --compare BASELINE CANDIDATE
+    python -m repro.obs list [--dir runs]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .manifest import DEFAULT_RUN_DIR, load_manifest
+from .report import REGRESSION_THRESHOLD, compare_phases, render_compare, render_report
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .record import record_syevd
+
+    run = record_syevd(
+        n=args.n,
+        b=args.b,
+        nb=args.nb,
+        method=args.method,
+        precision=args.precision,
+        want_vectors=not args.no_vectors,
+        seed=args.seed,
+        path=args.out,
+        run_dir=args.dir,
+        probes=not args.no_probes,
+    )
+    print(f"manifest written: {run.path}")
+    print()
+    print(render_report(load_manifest(run.path)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.compare:
+        base, cand = args.compare
+        print(render_compare(base, cand, threshold=args.threshold))
+        if args.fail_on_regression:
+            joined = compare_phases(base, cand, threshold=args.threshold)
+            if any(e["verdict"] == "regression" for e in joined):
+                return 2
+        return 0
+    if not args.manifest:
+        print("error: a manifest path (or --compare A B) is required", file=sys.stderr)
+        return 1
+    print(render_report(args.manifest))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.dir):
+        print(f"no manifests: directory {args.dir!r} does not exist")
+        return 0
+    names = sorted(n for n in os.listdir(args.dir) if n.endswith(".jsonl"))
+    if not names:
+        print(f"no manifests under {args.dir!r}")
+        return 0
+    for name in names:
+        path = os.path.join(args.dir, name)
+        try:
+            man = load_manifest(path)
+        except (ValueError, OSError) as exc:
+            print(f"{path}  <unreadable: {exc}>")
+            continue
+        created = man.meta.get("created", "?")
+        print(
+            f"{path}  label={man.label or '?'}  created={created}  "
+            f"wall={man.total_wall:.3f}s  spans={len(man.spans)}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Telemetry: instrumented runs, manifests, profiling reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="instrumented syevd_2stage run → manifest")
+    p_run.add_argument("--n", type=int, default=256, help="matrix size")
+    p_run.add_argument("--b", type=int, default=16, help="stage-1 bandwidth")
+    p_run.add_argument("--nb", type=int, default=None, help="WY big-block size (default 4*b)")
+    p_run.add_argument("--method", choices=("wy", "zy"), default="wy")
+    p_run.add_argument(
+        "--precision", default="fp32",
+        help="stage-1 precision policy (fp64/fp32/fp16_tc/bf16_tc/tf32_tc/fp16_ec_tc)",
+    )
+    p_run.add_argument("--seed", type=int, default=0, help="test-matrix RNG seed")
+    p_run.add_argument("--no-vectors", action="store_true", help="eigenvalues only")
+    p_run.add_argument("--no-probes", action="store_true", help="skip accuracy probes")
+    p_run.add_argument("--out", default=None, metavar="FILE", help="manifest path")
+    p_run.add_argument("--dir", default=DEFAULT_RUN_DIR, help="manifest directory")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_rep = sub.add_parser("report", help="per-phase breakdown or A/B comparison")
+    p_rep.add_argument("manifest", nargs="?", help="manifest to report on")
+    p_rep.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+        help="phase-level delta table between two manifests",
+    )
+    p_rep.add_argument(
+        "--threshold", type=float, default=REGRESSION_THRESHOLD,
+        help="relative slowdown flagged as regression (default 0.10)",
+    )
+    p_rep.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 2 when --compare finds a phase regression",
+    )
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_list = sub.add_parser("list", help="list manifests in a directory")
+    p_list.add_argument("--dir", default=DEFAULT_RUN_DIR)
+    p_list.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

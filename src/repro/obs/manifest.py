@@ -1,0 +1,249 @@
+"""Run manifests: JSONL persistence of one telemetry session.
+
+A *manifest* is the durable artifact of one instrumented run — the span
+timeline, GEMM aggregates (and optionally the per-call event stream and
+the embedded :class:`~repro.gemm.trace.GemmTrace`), the precision policy,
+matrix metadata, and accuracy probes — written as one JSON object per
+line so files stream, append, and diff cleanly across PRs.
+
+Line kinds (each line carries a ``"kind"`` discriminator):
+
+==============  ========================================================
+``meta``        schema version, creation time, label, precision policy,
+                matrix metadata, free-form config, total wall seconds
+``span``        one finished :class:`~repro.obs.spans.Span`
+``gemm``        one timed GEMM call (optional; ``events="full"``)
+``gemm_summary`` aggregate calls/flops/seconds, by tag and by engine
+``trace``       embedded ``GemmTrace.to_dict()`` (optional)
+``accuracy``    accuracy probes sampled at stage boundaries (optional)
+==============  ========================================================
+
+Schema version: ``SCHEMA_VERSION`` (bump on incompatible change; the
+loader rejects newer majors).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from .spans import Collector, Span
+
+__all__ = ["SCHEMA_VERSION", "RunManifest", "write_manifest", "load_manifest"]
+
+SCHEMA_VERSION = 1
+
+#: Default directory for manifests (relative to the working directory).
+DEFAULT_RUN_DIR = "runs"
+
+
+@dataclass
+class RunManifest:
+    """In-memory view of one manifest (as written or as loaded)."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    gemm_events: list[dict] = field(default_factory=list)
+    gemm_summary: dict = field(default_factory=dict)
+    trace: dict | None = None
+    accuracy: dict | None = None
+    path: str | None = None
+
+    # -- derived queries ---------------------------------------------------
+    @property
+    def label(self) -> str:
+        return self.meta.get("label", "")
+
+    @property
+    def total_wall(self) -> float:
+        """Total runtime: the root spans' wall-clock sum.
+
+        Falls back to the session wall time recorded at write time when
+        the run produced no root span at all.
+        """
+        roots = [s for s in self.spans if s.depth == 0]
+        if roots:
+            return sum(s.duration for s in roots)
+        return float(self.meta.get("wall", 0.0))
+
+    def time_by_path(self) -> dict[str, float]:
+        """Total duration per span path."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.path] = out.get(s.path, 0.0) + s.duration
+        return out
+
+    def phase_paths(self) -> list[str]:
+        """The paths that constitute the run's *phases*, in first-seen order.
+
+        With a single root span the phases are its direct children
+        (depth 1); otherwise (e.g. an experiments session with one root
+        span per experiment) the roots themselves are the phases.
+        """
+        roots = {s.path for s in self.spans if s.depth == 0}
+        depth = 1 if len(roots) == 1 and any(s.depth == 1 for s in self.spans) else 0
+        seen: list[str] = []
+        for s in self.spans:
+            if s.depth == depth and s.path not in seen:
+                seen.append(s.path)
+        return seen
+
+    def phase_times(self) -> dict[str, float]:
+        """Total duration per phase path (see :meth:`phase_paths`)."""
+        times = self.time_by_path()
+        return {p: times[p] for p in self.phase_paths()}
+
+    def coverage(self) -> float:
+        """Fraction of total runtime accounted for by the phase spans."""
+        total = self.total_wall
+        if total <= 0.0:
+            return 0.0
+        return min(1.0, sum(self.phase_times().values()) / total)
+
+    def gemm_by_phase(self) -> dict[str, dict]:
+        """Aggregate GEMM calls/flops/seconds under each phase path.
+
+        Requires the per-call event stream (``events="full"`` at write
+        time); returns empty aggregates otherwise.
+        """
+        phases = self.phase_paths()
+        out = {p: {"calls": 0, "flops": 0, "seconds": 0.0} for p in phases}
+        for ev in self.gemm_events:
+            path = ev.get("span_path", "")
+            for p in phases:
+                if path == p or path.startswith(p + "/"):
+                    slot = out[p]
+                    slot["calls"] += 1
+                    slot["flops"] += 2 * ev["m"] * ev["n"] * ev["k"]
+                    slot["seconds"] += ev["seconds"]
+                    break
+        return out
+
+
+def _default_path(run_dir: str, label: str) -> str:
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    name = f"{label or 'run'}-{stamp}-{os.getpid()}.jsonl"
+    return os.path.join(run_dir, name)
+
+
+def write_manifest(
+    collector: Collector,
+    path: str | None = None,
+    *,
+    run_dir: str = DEFAULT_RUN_DIR,
+    label: str = "run",
+    precision: str | None = None,
+    matrix: dict | None = None,
+    config: dict | None = None,
+    trace=None,
+    accuracy: dict | None = None,
+    events: str = "full",
+) -> str:
+    """Serialize one telemetry session to a JSONL manifest.
+
+    Parameters
+    ----------
+    collector : Collector
+        The finished (or finishing) telemetry session.
+    path : str, optional
+        Output file; default ``<run_dir>/<label>-<timestamp>-<pid>.jsonl``.
+    run_dir : str
+        Directory for the default path (created if missing).
+    label : str
+        Human tag stored in the meta line and used in the filename.
+    precision : str, optional
+        Precision-policy name of the run (e.g. ``"fp16_tc"``).
+    matrix : dict, optional
+        Matrix metadata (``n``, distribution, condition number, ...).
+    config : dict, optional
+        Free-form run configuration (block sizes, method, ...).
+    trace : GemmTrace or dict, optional
+        GEMM shape stream to embed (anything with ``to_dict()`` or a
+        plain dict).
+    accuracy : dict, optional
+        Accuracy probes sampled at stage boundaries.
+    events : {"full", "none"}
+        Whether to persist the per-call GEMM event stream.
+
+    Returns
+    -------
+    str
+        The path written.
+    """
+    if events not in ("full", "none"):
+        raise ValueError(f"events must be 'full' or 'none', got {events!r}")
+    if path is None:
+        os.makedirs(run_dir, exist_ok=True)
+        path = _default_path(run_dir, label)
+    else:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+
+    meta = {
+        "kind": "meta",
+        "schema": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "label": label,
+        "wall": collector.wall,
+    }
+    if precision is not None:
+        meta["precision"] = str(precision)
+    if matrix:
+        meta["matrix"] = dict(matrix)
+    if config:
+        meta["config"] = dict(config)
+
+    def dump(obj: dict) -> str:
+        return json.dumps(obj, separators=(",", ":"), sort_keys=False)
+
+    with open(path, "w") as fh:
+        fh.write(dump(meta) + "\n")
+        for s in collector.spans:
+            fh.write(dump({"kind": "span", **s.to_dict()}) + "\n")
+        if events == "full":
+            for ev in collector.gemm_events:
+                fh.write(dump({"kind": "gemm", **ev.to_dict()}) + "\n")
+        fh.write(dump({"kind": "gemm_summary", **collector.gemm_summary()}) + "\n")
+        if trace is not None:
+            tr = trace.to_dict() if hasattr(trace, "to_dict") else dict(trace)
+            fh.write(dump({"kind": "trace", **tr}) + "\n")
+        if accuracy is not None:
+            fh.write(dump({"kind": "accuracy", "probes": dict(accuracy)}) + "\n")
+    return path
+
+
+def load_manifest(path: str) -> RunManifest:
+    """Parse a JSONL manifest back into a :class:`RunManifest`."""
+    man = RunManifest(path=path)
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid manifest line: {exc}") from None
+            kind = obj.pop("kind", None)
+            if kind == "meta":
+                if obj.get("schema", 1) > SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: manifest schema {obj.get('schema')} is newer than "
+                        f"supported version {SCHEMA_VERSION}"
+                    )
+                man.meta = obj
+            elif kind == "span":
+                man.spans.append(Span.from_dict(obj))
+            elif kind == "gemm":
+                man.gemm_events.append(obj)
+            elif kind == "gemm_summary":
+                man.gemm_summary = obj
+            elif kind == "trace":
+                man.trace = obj
+            elif kind == "accuracy":
+                man.accuracy = obj.get("probes", obj)
+            # Unknown kinds are skipped: forward compatibility within a major.
+    return man

@@ -1,0 +1,204 @@
+"""Profiling reports over run manifests.
+
+Renders per-phase time/flop breakdown tables from one manifest and
+phase-level delta tables between two (``--compare``), flagging
+regressions.  Pure string formatting over :class:`~repro.obs.manifest.RunManifest`
+— no numeric dependencies, so the CLI stays importable everywhere.
+"""
+
+from __future__ import annotations
+
+from .manifest import RunManifest, load_manifest
+
+__all__ = [
+    "render_report",
+    "render_compare",
+    "compare_phases",
+    "REGRESSION_THRESHOLD",
+]
+
+#: Relative slowdown above which a phase is flagged as a regression.
+REGRESSION_THRESHOLD = 0.10
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f} s"
+    return f"{s * 1e3:.2f} ms"
+
+
+def _fmt_flops(f: float) -> str:
+    if f >= 1e9:
+        return f"{f / 1e9:.3f} G"
+    if f >= 1e6:
+        return f"{f / 1e6:.3f} M"
+    return f"{f:.0f}"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def _resolve(m: "RunManifest | str") -> RunManifest:
+    return m if isinstance(m, RunManifest) else load_manifest(m)
+
+
+def render_report(manifest: "RunManifest | str") -> str:
+    """Per-phase time/flop breakdown of one manifest."""
+    man = _resolve(manifest)
+    total = man.total_wall
+    phases = man.phase_times()
+    gemm = man.gemm_by_phase()
+
+    lines = [f"run: {man.label or '<unlabeled>'}"]
+    if man.path:
+        lines.append(f"manifest: {man.path}")
+    meta_bits = []
+    if "precision" in man.meta:
+        meta_bits.append(f"precision={man.meta['precision']}")
+    matrix = man.meta.get("matrix") or {}
+    if matrix:
+        meta_bits.append(
+            "matrix=" + ",".join(f"{k}={v}" for k, v in matrix.items())
+        )
+    if meta_bits:
+        lines.append("  ".join(meta_bits))
+    lines.append(f"total wall: {_fmt_seconds(total)}  phase coverage: {man.coverage() * 100.0:.1f}%")
+    lines.append("")
+
+    rows: list[list[str]] = []
+    covered = 0.0
+    for path, secs in phases.items():
+        covered += secs
+        g = gemm.get(path, {"calls": 0, "flops": 0, "seconds": 0.0})
+        rate = g["flops"] / g["seconds"] / 1e9 if g["seconds"] > 0 else 0.0
+        rows.append([
+            path,
+            _fmt_seconds(secs),
+            f"{secs / total * 100.0:.1f}%" if total > 0 else "-",
+            str(g["calls"]),
+            _fmt_flops(g["flops"]),
+            f"{rate:.2f}" if rate else "-",
+        ])
+    untracked = max(0.0, total - covered)
+    if total > 0:
+        rows.append([
+            "(untracked)",
+            _fmt_seconds(untracked),
+            f"{untracked / total * 100.0:.1f}%",
+            "-", "-", "-",
+        ])
+    lines.append(_table(
+        ["phase", "time", "share", "gemm calls", "gemm flops", "GFLOP/s"], rows
+    ))
+
+    summary = man.gemm_summary
+    by_tag = summary.get("by_tag") or {}
+    if by_tag:
+        lines.append("")
+        lines.append(
+            f"gemm stream: {summary.get('calls', 0)} calls, "
+            f"{_fmt_flops(summary.get('flops', 0))}FLOP, "
+            f"{_fmt_seconds(summary.get('seconds', 0.0))} measured"
+        )
+        tag_rows = []
+        for tag in sorted(by_tag, key=lambda t: by_tag[t]["flops"], reverse=True):
+            slot = by_tag[tag]
+            rate = slot["flops"] / slot["seconds"] / 1e9 if slot["seconds"] > 0 else 0.0
+            tag_rows.append([
+                tag or "<untagged>",
+                str(slot["calls"]),
+                _fmt_flops(slot["flops"]),
+                _fmt_seconds(slot["seconds"]),
+                f"{rate:.2f}" if rate else "-",
+            ])
+        lines.append(_table(["tag", "calls", "flops", "time", "GFLOP/s"], tag_rows))
+
+    if man.accuracy:
+        lines.append("")
+        lines.append("accuracy probes:")
+        for key, val in man.accuracy.items():
+            lines.append(f"  {key}: {val:.3e}" if isinstance(val, float) else f"  {key}: {val}")
+    return "\n".join(lines)
+
+
+def compare_phases(
+    a: "RunManifest | str",
+    b: "RunManifest | str",
+    *,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> list[dict]:
+    """Phase-level join of two manifests with per-phase verdicts.
+
+    Returns one dict per phase path (union of both runs, A's order
+    first): ``{"phase", "a", "b", "delta", "verdict"}`` where ``delta``
+    is the relative change ``(b - a) / a`` (None when the phase is
+    missing from one side) and ``verdict`` is ``"regression"``,
+    ``"improved"``, or ``"ok"``.
+    """
+    man_a, man_b = _resolve(a), _resolve(b)
+    times_a, times_b = man_a.phase_times(), man_b.phase_times()
+    paths = list(times_a) + [p for p in times_b if p not in times_a]
+
+    out: list[dict] = []
+    for path in paths:
+        ta, tb = times_a.get(path), times_b.get(path)
+        if ta is None or tb is None or ta <= 0.0:
+            delta = None
+            verdict = "ok"
+        else:
+            delta = (tb - ta) / ta
+            verdict = (
+                "regression" if delta > threshold
+                else "improved" if delta < -threshold
+                else "ok"
+            )
+        out.append({"phase": path, "a": ta, "b": tb, "delta": delta, "verdict": verdict})
+    return out
+
+
+def render_compare(
+    a: "RunManifest | str",
+    b: "RunManifest | str",
+    *,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> str:
+    """Per-phase delta table between two manifests (A = baseline)."""
+    man_a, man_b = _resolve(a), _resolve(b)
+    joined = compare_phases(man_a, man_b, threshold=threshold)
+
+    lines = [
+        f"compare: A={man_a.label or man_a.path or '?'}  B={man_b.label or man_b.path or '?'}",
+        f"total wall: A={_fmt_seconds(man_a.total_wall)}  B={_fmt_seconds(man_b.total_wall)}",
+        "",
+    ]
+    rows = []
+    for entry in joined:
+        ta, tb, delta = entry["a"], entry["b"], entry["delta"]
+        rows.append([
+            entry["phase"],
+            _fmt_seconds(ta) if ta is not None else "-",
+            _fmt_seconds(tb) if tb is not None else "-",
+            f"{delta * 100.0:+.1f}%" if delta is not None else "-",
+            entry["verdict"].upper() if entry["verdict"] == "regression" else entry["verdict"],
+        ])
+    ta, tb = man_a.total_wall, man_b.total_wall
+    if ta > 0 and tb > 0:
+        rows.append(["(total)", _fmt_seconds(ta), _fmt_seconds(tb),
+                     f"{(tb - ta) / ta * 100.0:+.1f}%", ""])
+    lines.append(_table(["phase", "A", "B", "delta", "verdict"], rows))
+
+    n_reg = sum(1 for e in joined if e["verdict"] == "regression")
+    lines.append("")
+    lines.append(
+        f"{n_reg} phase regression(s) beyond {threshold * 100.0:.0f}%"
+        if n_reg else f"no phase regressions beyond {threshold * 100.0:.0f}%"
+    )
+    return "\n".join(lines)

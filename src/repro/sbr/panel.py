@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from ..gemm.engine import GemmEngine, SgemmEngine
+from ..obs import spans as obs
 from ..la.qr import blocked_qr, householder_qr
 from ..la.reconstruct import reconstruct_wy
 from ..la.tsqr import tsqr
@@ -88,8 +89,10 @@ class TsqrPanel(PanelStrategy):
     def factor(self, panel: np.ndarray, *, engine: GemmEngine | None = None) -> PanelFactorization:
         panel = self._validate(panel)
         eng = engine if engine is not None else SgemmEngine()
-        q, r = tsqr(panel, leaf_rows=self.leaf_rows, engine=eng, tag="panel_tsqr")
-        w, y, s = reconstruct_wy(q, engine=eng, tag="panel_reconstruct")
+        with obs.span("panel.tsqr"):
+            q, r = tsqr(panel, leaf_rows=self.leaf_rows, engine=eng, tag="panel_tsqr")
+        with obs.span("panel.reconstruct"):
+            w, y, s = reconstruct_wy(q, engine=eng, tag="panel_reconstruct")
         # A = Q R = (Q S)(S R): absorb the sign flips into R's rows.
         r = r * s[:, np.newaxis]
         return PanelFactorization(w=w, y=y, r=r)
@@ -107,8 +110,9 @@ class BlockedQrPanel(PanelStrategy):
 
     def factor(self, panel: np.ndarray, *, engine: GemmEngine | None = None) -> PanelFactorization:
         panel = self._validate(panel)
-        v_cols, betas, r = blocked_qr(panel, block=self.block, engine=engine)
-        w, y = build_wy(v_cols, betas)
+        with obs.span("panel.blocked_qr"):
+            v_cols, betas, r = blocked_qr(panel, block=self.block, engine=engine)
+            w, y = build_wy(v_cols, betas)
         return PanelFactorization(w=w, y=y, r=r)
 
 
@@ -119,8 +123,9 @@ class UnblockedQrPanel(PanelStrategy):
 
     def factor(self, panel: np.ndarray, *, engine: GemmEngine | None = None) -> PanelFactorization:
         panel = self._validate(panel)
-        v_cols, betas, r = householder_qr(panel)
-        w, y = build_wy(v_cols, betas)
+        with obs.span("panel.unblocked_qr"):
+            v_cols, betas, r = householder_qr(panel)
+            w, y = build_wy(v_cols, betas)
         return PanelFactorization(w=w, y=y, r=r)
 
 

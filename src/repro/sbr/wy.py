@@ -42,6 +42,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gemm.engine import GemmEngine, SgemmEngine
+from ..obs import spans as obs
 from ..validation import as_symmetric_matrix, check_blocksizes
 from .formw import form_q_from_blocks
 from .panel import PanelStrategy, make_panel_strategy
@@ -115,7 +116,8 @@ def sbr_wy(
             w_cols = min(b, m)
 
             # --- 1. Panel QR (columns freshened by the previous step). ---
-            pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
+            with obs.span("sbr.panel", rows=m, cols=w_cols):
+                pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
             A[i + b : i + b + w_cols, i : i + w_cols] = pf.r.astype(dtype, copy=False)
             A[i + b + w_cols :, i : i + w_cols] = 0
             A[i : i + w_cols, i + b :] = A[i + b :, i : i + w_cols].T
@@ -133,37 +135,42 @@ def sbr_wy(
                 A[i + w_cols : i + b, i + b :] = strip.T
 
             # --- 2. Extend (W, Y) over the block row space S (leading zeros). -
-            wp = np.zeros((M, w_cols), dtype=dtype)
-            yp = np.zeros((M, w_cols), dtype=dtype)
-            wp[r:] = pf.w.astype(dtype, copy=False)
-            yp[r:] = pf.y.astype(dtype, copy=False)
-            if W is None:
-                W, Y = wp, yp
-            else:
-                ytwp = eng.gemm(Y.T, wp, tag="form_w")
-                w_new = wp - eng.gemm(W, ytwp, tag="form_w")
-                W = np.hstack([W, w_new])
-                Y = np.hstack([Y, yp])
+            with obs.span("sbr.form_w", rows=M):
+                wp = np.zeros((M, w_cols), dtype=dtype)
+                yp = np.zeros((M, w_cols), dtype=dtype)
+                wp[r:] = pf.w.astype(dtype, copy=False)
+                yp[r:] = pf.y.astype(dtype, copy=False)
+                if W is None:
+                    W, Y = wp, yp
+                else:
+                    ytwp = eng.gemm(Y.T, wp, tag="form_w")
+                    w_new = wp - eng.gemm(W, ytwp, tag="form_w")
+                    W = np.hstack([W, w_new])
+                    Y = np.hstack([Y, yp])
 
             # --- Incremental OA @ W cache (the 'reuse the original matrix'
             #     cost of Algorithm 1's inner loop). -------------------------
-            OAW = np.hstack([OAW, eng.gemm(OA, W[:, -w_cols:], tag="wy_oaw")])
+            with obs.span("sbr.oaw"):
+                OAW = np.hstack([OAW, eng.gemm(OA, W[:, -w_cols:], tag="wy_oaw")])
 
             if m <= b + 1:
                 # Tail: no further panel will run (the next would have
                 # m' = m - b < 2 rows), so the partial update must finalize
                 # all m remaining columns, not just the next panel's b.
-                _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=m)
+                with obs.span("sbr.partial_update", cols=m):
+                    _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=m)
                 break
             if r + b >= nb:
                 # Big block exhausted with panels remaining: full trailing
                 # update from OA, then start the next big block (recursion).
-                _full_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r_end=r)
+                with obs.span("sbr.full_update", rows=M - r):
+                    _full_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r_end=r)
                 advance_full_block = True
                 break
 
             # --- 3. Partial update: only the next panel's columns. ----------
-            _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=b)
+            with obs.span("sbr.partial_update", cols=b):
+                _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=b)
 
         if W is not None:
             blocks.append(WYBlock(offset=j0 + b, w=W, y=Y))
@@ -174,7 +181,8 @@ def sbr_wy(
     A = (A + A.T) * dtype.type(0.5)
     q = None
     if want_q:
-        q = form_q_from_blocks(blocks, n, engine=eng, method=q_method, dtype=dtype)
+        with obs.span("sbr.form_q", method=q_method):
+            q = form_q_from_blocks(blocks, n, engine=eng, method=q_method, dtype=dtype)
     return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks)
 
 

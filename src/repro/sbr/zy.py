@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gemm.engine import GemmEngine, SgemmEngine
+from ..obs import spans as obs
 from ..validation import as_symmetric_matrix, check_blocksizes
 from .panel import PanelStrategy, make_panel_strategy
 from .types import SbrResult, WYBlock
@@ -85,7 +86,8 @@ def sbr_zy(
     while n - i - b >= 2:
         m = n - i - b
         w_cols = min(b, m)
-        pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
+        with obs.span("sbr.panel", rows=m, cols=w_cols):
+            pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
         w, y = pf.w.astype(dtype, copy=False), pf.y.astype(dtype, copy=False)
 
         # Write R into the band, zero the annihilated part, mirror symmetric.
@@ -103,21 +105,23 @@ def sbr_zy(
             A[i + w_cols : i + b, i + b :] = strip.T
 
         # ZY trailing update on the m×m trailing block (two-sided rank-2b).
-        trailing = A[i + b :, i + b :]
-        aw = eng.gemm(trailing, w, tag="zy_aw")
-        wtaw = eng.gemm(w.T, aw, tag="zy_wtaw")
-        z = aw - dtype.type(0.5) * eng.gemm(y, wtaw, tag="zy_z")
-        if use_syr2k:
-            trailing -= eng.syr2k(z, y, tag="zy_syr2k")
-        else:
-            trailing -= eng.gemm(z, y.T, tag="zy_zyt")
-            trailing -= eng.gemm(y, z.T, tag="zy_yzt")
+        with obs.span("sbr.trailing_update", rows=m):
+            trailing = A[i + b :, i + b :]
+            aw = eng.gemm(trailing, w, tag="zy_aw")
+            wtaw = eng.gemm(w.T, aw, tag="zy_wtaw")
+            z = aw - dtype.type(0.5) * eng.gemm(y, wtaw, tag="zy_z")
+            if use_syr2k:
+                trailing -= eng.syr2k(z, y, tag="zy_syr2k")
+            else:
+                trailing -= eng.gemm(z, y.T, tag="zy_zyt")
+                trailing -= eng.gemm(y, z.T, tag="zy_yzt")
 
         blocks.append(WYBlock(offset=i + b, w=w, y=y))
         if q is not None:
             # Q <- Q @ embed(I - W Y^T): only columns i+b.. change.
-            qw = eng.gemm(q[:, i + b :], w, tag="form_q")
-            q[:, i + b :] -= eng.gemm(qw, y.T, tag="form_q")
+            with obs.span("sbr.form_q"):
+                qw = eng.gemm(q[:, i + b :], w, tag="form_q")
+                q[:, i + b :] -= eng.gemm(qw, y.T, tag="form_q")
         i += b
 
     # Exact symmetry of the band output (two independent outer products

@@ -102,6 +102,102 @@ class TestGemmTrace:
         assert tr[0].shape == (1, 2, 3)
 
 
+class TestTraceAggregationEdgeCases:
+    def test_empty_trace_aggregates(self):
+        tr = GemmTrace()
+        assert len(tr) == 0
+        assert tr.total_flops == 0
+        assert tr.flops_by_tag() == {}
+        assert tr.tags() == {}
+        assert tr.shape_multiset() == {}
+        assert tr.shape_multiset_by_tag() == {}
+        assert "0 calls" in tr.summary()
+
+    def test_syr2k_flops_are_half_of_two_gemms(self):
+        syr2k = GemmRecord(6, 6, 3, op="syr2k")
+        two_gemms = GemmTrace([GemmRecord(6, 6, 3), GemmRecord(6, 6, 3)])
+        assert 2 * syr2k.flops == two_gemms.total_flops
+
+    def test_syr2k_requires_square_output(self):
+        with pytest.raises(ValueError):
+            GemmRecord(4, 5, 3, op="syr2k")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            GemmRecord(2, 2, 2, op="trsm")
+
+    def test_mixed_engine_filtering(self):
+        tr = GemmTrace()
+        tr.record(2, 2, 2, tag="a", engine="tc")
+        tr.record(3, 3, 3, tag="a", engine="sgemm")
+        tr.record(4, 4, 4, tag="b", engine="tc")
+        tc_only = tr.filter(lambda r: r.engine == "tc")
+        assert len(tc_only) == 2
+        assert tc_only.total_flops == 2 * 8 + 2 * 64
+        assert tc_only.tags() == {"a": 1, "b": 1}
+        # Filtering returns a new trace; the original is untouched.
+        assert len(tr) == 3
+
+
+class TestTraceSerialization:
+    def _trace(self) -> GemmTrace:
+        tr = GemmTrace()
+        tr.record(3, 4, 5, tag="trailing", engine="tc")
+        tr.record(7, 7, 2)
+        tr.add(GemmRecord(6, 6, 3, tag="zy_syr2k", engine="sgemm", op="syr2k"))
+        return tr
+
+    def test_round_trip_json_string(self):
+        tr = self._trace()
+        restored = GemmTrace.from_json(tr.to_json())
+        assert restored.records == tr.records
+        assert restored.total_flops == tr.total_flops
+
+    def test_round_trip_dict(self):
+        tr = self._trace()
+        assert GemmTrace.from_dict(tr.to_dict()).records == tr.records
+
+    def test_empty_round_trip(self):
+        assert GemmTrace.from_json(GemmTrace().to_json()).records == []
+
+    def test_defaults_omitted_in_dict(self):
+        d = GemmRecord(1, 2, 3).to_dict()
+        assert d == {"m": 1, "n": 2, "k": 3}
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            GemmTrace.from_json("[1, 2, 3]")
+
+    def test_from_dict_revalidates(self):
+        with pytest.raises(ValueError):
+            GemmTrace.from_dict({"records": [{"m": 0, "n": 1, "k": 1}]})
+
+    def test_json_is_compact_single_line(self):
+        text = self._trace().to_json()
+        assert "\n" not in text and " " not in text
+
+
+class TestTraceThreadSafety:
+    def test_concurrent_recording_through_shared_engine(self, rng):
+        import threading
+
+        eng = SgemmEngine(record=True)
+        a = rng.standard_normal((8, 8)).astype(np.float32)
+        n_threads, n_calls = 8, 50
+
+        def work():
+            for _ in range(n_calls):
+                eng.gemm(a, a, tag="mt")
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(eng.trace) == n_threads * n_calls
+        assert eng.trace.total_flops == n_threads * n_calls * 2 * 8 * 8 * 8
+
+
 class TestEngines:
     @pytest.mark.parametrize(
         "engine_cls", [SgemmEngine, Fp64Engine, TensorCoreEngine, EcTensorCoreEngine, PlainEngine]
