@@ -30,6 +30,8 @@ Package map
 - :mod:`repro.metrics` — accuracy metrics and flop counts
 - :mod:`repro.device` — calibrated A100 performance model
 - :mod:`repro.obs` — telemetry: phase spans, run manifests, reports
+- :mod:`repro.resilience` — failure detectors, precision-escalation
+  retry, fault injection
 - :mod:`repro.experiments` — per-table/figure reproduction drivers
 """
 
@@ -37,6 +39,7 @@ from .errors import (
     ConfigurationError,
     ConvergenceError,
     NotSymmetricError,
+    NumericalBreakdownError,
     ReproError,
     ShapeError,
     SingularMatrixError,
@@ -74,7 +77,16 @@ from .svd import low_rank_approx, randomized_svd, svd_direct, svd_via_evd
 from .matrices import MatrixSpec, TABLE_MATRIX_SPECS, generate_symmetric
 from .metrics import backward_error, eigenvalue_error, orthogonality_error
 from .device import A100Spec, DeviceSpec, PerfModel
+from .resilience import (
+    DetectorConfig,
+    EscalationLadder,
+    FaultInjector,
+    FaultSpec,
+    ResilienceContext,
+    ResilienceReport,
+)
 from . import obs
+from . import resilience
 
 __version__ = "1.0.0"
 
@@ -85,6 +97,7 @@ __all__ = [
     "SingularMatrixError",
     "ConvergenceError",
     "ConfigurationError",
+    "NumericalBreakdownError",
     "Precision",
     "tcgemm",
     "ec_tcgemm",
@@ -131,6 +144,13 @@ __all__ = [
     "DeviceSpec",
     "A100Spec",
     "PerfModel",
+    "DetectorConfig",
+    "EscalationLadder",
+    "FaultInjector",
+    "FaultSpec",
+    "ResilienceContext",
+    "ResilienceReport",
     "obs",
+    "resilience",
     "__version__",
 ]

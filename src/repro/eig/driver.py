@@ -19,6 +19,24 @@ Stages 2–4 run in float64 regardless of the stage-1 policy, mirroring the
 paper's setup where the MAGMA host stages are numerically healthy and all
 interesting error comes from the Tensor-Core band reduction (their
 Table 4 checks exactly that).
+
+Graceful degradation
+--------------------
+The drivers run numerical-failure detectors by default
+(``on_breakdown="escalate"``): NaN/Inf and overflow scans on every GEMM
+output, panel-Q orthogonality drift, trailing-norm growth, and symmetry
+probes (:mod:`repro.resilience`).  On detection the failed unit — one
+panel and its trailing update, or one stage — is retried from a
+lightweight checkpoint at the next-safer precision on the ladder
+``FP16_TC -> FP16_EC_TC -> TF32_TC -> FP32 -> FP64``.
+``on_breakdown="raise"`` propagates a
+:class:`~repro.errors.NumericalBreakdownError` naming the failed phase;
+``"best_effort"`` grants an exhausted unit one final detector-suppressed
+pass at FP64 and says so in the report (only a structural failure in
+that last pass still propagates); ``on_breakdown=None`` disables the
+resilience layer entirely.  Every run's
+:attr:`EvdResult.resilience_report` records what was detected and
+escalated — empty on a healthy run.
 """
 
 from __future__ import annotations
@@ -27,15 +45,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ConvergenceError, NumericalBreakdownError
 from ..gemm.engine import GemmEngine, make_engine
 from ..obs import spans as obs
 from ..precision.modes import Precision
+from ..resilience.context import ResilienceContext
+from ..resilience.detectors import DetectorConfig
+from ..resilience.faults import FaultInjector
+from ..resilience.policy import EscalationLadder, ResilienceReport
 from ..sbr.panel import PanelStrategy
 from ..sbr.types import SbrResult
 from ..sbr.wy import sbr_wy
 from ..sbr.zy import sbr_zy
-from ..validation import as_symmetric_matrix, check_blocksizes
+from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
 from .bulge import bulge_chase
 from .dc import tridiag_eig_dc
 from .qliter import tridiag_eig_ql
@@ -63,6 +85,10 @@ class EvdResult:
     engine : GemmEngine or None
         The stage-1 engine (its ``trace`` carries the GEMM stream when
         recording was enabled).
+    resilience_report : ResilienceReport or None
+        What the resilience layer detected/escalated during the run
+        (``None`` when the layer was disabled with ``on_breakdown=None``;
+        ``.empty`` is True for a healthy run).
     """
 
     eigenvalues: np.ndarray
@@ -70,6 +96,7 @@ class EvdResult:
     sbr: SbrResult | None
     tridiagonal: tuple[np.ndarray, np.ndarray]
     engine: GemmEngine | None = None
+    resilience_report: ResilienceReport | None = None
 
 
 def _solve_tridiagonal(
@@ -91,6 +118,95 @@ def _solve_tridiagonal(
     )
 
 
+def _solve_tridiagonal_with_context(d, e, solver, want_vectors):
+    """Tridiagonal solve, re-raising ConvergenceError with phase context."""
+    try:
+        return _solve_tridiagonal(d, e, solver, want_vectors)
+    except ConvergenceError as exc:
+        # Attach the driver phase instead of swallowing the structured
+        # state; re-raise the same (enriched) exception.
+        if exc.phase is None:
+            exc.phase = "tridiag_solve"
+        raise
+
+
+def _make_context(
+    on_breakdown: "str | None",
+    resilience: "ResilienceContext | None",
+    ladder: "EscalationLadder | None",
+    detectors: "DetectorConfig | None",
+    faults: "FaultInjector | None",
+) -> "ResilienceContext | None":
+    """Resolve the resilience context for one driver run."""
+    if resilience is not None:
+        return resilience
+    if on_breakdown is None:
+        if faults is not None:
+            raise ConfigurationError(
+                "fault injection requires the resilience layer; "
+                "pass on_breakdown='escalate'|'raise'|'best_effort'"
+            )
+        return None
+    return ResilienceContext(
+        on_breakdown=on_breakdown, ladder=ladder,
+        detectors=detectors, injector=faults,
+    )
+
+
+def _stage_check(ctx, phase, arr, site):
+    """Detect-only check of a deterministic float64 stage output.
+
+    There is nothing to retry or escalate here (the stage is already
+    float64 and re-running it is a no-op), so a detection propagates —
+    except under ``best_effort``, where it is recorded in the report and
+    the run carries on with what it has.
+    """
+    if ctx is None:
+        return
+    try:
+        with ctx.unit(phase):
+            ctx.check_array(arr, site=site)
+    except NumericalBreakdownError:
+        if ctx.mode != "best_effort":
+            raise
+        if phase not in ctx.report.best_effort:
+            ctx.report.best_effort.append(phase)
+
+
+def _resilient_bulge(ctx, band64, b, want_q):
+    """Bulge chasing as a retryable unit.
+
+    Stage 2 is float64 Givens work, so there is no precision to escalate
+    — recovery is retry-from-checkpoint (the band matrix is immutable
+    input), which heals transient corruption; persistent corruption
+    exhausts the budget and propagates/degrades per the context mode.
+    The fault-injection site ``"bulge"`` corrupts the band copy handed to
+    the chase; the pre-chase detectors (non-finite, magnitude, symmetry)
+    catch it before the rotations run.
+    """
+    if ctx is None:
+        return bulge_chase(band64, b, want_q=want_q)
+    attempt = 0
+    while True:
+        try:
+            with ctx.unit("bulge"):
+                band_in = ctx.inject("bulge", band64)
+                ctx.check_array(band_in, site="bulge_band")
+                ctx.check_symmetry(band_in, precision=Precision.FP64)
+                d, e, q2 = bulge_chase(band_in, b, want_q=want_q)
+                ctx.check_array(d, site="bulge_d")
+                if e.size:
+                    ctx.check_array(e, site="bulge_e")
+            ctx.note_precision("bulge", Precision.FP64)
+            return d, e, q2
+        except NumericalBreakdownError as exc:
+            if not ctx.handle_breakdown(
+                exc, engine=None, attempt=attempt, phase="bulge"
+            ):
+                raise
+            attempt += 1
+
+
 def syevd_2stage(
     a,
     *,
@@ -103,6 +219,12 @@ def syevd_2stage(
     want_vectors: bool = True,
     tridiag_solver: str = "dc",
     record_trace: bool = False,
+    on_breakdown: "str | None" = "escalate",
+    resilience: "ResilienceContext | None" = None,
+    ladder: "EscalationLadder | None" = None,
+    detectors: "DetectorConfig | None" = None,
+    faults: "FaultInjector | None" = None,
+    check_finite: bool = True,
 ) -> EvdResult:
     """Two-stage symmetric eigendecomposition ``A = X diag(lam) X^T``.
 
@@ -130,45 +252,77 @@ def syevd_2stage(
         Tridiagonal eigensolver.
     record_trace : bool
         Record the stage-1 GEMM stream on the engine.
+    on_breakdown : {"escalate", "raise", "best_effort"} or None
+        Failure-detector response (see module docstring).  ``None``
+        disables the resilience layer.
+    resilience : ResilienceContext, optional
+        Pre-built context (overrides ``on_breakdown``/``ladder``/
+        ``detectors``/``faults``) — lets callers share one report across
+        composed calls.
+    ladder : EscalationLadder, optional
+        Retry budget / widening / stickiness policy.
+    detectors : DetectorConfig, optional
+        Which invariant monitors run and how strict they are.
+    faults : FaultInjector, optional
+        Deterministic fault injection (test harness).
+    check_finite : bool
+        Reject NaN/Inf inputs up front with a clear error (cheap
+        ``np.isfinite`` gate; skippable for pre-validated inputs).
 
     Returns
     -------
     EvdResult
     """
+    a = np.asarray(a)
+    if check_finite and a.ndim == 2 and a.size:
+        check_finite_matrix(a)
     a = as_symmetric_matrix(a)
     n = a.shape[0]
     if nb is None:
         nb = 4 * b
     check_blocksizes(n, b, nb if method == "wy" else None)
+    if method not in ("wy", "zy"):
+        raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
 
+    ctx = _make_context(on_breakdown, resilience, ladder, detectors, faults)
     eng = engine if engine is not None else make_engine(precision, record=record_trace)
+    sbr_eng = ctx.wrap_engine(eng) if ctx is not None else eng
     with obs.span("syevd", n=n, b=b, nb=nb, method=method, solver=tridiag_solver):
         with obs.span("sbr"):
             if method == "wy":
-                sbr = sbr_wy(a, b, nb, engine=eng, panel=panel or "tsqr", want_q=want_vectors)
-            elif method == "zy":
-                sbr = sbr_zy(a, b, engine=eng, panel=panel or "blocked_qr", want_q=want_vectors)
+                sbr = sbr_wy(
+                    a, b, nb, engine=sbr_eng, panel=panel or "tsqr",
+                    want_q=want_vectors, resilience=ctx, check_finite=False,
+                )
             else:
-                raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
+                sbr = sbr_zy(
+                    a, b, engine=sbr_eng, panel=panel or "blocked_qr",
+                    want_q=want_vectors, resilience=ctx, check_finite=False,
+                )
 
         # Stage 2 onward in float64 (host-side MAGMA stages in the paper).
         with obs.span("bulge"):
             band64 = np.asarray(sbr.band, dtype=np.float64)
-            d, e, q2 = bulge_chase(band64, b, want_q=want_vectors)
+            d, e, q2 = _resilient_bulge(ctx, band64, b, want_vectors)
         with obs.span("tridiag_solve", solver=tridiag_solver):
-            lam, v_tri = _solve_tridiagonal(d, e, tridiag_solver, want_vectors)
+            lam, v_tri = _solve_tridiagonal_with_context(
+                d, e, tridiag_solver, want_vectors
+            )
+            _stage_check(ctx, "tridiag_solve", lam, "tridiag_eigenvalues")
 
         x = None
         if want_vectors:
             with obs.span("back_transform"):
                 # X = Q_sbr @ Q_bulge @ V_tri.
                 x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
+            _stage_check(ctx, "back_transform", x, "eigenvectors")
     return EvdResult(
         eigenvalues=lam,
         eigenvectors=x,
         sbr=sbr,
         tridiagonal=(d, e),
         engine=eng,
+        resilience_report=ctx.report if ctx is not None else None,
     )
 
 
@@ -177,26 +331,46 @@ def syevd_1stage(
     *,
     want_vectors: bool = True,
     tridiag_solver: str = "dc",
+    on_breakdown: "str | None" = "escalate",
+    check_finite: bool = True,
 ) -> EvdResult:
     """One-stage eigendecomposition: direct Householder tridiagonalization.
 
     The conventional ``sytrd``-based path (float64), kept as the
-    correctness baseline the two-stage driver is validated against.
+    correctness baseline the two-stage driver is validated against.  The
+    resilience layer here is detect-and-report only — the whole path is
+    already float64, so there is no safer precision to escalate to and
+    any detected breakdown propagates (``on_breakdown`` values behave
+    alike apart from ``None``, which disables detection).
     """
+    a = np.asarray(a)
+    if check_finite and a.ndim == 2 and a.size:
+        check_finite_matrix(a)
     a = as_symmetric_matrix(a, dtype=np.float64)
+    ctx = _make_context(on_breakdown, None, None, None, None)
     with obs.span("syevd_1stage", n=a.shape[0], solver=tridiag_solver):
         with obs.span("tridiagonalize"):
             d, e, q1 = householder_tridiagonalize(a, want_q=want_vectors)
+            if ctx is not None:
+                with ctx.unit("tridiagonalize"):
+                    ctx.check_array(d, site="tridiag_d")
+                    if e.size:
+                        ctx.check_array(e, site="tridiag_e")
         with obs.span("tridiag_solve", solver=tridiag_solver):
-            lam, v_tri = _solve_tridiagonal(d, e, tridiag_solver, want_vectors)
+            lam, v_tri = _solve_tridiagonal_with_context(
+                d, e, tridiag_solver, want_vectors
+            )
         with obs.span("back_transform"):
             x = q1 @ v_tri if want_vectors else None
+    if ctx is not None:
+        ctx.note_precision("tridiagonalize", Precision.FP64)
     return EvdResult(
         eigenvalues=lam,
         eigenvectors=x,
         sbr=None,
         tridiagonal=(d, e),
         engine=None,
+        resilience_report=ctx.report if ctx is not None else None,
     )
 
 
@@ -210,6 +384,9 @@ def syevd_selected(
     method: str = "wy",
     precision: "Precision | str" = Precision.FP32,
     want_vectors: bool = True,
+    on_breakdown: "str | None" = "escalate",
+    faults: "FaultInjector | None" = None,
+    check_finite: bool = True,
 ) -> EvdResult:
     """Selected eigenpairs: band reduction + bisection + inverse iteration.
 
@@ -237,32 +414,48 @@ def syevd_selected(
     """
     from .inverse_iteration import tridiag_inverse_iteration
 
+    a = np.asarray(a)
+    if check_finite and a.ndim == 2 and a.size:
+        check_finite_matrix(a)
     a = as_symmetric_matrix(a)
     n = a.shape[0]
     if nb is None:
         nb = 4 * b
     check_blocksizes(n, b, nb if method == "wy" else None)
+    if method not in ("wy", "zy"):
+        raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
 
+    ctx = _make_context(on_breakdown, None, None, None, faults)
     eng = make_engine(precision)
+    sbr_eng = ctx.wrap_engine(eng) if ctx is not None else eng
     with obs.span("syevd_selected", n=n, b=b, nb=nb, method=method):
         with obs.span("sbr"):
             if method == "wy":
-                sbr = sbr_wy(a, b, nb, engine=eng, panel="tsqr", want_q=want_vectors)
-            elif method == "zy":
-                sbr = sbr_zy(a, b, engine=eng, panel="blocked_qr", want_q=want_vectors)
+                sbr = sbr_wy(
+                    a, b, nb, engine=sbr_eng, panel="tsqr",
+                    want_q=want_vectors, resilience=ctx, check_finite=False,
+                )
             else:
-                raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
+                sbr = sbr_zy(
+                    a, b, engine=sbr_eng, panel="blocked_qr",
+                    want_q=want_vectors, resilience=ctx, check_finite=False,
+                )
 
         with obs.span("bulge"):
             band64 = np.asarray(sbr.band, dtype=np.float64)
-            d, e, q2 = bulge_chase(band64, b, want_q=want_vectors)
+            d, e, q2 = _resilient_bulge(ctx, band64, b, want_vectors)
         with obs.span("bisect"):
             lam = eigvals_bisect(d, e, select=select, interval=interval)
 
         x = None
         if want_vectors and lam.size:
             with obs.span("inverse_iteration"):
-                v_tri = tridiag_inverse_iteration(d, e, lam)
+                try:
+                    v_tri = tridiag_inverse_iteration(d, e, lam)
+                except ConvergenceError as exc:
+                    if exc.phase is None:
+                        exc.phase = "inverse_iteration"
+                    raise
             with obs.span("back_transform"):
                 x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
         elif want_vectors:
@@ -273,4 +466,5 @@ def syevd_selected(
         sbr=sbr,
         tridiagonal=(d, e),
         engine=eng,
+        resilience_report=ctx.report if ctx is not None else None,
     )

@@ -46,7 +46,10 @@ def _solve_shifted_tridiag(d, e, shift, rhs):
         except Exception:
             pass
         nudge = (nudge or np.finfo(np.float64).eps * base) * 8.0
-    raise ConvergenceError(f"shifted tridiagonal solve failed at shift {shift!r}")
+    raise ConvergenceError(
+        f"shifted tridiagonal solve failed at shift {shift!r}",
+        iterations=4, phase="inverse_iteration",
+    )
 
 
 def tridiag_inverse_iteration(
@@ -130,7 +133,8 @@ def tridiag_inverse_iteration(
             ).max()
             if resid > 1e-8 * max(norm_t, 1.0):
                 raise ConvergenceError(
-                    f"inverse iteration failed for eigenvalue {lam[j]!r}"
+                    f"inverse iteration failed for eigenvalue {lam[j]!r}",
+                    residual=float(resid), phase="inverse_iteration",
                 )
         v[:, j] = vec
 

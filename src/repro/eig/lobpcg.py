@@ -152,8 +152,9 @@ def lobpcg(
             x = _orthonormalize(np.hstack([x, _orthonormalize(fill)]))
     else:
         raise ConvergenceError(
-            f"LOBPCG did not reach tol={tol} in {max_iter} iterations "
-            f"(residual {float(resid.max()):.3e})"
+            f"LOBPCG did not reach tol={tol} in {max_iter} iterations",
+            iterations=max_iter,
+            residual=float(resid.max()),
         )
 
     # Final Rayleigh-Ritz on the converged block.

@@ -104,7 +104,10 @@ def qdwh_polar(
         if delta < tol and abs(1.0 - l) < 1e-8:
             break
     else:
-        raise ConvergenceError(f"QDWH did not converge in {max_iter} iterations")
+        raise ConvergenceError(
+            f"QDWH did not converge in {max_iter} iterations",
+            iterations=max_iter, residual=delta,
+        )
 
     # Clean-up Newton–Schulz step polishes orthogonality to working accuracy.
     x = 1.5 * x - 0.5 * x @ (x.T @ x)

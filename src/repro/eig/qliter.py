@@ -83,7 +83,9 @@ def tridiag_eig_ql(
             if sweep == _MAX_SWEEPS:
                 raise ConvergenceError(
                     f"QL iteration failed to converge at index {l} "
-                    f"after {_MAX_SWEEPS} sweeps"
+                    f"after {_MAX_SWEEPS} sweeps",
+                    iterations=_MAX_SWEEPS,
+                    residual=float(abs(e_work[l])),
                 )
             # Wilkinson shift from the leading 2x2.
             g = (d[l + 1] - d[l]) / (2.0 * e_work[l])

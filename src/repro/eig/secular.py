@@ -131,7 +131,8 @@ def solve_secular(
         width = float(np.max(t_hi - t_lo))
         if width > 1e-6 * max(1.0, float(np.abs(d).max())):
             raise ConvergenceError(
-                f"secular solver failed to converge (max bracket width {width:.3e})"
+                f"secular solver failed to converge (max bracket width {width:.3e})",
+                residual=width, phase="tridiag_solve",
             )
 
     lam = a_val + t

@@ -2,6 +2,11 @@
 
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures without catching unrelated Python errors.
+
+The numerically interesting errors carry *structured* context — which
+phase, which panel, which detector, which pivot — so callers (and the
+resilience layer in :mod:`repro.resilience`) can decide how to recover
+without parsing message strings.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ __all__ = [
     "SingularMatrixError",
     "ConvergenceError",
     "ConfigurationError",
+    "NumericalBreakdownError",
 ]
 
 
@@ -29,12 +35,148 @@ class NotSymmetricError(ReproError, ValueError):
 
 
 class SingularMatrixError(ReproError, ValueError):
-    """A factorization encountered an (numerically) singular matrix."""
+    """A factorization encountered an (numerically) singular matrix.
+
+    Attributes
+    ----------
+    column : int or None
+        Offending column/pivot index within the factored block.
+    panel : int or None
+        Panel index within the enclosing band reduction, attached by the
+        SBR drivers when the failure happened inside a panel factorization.
+    """
+
+    def __init__(self, message: str = "", *, column: int | None = None,
+                 panel: int | None = None) -> None:
+        super().__init__(message)
+        self.column = column
+        self.panel = panel
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.panel is not None:
+            parts.append(f"panel {self.panel}")
+        if self.column is not None:
+            parts.append(f"column {self.column}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
 
 
 class ConvergenceError(ReproError, RuntimeError):
-    """An iterative eigensolver failed to converge within its iteration cap."""
+    """An iterative solver failed to converge within its iteration cap.
+
+    Attributes
+    ----------
+    iterations : int or None
+        Iterations completed before giving up.
+    residual : float or None
+        Last observed residual/off-diagonal magnitude.
+    phase : str or None
+        Driver phase in which the failure occurred (attached by callers
+        that re-raise with context, e.g. ``syevd_2stage``).
+    """
+
+    def __init__(self, message: str = "", *, iterations: int | None = None,
+                 residual: float | None = None, phase: str | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+        self.phase = phase
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.phase is not None:
+            parts.append(f"phase={self.phase}")
+        if self.iterations is not None:
+            parts.append(f"iterations={self.iterations}")
+        if self.residual is not None:
+            parts.append(f"residual={self.residual:.3e}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
 
 
 class ConfigurationError(ReproError, ValueError):
     """Algorithm parameters are inconsistent (e.g. ``nb`` not a multiple of ``b``)."""
+
+
+class NumericalBreakdownError(ReproError, ArithmeticError):
+    """A numerical-invariant monitor detected breakdown mid-computation.
+
+    Raised by the detectors of :mod:`repro.resilience` when a monitored
+    invariant fails — NaN/Inf in a GEMM output, panel-Q orthogonality
+    drift, trailing-matrix norm explosion, symmetry drift, or a failed
+    residual probe.  Carries enough context for the precision-escalation
+    ladder to retry the failed unit.
+
+    Attributes
+    ----------
+    phase : str or None
+        Resilience phase in which the detector fired (e.g. ``"sbr.panel"``,
+        ``"bulge"``).
+    panel : int or None
+        Panel index within the phase, when applicable.
+    detector : str or None
+        Name of the detector that fired (``"nonfinite"``, ``"magnitude"``,
+        ``"orthogonality"``, ``"norm_growth"``, ``"symmetry"``,
+        ``"residual"``).
+    site : str or None
+        Injection/monitoring site (typically the GEMM tag).
+    value : float or None
+        Measured invariant value.
+    threshold : float or None
+        Threshold the value violated (NaN detection reports ``None``).
+    precision : str or None
+        Precision policy active when the detector fired.
+    """
+
+    def __init__(self, message: str = "", *, phase: str | None = None,
+                 panel: int | None = None, detector: str | None = None,
+                 site: str | None = None, value: float | None = None,
+                 threshold: float | None = None,
+                 precision: str | None = None) -> None:
+        super().__init__(message)
+        self.phase = phase
+        self.panel = panel
+        self.detector = detector
+        self.site = site
+        self.value = value
+        self.threshold = threshold
+        self.precision = precision
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.phase is not None:
+            parts.append(f"phase={self.phase}")
+        if self.panel is not None:
+            parts.append(f"panel={self.panel}")
+        if self.detector is not None:
+            parts.append(f"detector={self.detector}")
+        if self.site:
+            parts.append(f"site={self.site}")
+        if self.value is not None:
+            parts.append(f"value={self.value:.3e}")
+        if self.threshold is not None:
+            parts.append(f"threshold={self.threshold:.3e}")
+        if self.precision is not None:
+            parts.append(f"precision={self.precision}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
+
+    def to_dict(self) -> dict:
+        """JSON-serializable context (used by the resilience report)."""
+        return {
+            "message": super().__str__(),
+            "phase": self.phase,
+            "panel": self.panel,
+            "detector": self.detector,
+            "site": self.site,
+            "value": self.value,
+            "threshold": self.threshold,
+            "precision": self.precision,
+        }

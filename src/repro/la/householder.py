@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import NumericalBreakdownError, ShapeError
 
 __all__ = [
     "make_reflector",
@@ -68,6 +68,14 @@ def make_reflector(x) -> tuple[np.ndarray, float, float]:
     finfo = np.finfo(dtype)
     safe_lo = float(finfo.tiny) ** 0.5
     scale = float(np.max(np.abs(x)))
+    if not np.isfinite(scale):
+        # A NaN/Inf column cannot be rescaled into range (it used to send
+        # the rescaling below into infinite recursion): report breakdown
+        # so the resilience layer can retry the enclosing panel.
+        raise NumericalBreakdownError(
+            "non-finite column passed to Householder reflector",
+            detector="nonfinite", site="make_reflector",
+        )
     if scale != 0.0 and not (safe_lo < scale < 1.0 / safe_lo):
         v_s, beta, alpha_s = make_reflector(x / dtype.type(scale))
         return v_s, beta, alpha_s * scale

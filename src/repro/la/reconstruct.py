@@ -54,9 +54,16 @@ def _lu_with_signs(q: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         s[j] = -1.0 if d >= 0 else 1.0
         work[j, j] = d - s[j]
         piv = work[j, j]
-        if piv == 0.0:
+        if piv == 0.0 or not np.isfinite(piv):
+            # For an orthonormal Q the sign trick guarantees |piv| >= 1, so
+            # a zero or NaN/Inf pivot means the panel's Q is degenerate
+            # (rank-deficient or corrupted upstream).  A NaN pivot used to
+            # pass the `== 0` check and silently poison W/Y downstream,
+            # losing the pivot location entirely.
             raise SingularMatrixError(
-                f"zero pivot at column {j} reconstructing Householder vectors"
+                "degenerate pivot reconstructing Householder vectors "
+                f"(pivot {piv!r})",
+                column=j,
             )
         work[j + 1 :, j] /= piv
         if j + 1 < n:

@@ -16,6 +16,8 @@ Line kinds (each line carries a ``"kind"`` discriminator):
 ``gemm_summary`` aggregate calls/flops/seconds, by tag and by engine
 ``trace``       embedded ``GemmTrace.to_dict()`` (optional)
 ``accuracy``    accuracy probes sampled at stage boundaries (optional)
+``resilience``  resilience-report summary: detections, escalations,
+                injected faults, final precisions (optional)
 ==============  ========================================================
 
 Schema version: ``SCHEMA_VERSION`` (bump on incompatible change; the
@@ -49,6 +51,7 @@ class RunManifest:
     gemm_summary: dict = field(default_factory=dict)
     trace: dict | None = None
     accuracy: dict | None = None
+    resilience: dict | None = None
     path: str | None = None
 
     # -- derived queries ---------------------------------------------------
@@ -139,6 +142,7 @@ def write_manifest(
     config: dict | None = None,
     trace=None,
     accuracy: dict | None = None,
+    resilience: dict | None = None,
     events: str = "full",
 ) -> str:
     """Serialize one telemetry session to a JSONL manifest.
@@ -164,6 +168,9 @@ def write_manifest(
         plain dict).
     accuracy : dict, optional
         Accuracy probes sampled at stage boundaries.
+    resilience : dict, optional
+        Resilience-report summary (``ResilienceReport.to_dict()``):
+        detections, escalations, injected faults, final precisions.
     events : {"full", "none"}
         Whether to persist the per-call GEMM event stream.
 
@@ -212,6 +219,8 @@ def write_manifest(
             fh.write(dump({"kind": "trace", **tr}) + "\n")
         if accuracy is not None:
             fh.write(dump({"kind": "accuracy", "probes": dict(accuracy)}) + "\n")
+        if resilience is not None:
+            fh.write(dump({"kind": "resilience", **dict(resilience)}) + "\n")
     return path
 
 
@@ -245,5 +254,7 @@ def load_manifest(path: str) -> RunManifest:
                 man.trace = obj
             elif kind == "accuracy":
                 man.accuracy = obj.get("probes", obj)
+            elif kind == "resilience":
+                man.resilience = obj
             # Unknown kinds are skipped: forward compatibility within a major.
     return man

@@ -96,13 +96,19 @@ def record_syevd(
     path: str | None = None,
     run_dir: str = "runs",
     events: str = "full",
+    on_breakdown: "str | None" = "escalate",
+    faults=None,
 ) -> RecordedRun:
     """Run an instrumented ``syevd_2stage`` and write its manifest.
 
     When ``a`` is omitted, a test matrix is generated with
     :func:`repro.matrices.generate_symmetric` (``n``, ``distribution``,
     ``cond``, ``seed``).  The stage-1 GEMM stream is always recorded and
-    embedded in the manifest.
+    embedded in the manifest.  ``on_breakdown`` and ``faults`` (a
+    :class:`repro.resilience.FaultInjector`) pass through to the driver;
+    the run's resilience report lands in the manifest as a
+    ``"resilience"`` line — this is how fault-injection campaigns are
+    archived and diffed.
 
     Returns
     -------
@@ -131,11 +137,12 @@ def record_syevd(
         result = syevd_2stage(
             a, b=b, nb=nb, method=method, precision=precision,
             want_vectors=want_vectors, tridiag_solver=tridiag_solver,
-            record_trace=True,
+            record_trace=True, on_breakdown=on_breakdown, faults=faults,
         )
 
     probe_values = evd_accuracy_probes(a, result) if probes else None
     trace = result.engine.trace if result.engine is not None else None
+    report = result.resilience_report
     out_path = write_manifest(
         session,
         path,
@@ -146,9 +153,11 @@ def record_syevd(
         config={
             "b": b, "nb": nb, "method": method,
             "want_vectors": want_vectors, "tridiag_solver": tridiag_solver,
+            "on_breakdown": on_breakdown,
         },
         trace=trace,
         accuracy=probe_values,
+        resilience=report.to_dict() if report is not None else None,
         events=events,
     )
     return RecordedRun(path=out_path, result=result, collector=session)

@@ -115,6 +115,35 @@ class Precision(enum.Enum):
         }[self]
 
     @property
+    def next_safer(self) -> "Precision | None":
+        """The next-safer mode on the escalation ladder (None at the top).
+
+        The ladder orders modes by decreasing numerical risk::
+
+            FP16_TC -> FP16_EC_TC -> TF32_TC -> FP32 -> FP64
+
+        BF16 shares FP32's exponent range but has the coarsest mantissa,
+        so its escape hatch is TF32 (same range, FP16-level mantissa).
+        The resilience layer (:mod:`repro.resilience`) climbs this ladder
+        when a failure detector fires.
+        """
+        return {
+            Precision.FP16_TC: Precision.FP16_EC_TC,
+            Precision.BF16_TC: Precision.TF32_TC,
+            Precision.FP16_EC_TC: Precision.TF32_TC,
+            Precision.TF32_TC: Precision.FP32,
+            Precision.FP32: Precision.FP64,
+            Precision.FP64: None,
+        }[self]
+
+    def ladder(self) -> "list[Precision]":
+        """All successively safer modes starting from (and including) this one."""
+        out = [self]
+        while out[-1].next_safer is not None:
+            out.append(out[-1].next_safer)
+        return out
+
+    @property
     def working_dtype(self) -> np.dtype:
         """NumPy dtype in which matrices are stored between kernels."""
         return np.dtype(np.float64 if self is Precision.FP64 else np.float32)

@@ -1,0 +1,297 @@
+"""Failure detectors: cheap invariant monitors for the numerical hot path.
+
+The solvers run at the edge of numerical safety (FP16 Tensor-Core GEMMs
+whose accuracy is rescued only by error correction), so overflow, NaN
+propagation, lost orthogonality, and norm explosion are first-class
+failure modes.  This module provides the *measurements*; thresholds and
+the decision to raise :class:`repro.errors.NumericalBreakdownError` live
+in :class:`DetectorBank` (configured per-run by the resilience context).
+
+Detector catalogue
+------------------
+``nonfinite``      NaN/Inf scan of GEMM outputs and stage boundaries
+``magnitude``      max-abs overflow guard (catches pre-Inf blowup)
+``orthogonality``  panel-Q drift ``max|Q^T Q - I|`` of the WY factors
+``norm_growth``    trailing-matrix max-norm growth vs. the phase baseline
+``symmetry``       drift ``max|A - A^T|`` of (sampled) trailing blocks
+``residual``       sampled matvec residual ``|A x - Q B Q^T x| / (|A| |x|)``
+
+All measurements are O(rows·cols) or cheaper — negligible next to the
+O(m·n·k) GEMMs they guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NumericalBreakdownError
+from ..precision.modes import Precision
+
+__all__ = [
+    "DetectorConfig",
+    "DetectorBank",
+    "effective_eps",
+    "has_nonfinite",
+    "max_abs",
+    "panel_orthogonality_defect",
+    "symmetry_defect",
+    "residual_probe",
+]
+
+
+def has_nonfinite(arr: np.ndarray) -> bool:
+    """Whether ``arr`` contains any NaN or Inf entry (full scan)."""
+    return not bool(np.isfinite(arr).all())
+
+
+def max_abs(arr: np.ndarray) -> float:
+    """``max|arr|`` ignoring NaNs (0.0 for empty input)."""
+    if arr.size == 0:
+        return 0.0
+    with np.errstate(invalid="ignore"):
+        return float(np.nanmax(np.abs(arr))) if np.isfinite(arr).any() else float("inf")
+
+
+def panel_orthogonality_defect(w: np.ndarray, y: np.ndarray) -> float:
+    """Orthogonality drift ``max|Q^T Q - I|`` of a panel's WY factor.
+
+    ``Q = (I - W Y^T)[:, :k]`` is the panel's orthonormal factor; its
+    first ``k`` columns are ``E - W Y_1^T`` (``Y_1`` = leading k rows),
+    computable in O(m k^2) — the same order as the panel factorization
+    itself, and far below the trailing updates it guards.
+    """
+    k = w.shape[1]
+    if k == 0:
+        return 0.0
+    qp = -w @ y[:k, :].T
+    idx = np.arange(k)
+    qp[idx, idx] += 1.0
+    gram = qp.T @ qp
+    gram[idx, idx] -= 1.0
+    return max_abs(gram)
+
+
+def symmetry_defect(a: np.ndarray, *, sample: int | None = 64) -> float:
+    """Symmetry drift ``max|A - A^T|`` (optionally over a sampled grid).
+
+    For large blocks a strided index sample keeps the probe O(sample^2)
+    while still catching broad corruption; ``sample=None`` scans fully.
+    """
+    n = a.shape[0]
+    if n < 2:
+        return 0.0
+    if sample is not None and n > sample:
+        idx = np.linspace(0, n - 1, sample).astype(np.intp)
+        sub = a[np.ix_(idx, idx)]
+        return float(max_abs(sub - sub.T))
+    return float(max_abs(a - a.T))
+
+
+def residual_probe(
+    a: np.ndarray,
+    q: np.ndarray,
+    band: np.ndarray,
+    *,
+    samples: int = 2,
+    seed: int = 0,
+) -> float:
+    """Sampled band-reduction residual ``max_x |A x - Q B Q^T x| / (|A| |x|)``.
+
+    Probes the factorization ``A ≈ Q B Q^T`` with a few random vectors —
+    O(n^2) per sample instead of the O(n^3) dense residual — enough to
+    catch a corrupted trailing update that left ``Q``/``B`` inconsistent
+    with ``A``.
+    """
+    rng = np.random.default_rng(seed)
+    n = a.shape[0]
+    a64 = np.asarray(a, dtype=np.float64)
+    q64 = np.asarray(q, dtype=np.float64)
+    b64 = np.asarray(band, dtype=np.float64)
+    norm_a = float(np.linalg.norm(a64, ord=np.inf)) or 1.0
+    worst = 0.0
+    for _ in range(samples):
+        x = rng.standard_normal(n)
+        lhs = a64 @ x
+        rhs = q64 @ (b64 @ (q64.T @ x))
+        denom = norm_a * float(np.linalg.norm(x)) or 1.0
+        worst = max(worst, float(np.linalg.norm(lhs - rhs)) / denom)
+    return worst
+
+
+def effective_eps(precision: Precision, *arrays: np.ndarray) -> float:
+    """Largest machine epsilon among the compute precision and the
+    storage dtypes of ``arrays``.
+
+    Escalated retries compute in wider arithmetic but still read/write
+    the run's storage dtype, so drift tolerances must floor at the
+    storage eps — an FP64 retry of an FP32 run cannot beat FP32 accuracy.
+    """
+    eps = precision.machine_eps
+    for arr in arrays:
+        if arr.dtype.kind == "f":
+            eps = max(eps, float(np.finfo(arr.dtype).eps))
+    return eps
+
+
+@dataclass
+class DetectorConfig:
+    """Which detectors run, and how strict they are.
+
+    Thresholds for the drift detectors scale with the active precision's
+    machine epsilon (``eps_factor * k * eps``) so the same config is
+    usable from FP16 through FP64 without spurious trips.
+    """
+
+    nonfinite: bool = True
+    magnitude: bool = True
+    magnitude_limit: float = 1e25
+    orthogonality: bool = True
+    orthogonality_eps_factor: float = 200.0
+    norm_growth: bool = True
+    norm_growth_factor: float = 1e4
+    symmetry: bool = True
+    symmetry_eps_factor: float = 500.0
+    symmetry_sample: int = 64
+    residual: bool = False
+    residual_eps_factor: float = 1e4
+    probe_stride: int = 1  # run drift probes every k-th panel
+
+    def orthogonality_tol(self, k: int, eps: float) -> float:
+        return self.orthogonality_eps_factor * max(k, 1) * eps
+
+    def symmetry_tol(self, norm: float, eps: float) -> float:
+        return self.symmetry_eps_factor * max(norm, 1.0) * eps
+
+    def residual_tol(self, eps: float) -> float:
+        return self.residual_eps_factor * eps
+
+
+class DetectorBank:
+    """Runs the configured detectors and raises on violation.
+
+    The bank is stateless apart from its config; the caller (the
+    resilience context) supplies phase/panel/site context so the raised
+    :class:`NumericalBreakdownError` is actionable.
+    """
+
+    def __init__(self, config: DetectorConfig | None = None) -> None:
+        self.config = config if config is not None else DetectorConfig()
+
+    # Each check returns None when healthy, or raises NumericalBreakdownError.
+    def check_output(
+        self,
+        arr: np.ndarray,
+        *,
+        site: str,
+        phase: str | None,
+        panel: int | None,
+        precision: Precision,
+    ) -> None:
+        """Post-GEMM output check: NaN/Inf scan plus magnitude guard."""
+        cfg = self.config
+        if cfg.nonfinite and has_nonfinite(arr):
+            raise NumericalBreakdownError(
+                "non-finite entries in GEMM output",
+                phase=phase, panel=panel, detector="nonfinite", site=site,
+                precision=precision.value,
+            )
+        if cfg.magnitude:
+            mx = max_abs(arr)
+            if mx > cfg.magnitude_limit:
+                raise NumericalBreakdownError(
+                    "GEMM output magnitude exceeds overflow guard",
+                    phase=phase, panel=panel, detector="magnitude", site=site,
+                    value=mx, threshold=cfg.magnitude_limit,
+                    precision=precision.value,
+                )
+
+    def check_panel_q(
+        self,
+        w: np.ndarray,
+        y: np.ndarray,
+        *,
+        phase: str | None,
+        panel: int | None,
+        precision: Precision,
+    ) -> None:
+        """Panel-Q orthogonality drift ``max|Q^T Q - I|``."""
+        if not self.config.orthogonality:
+            return
+        defect = panel_orthogonality_defect(w, y)
+        tol = self.config.orthogonality_tol(
+            w.shape[1], effective_eps(precision, w, y)
+        )
+        if not np.isfinite(defect) or defect > tol:
+            raise NumericalBreakdownError(
+                "panel Q lost orthogonality",
+                phase=phase, panel=panel, detector="orthogonality",
+                value=float(defect), threshold=tol, precision=precision.value,
+            )
+
+    def check_norm_growth(
+        self,
+        arr: np.ndarray,
+        baseline: float,
+        *,
+        phase: str | None,
+        panel: int | None,
+        precision: Precision,
+        site: str = "",
+    ) -> None:
+        """Trailing-matrix norm growth against the phase-entry baseline."""
+        if not self.config.norm_growth:
+            return
+        mx = max_abs(arr)
+        limit = self.config.norm_growth_factor * max(baseline, 1e-30)
+        if not np.isfinite(mx) or mx > limit:
+            raise NumericalBreakdownError(
+                "trailing-matrix norm growth exceeds baseline bound",
+                phase=phase, panel=panel, detector="norm_growth", site=site,
+                value=float(mx), threshold=limit, precision=precision.value,
+            )
+
+    def check_symmetry(
+        self,
+        a: np.ndarray,
+        *,
+        phase: str | None,
+        panel: int | None,
+        precision: Precision,
+        norm: float | None = None,
+    ) -> None:
+        """Symmetry drift of a trailing block (sampled)."""
+        if not self.config.symmetry:
+            return
+        defect = symmetry_defect(a, sample=self.config.symmetry_sample)
+        tol = self.config.symmetry_tol(
+            norm if norm is not None else max_abs(a), effective_eps(precision, a)
+        )
+        if not np.isfinite(defect) or defect > tol:
+            raise NumericalBreakdownError(
+                "symmetry drift in trailing matrix",
+                phase=phase, panel=panel, detector="symmetry",
+                value=float(defect), threshold=tol, precision=precision.value,
+            )
+
+    def check_residual(
+        self,
+        a: np.ndarray,
+        q: np.ndarray,
+        band: np.ndarray,
+        *,
+        phase: str | None,
+        precision: Precision,
+    ) -> None:
+        """Sampled factorization-residual probe at a stage boundary."""
+        if not self.config.residual:
+            return
+        res = residual_probe(a, q, band)
+        tol = self.config.residual_tol(effective_eps(precision, band))
+        if not np.isfinite(res) or res > tol:
+            raise NumericalBreakdownError(
+                "band-reduction residual probe failed",
+                phase=phase, detector="residual",
+                value=float(res), threshold=tol, precision=precision.value,
+            )

@@ -1,0 +1,171 @@
+"""Precision-escalation policy and the per-run resilience report.
+
+When a detector fires, the :class:`EscalationLadder` decides the retry:
+climb to the next-safer :class:`~repro.precision.modes.Precision`
+(``FP16_TC -> FP16_EC_TC -> TF32_TC -> FP32 -> FP64``), re-run the failed
+unit (a panel and its trailing update, or a whole stage) from its
+checkpoint, and widen exponentially on repeated failures — retry ``k``
+climbs ``2**(k-1)`` rungs, so a unit that keeps failing reaches FP64
+within the retry budget instead of crawling one rung per attempt.
+
+Everything the run detected, retried, and escalated is accumulated in a
+:class:`ResilienceReport`, attached to the driver's ``EvdResult`` and
+persisted as a ``resilience`` line in the obs manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..precision.modes import Precision
+
+__all__ = [
+    "EscalationLadder",
+    "DetectionRecord",
+    "EscalationRecord",
+    "ResilienceReport",
+]
+
+
+@dataclass
+class EscalationLadder:
+    """Retry policy: how far and how fast to escalate precision.
+
+    Parameters
+    ----------
+    max_retries : int
+        Retry budget per unit (panel / stage).  The budget of 4 reaches
+        FP64 from FP16_TC even one rung at a time.
+    widen : int
+        Base rung count for the first retry; retry ``k`` climbs
+        ``widen * 2**(k-1)`` rungs ("exponential widening").  ``widen=1``
+        gives the 1, 2, 4, ... schedule.
+    sticky : bool
+        Whether an escalated precision persists for subsequent units of
+        the same phase (True, the safe default) or reverts to the base
+        precision after the failed unit recovers.
+    """
+
+    max_retries: int = 4
+    widen: int = 1
+    sticky: bool = True
+
+    def rungs_for_attempt(self, attempt: int) -> int:
+        """Rungs to climb on retry ``attempt`` (1-based)."""
+        return self.widen * (2 ** max(attempt - 1, 0))
+
+    def escalate(self, current: Precision, attempt: int) -> "Precision | None":
+        """Next precision for retry ``attempt`` of a unit now at ``current``.
+
+        Returns ``None`` when already at the top of the ladder (nowhere
+        safer to go).  The caller enforces ``max_retries`` separately.
+        """
+        mode = current
+        for _ in range(self.rungs_for_attempt(attempt)):
+            nxt = mode.next_safer
+            if nxt is None:
+                break
+            mode = nxt
+        return None if mode is current else mode
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One detector firing (whether or not recovery followed)."""
+
+    phase: str
+    detector: str
+    site: str = ""
+    panel: "int | None" = None
+    value: "float | None" = None
+    threshold: "float | None" = None
+    precision: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase, "detector": self.detector, "site": self.site,
+            "panel": self.panel, "value": self.value,
+            "threshold": self.threshold, "precision": self.precision,
+        }
+
+
+@dataclass(frozen=True)
+class EscalationRecord:
+    """One precision escalation taken in response to a detection."""
+
+    phase: str
+    from_precision: str
+    to_precision: str
+    attempt: int
+    panel: "int | None" = None
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase, "from": self.from_precision,
+            "to": self.to_precision, "attempt": self.attempt,
+            "panel": self.panel, "reason": self.reason,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """What the resilience layer saw and did during one driver run.
+
+    Attributes
+    ----------
+    detections : list of DetectionRecord
+        Every detector firing, in order.
+    escalations : list of EscalationRecord
+        Every precision escalation taken.
+    faults_injected : list of dict
+        Faults the (test-only) injector actually fired.
+    final_precision : dict
+        Precision each phase finished at (phase path -> precision name).
+    retries : int
+        Total unit retries across the run.
+    best_effort : list of str
+        Phases that exhausted the ladder and continued under
+        ``on_breakdown="best_effort"`` (empty in healthy runs).
+    """
+
+    detections: list = field(default_factory=list)
+    escalations: list = field(default_factory=list)
+    faults_injected: list = field(default_factory=list)
+    final_precision: dict = field(default_factory=dict)
+    retries: int = 0
+    best_effort: list = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        """True when the run saw no detections, faults, or escalations."""
+        return not (
+            self.detections or self.escalations
+            or self.faults_injected or self.best_effort or self.retries
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the manifest's ``resilience`` line body)."""
+        return {
+            "detections": [d.to_dict() for d in self.detections],
+            "escalations": [e.to_dict() for e in self.escalations],
+            "faults_injected": list(self.faults_injected),
+            "final_precision": dict(self.final_precision),
+            "retries": self.retries,
+            "best_effort": list(self.best_effort),
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for logs and reports."""
+        if self.empty:
+            return "resilience: clean run (no detections, no escalations)"
+        parts = [
+            f"{len(self.detections)} detection(s)",
+            f"{len(self.escalations)} escalation(s)",
+            f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}",
+        ]
+        if self.faults_injected:
+            parts.append(f"{len(self.faults_injected)} injected fault(s)")
+        if self.best_effort:
+            parts.append(f"best-effort phases: {', '.join(self.best_effort)}")
+        return "resilience: " + ", ".join(parts)

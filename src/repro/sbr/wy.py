@@ -32,6 +32,18 @@ Implementation notes
 - The recursion of Algorithm 1 is expressed iteratively: ``j0`` advances
   by ``nb`` per big block over the same storage.
 
+Resilience
+----------
+When a :class:`repro.resilience.ResilienceContext` is passed, each panel
+iteration — panel QR, (W, Y) extension, and its deferred trailing update
+— is a *retryable unit*: the affected region ``A[i:, i:]`` is
+checkpointed before the step (``W``/``Y``/``OAW`` are rebuilt by
+``hstack`` and need no copy), detectors run on every GEMM output and on
+the panel's Q factor, and a detected breakdown restores the checkpoint
+and re-runs the panel at the ladder's next-safer precision.  This is the
+per-panel recovery granularity the look-ahead band-reduction literature
+uses for checkpointing, and it avoids restarting the whole ``sy2sb``.
+
 GEMM tags: ``form_w``, ``wy_oaw``, ``wy_right``, ``wy_left``,
 ``wy_full_right``, ``wy_full_left``, plus the panel strategy's tags and
 ``form_q`` for eigenvector accumulation.
@@ -41,9 +53,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import NumericalBreakdownError, SingularMatrixError
 from ..gemm.engine import GemmEngine, SgemmEngine
 from ..obs import spans as obs
-from ..validation import as_symmetric_matrix, check_blocksizes
+from ..resilience.context import ResilienceContext
+from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
 from .formw import form_q_from_blocks
 from .panel import PanelStrategy, make_panel_strategy
 from .types import SbrResult, WYBlock
@@ -60,6 +74,8 @@ def sbr_wy(
     panel: "str | PanelStrategy" = "tsqr",
     want_q: bool = True,
     q_method: str = "tree",
+    resilience: ResilienceContext | None = None,
+    check_finite: bool = True,
 ) -> SbrResult:
     """Reduce a symmetric matrix to band form with the WY-based Algorithm 1.
 
@@ -82,14 +98,27 @@ def sbr_wy(
     q_method : {"tree", "forward"}
         How to assemble Q from the per-block WY factors when ``want_q``:
         ``"tree"`` uses the recursive FormW merge (paper Algorithm 2).
+    resilience : ResilienceContext, optional
+        Per-run failure detection + per-panel precision-escalation retry.
+    check_finite : bool
+        Reject NaN/Inf inputs up front (cheap gate; disable only when the
+        caller already validated).
 
     Returns
     -------
     SbrResult
         Band matrix, bandwidth, optional ``Q``, and per-big-block WY blocks.
     """
-    eng = engine if engine is not None else SgemmEngine()
+    eng: "GemmEngine" = engine if engine is not None else SgemmEngine()
+    ctx = resilience
+    if ctx is not None:
+        eng = ctx.wrap_engine(eng)
     strategy = make_panel_strategy(panel)
+    a = np.asarray(a)
+    if check_finite and a.ndim == 2 and a.size:
+        # Before the symmetry check: a NaN fails allclose and would be
+        # misreported as asymmetry.
+        check_finite_matrix(a)
     a = as_symmetric_matrix(a, dtype=eng.working_dtype)
     n = a.shape[0]
     check_blocksizes(n, b, nb)
@@ -97,7 +126,9 @@ def sbr_wy(
     dtype = eng.working_dtype
     A = np.array(a, dtype=dtype, copy=True)
     blocks: list[WYBlock] = []
+    norm_baseline = float(np.abs(A).max()) if ctx is not None else 0.0
 
+    panel_index = 0
     j0 = 0
     while n - j0 - b >= 2:
         M = n - j0 - b  # size of the block's trailing row/col space S = [j0+b, n)
@@ -106,75 +137,25 @@ def sbr_wy(
         W: np.ndarray | None = None
         Y: np.ndarray | None = None
         OAW = np.empty((M, 0), dtype=dtype)
-        advance_full_block = False
+        status = "advance"
 
         for r in range(0, nb, b):
             i = j0 + r
             m = n - i - b  # panel rows
             if m < 2:
                 break
-            w_cols = min(b, m)
-
-            # --- 1. Panel QR (columns freshened by the previous step). ---
-            with obs.span("sbr.panel", rows=m, cols=w_cols):
-                pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
-            A[i + b : i + b + w_cols, i : i + w_cols] = pf.r.astype(dtype, copy=False)
-            A[i + b + w_cols :, i : i + w_cols] = 0
-            A[i : i + w_cols, i + b :] = A[i + b :, i : i + w_cols].T
-
-            if w_cols < b:
-                # Tail panel: columns [i+w, i+b) keep in-band entries on the
-                # panel row range; earlier deferred updates already brought
-                # them up to date through the previous panel, so only this
-                # (last) panel's left transform is missing.
-                pw = pf.w.astype(dtype, copy=False)
-                py = pf.y.astype(dtype, copy=False)
-                strip = A[i + b :, i + w_cols : i + b]
-                wts = eng.gemm(pw.T, strip, tag="sbr_strip")
-                strip -= eng.gemm(py, wts, tag="sbr_strip")
-                A[i + w_cols : i + b, i + b :] = strip.T
-
-            # --- 2. Extend (W, Y) over the block row space S (leading zeros). -
-            with obs.span("sbr.form_w", rows=M):
-                wp = np.zeros((M, w_cols), dtype=dtype)
-                yp = np.zeros((M, w_cols), dtype=dtype)
-                wp[r:] = pf.w.astype(dtype, copy=False)
-                yp[r:] = pf.y.astype(dtype, copy=False)
-                if W is None:
-                    W, Y = wp, yp
-                else:
-                    ytwp = eng.gemm(Y.T, wp, tag="form_w")
-                    w_new = wp - eng.gemm(W, ytwp, tag="form_w")
-                    W = np.hstack([W, w_new])
-                    Y = np.hstack([Y, yp])
-
-            # --- Incremental OA @ W cache (the 'reuse the original matrix'
-            #     cost of Algorithm 1's inner loop). -------------------------
-            with obs.span("sbr.oaw"):
-                OAW = np.hstack([OAW, eng.gemm(OA, W[:, -w_cols:], tag="wy_oaw")])
-
-            if m <= b + 1:
-                # Tail: no further panel will run (the next would have
-                # m' = m - b < 2 rows), so the partial update must finalize
-                # all m remaining columns, not just the next panel's b.
-                with obs.span("sbr.partial_update", cols=m):
-                    _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=m)
+            W, Y, OAW, status = _resilient_panel_step(
+                A, OA, OAW, W, Y, eng, strategy, ctx,
+                b=b, nb=nb, j0=j0, r=r, n=n,
+                panel_index=panel_index, norm_baseline=norm_baseline,
+            )
+            panel_index += 1
+            if status != "advance":
                 break
-            if r + b >= nb:
-                # Big block exhausted with panels remaining: full trailing
-                # update from OA, then start the next big block (recursion).
-                with obs.span("sbr.full_update", rows=M - r):
-                    _full_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r_end=r)
-                advance_full_block = True
-                break
-
-            # --- 3. Partial update: only the next panel's columns. ----------
-            with obs.span("sbr.partial_update", cols=b):
-                _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=b)
 
         if W is not None:
             blocks.append(WYBlock(offset=j0 + b, w=W, y=Y))
-        if not advance_full_block:
+        if status != "block_end":
             break
         j0 += nb
 
@@ -182,8 +163,179 @@ def sbr_wy(
     q = None
     if want_q:
         with obs.span("sbr.form_q", method=q_method):
-            q = form_q_from_blocks(blocks, n, engine=eng, method=q_method, dtype=dtype)
+            q = _resilient_form_q(blocks, n, eng, ctx, q_method, dtype)
+    if ctx is not None:
+        ctx.note_precision("sbr", eng.precision)
+        if q is not None:
+            with ctx.unit("sbr"):
+                ctx.check_residual(a, q, A, precision=eng.precision)
     return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks)
+
+
+def _resilient_panel_step(
+    A, OA, OAW, W, Y, eng, strategy, ctx,
+    *, b, nb, j0, r, n, panel_index, norm_baseline,
+):
+    """Run one panel step, retrying from a checkpoint on breakdown.
+
+    The checkpoint is the region the step may write — ``A[i:, i:]`` —
+    plus the pre-step ``(W, Y, OAW)`` references (immutable between
+    steps: extensions allocate new arrays).
+    """
+    if ctx is None:
+        return _panel_step(
+            A, OA, OAW, W, Y, eng, strategy, None,
+            b=b, nb=nb, j0=j0, r=r, n=n,
+            panel_index=panel_index, norm_baseline=norm_baseline,
+        )
+    i = j0 + r
+    snapshot = A[i:, i:].copy() if ctx.can_retry else None
+    state = (W, Y, OAW)
+    attempt = 0
+    while True:
+        try:
+            with ctx.unit("sbr.panel", panel=panel_index):
+                return _panel_step(
+                    A, OA, OAW, W, Y, eng, strategy, ctx,
+                    b=b, nb=nb, j0=j0, r=r, n=n,
+                    panel_index=panel_index, norm_baseline=norm_baseline,
+                )
+        except (NumericalBreakdownError, SingularMatrixError) as exc:
+            if not ctx.handle_breakdown(
+                exc, engine=eng, attempt=attempt,
+                phase="sbr.panel", panel=panel_index,
+            ):
+                raise
+            A[i:, i:] = snapshot
+            W, Y, OAW = state
+            attempt += 1
+
+
+def _resilient_form_q(blocks, n, eng, ctx, q_method, dtype):
+    """Assemble Q, retrying at escalated precision on breakdown.
+
+    ``form_q_from_blocks`` is pure in its inputs (the immutable block
+    list), so the retry needs no checkpoint.
+    """
+    if ctx is None:
+        return form_q_from_blocks(blocks, n, engine=eng, method=q_method, dtype=dtype)
+    attempt = 0
+    while True:
+        try:
+            with ctx.unit("sbr.form_q"):
+                return form_q_from_blocks(
+                    blocks, n, engine=eng, method=q_method, dtype=dtype
+                )
+        except NumericalBreakdownError as exc:
+            if not ctx.handle_breakdown(
+                exc, engine=eng, attempt=attempt, phase="sbr.form_q"
+            ):
+                raise
+            attempt += 1
+
+
+def _panel_step(
+    A, OA, OAW, W, Y, eng, strategy, ctx,
+    *, b, nb, j0, r, n, panel_index, norm_baseline,
+):
+    """One panel iteration: QR, (W, Y) extension, deferred update.
+
+    Returns the extended ``(W, Y, OAW)`` and a status: ``"advance"``
+    (next panel in this big block), ``"tail"`` (matrix exhausted), or
+    ``"block_end"`` (full trailing update done; start the next block).
+    """
+    dtype = A.dtype
+    M = n - j0 - b
+    i = j0 + r
+    m = n - i - b
+    w_cols = min(b, m)
+
+    # --- 1. Panel QR (columns freshened by the previous step). ---
+    with obs.span("sbr.panel", rows=m, cols=w_cols):
+        try:
+            pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
+        except SingularMatrixError as exc:
+            if exc.panel is None:
+                exc.panel = panel_index
+            raise
+    if ctx is not None:
+        ctx.check_panel(
+            pf.w.astype(dtype, copy=False), pf.y.astype(dtype, copy=False),
+            precision=eng.precision,
+        )
+    A[i + b : i + b + w_cols, i : i + w_cols] = pf.r.astype(dtype, copy=False)
+    A[i + b + w_cols :, i : i + w_cols] = 0
+    A[i : i + w_cols, i + b :] = A[i + b :, i : i + w_cols].T
+
+    if w_cols < b:
+        # Tail panel: columns [i+w, i+b) keep in-band entries on the
+        # panel row range; earlier deferred updates already brought
+        # them up to date through the previous panel, so only this
+        # (last) panel's left transform is missing.
+        pw = pf.w.astype(dtype, copy=False)
+        py = pf.y.astype(dtype, copy=False)
+        strip = A[i + b :, i + w_cols : i + b]
+        wts = eng.gemm(pw.T, strip, tag="sbr_strip")
+        strip -= eng.gemm(py, wts, tag="sbr_strip")
+        A[i + w_cols : i + b, i + b :] = strip.T
+
+    # --- 2. Extend (W, Y) over the block row space S (leading zeros). -
+    with obs.span("sbr.form_w", rows=M):
+        wp = np.zeros((M, w_cols), dtype=dtype)
+        yp = np.zeros((M, w_cols), dtype=dtype)
+        wp[r:] = pf.w.astype(dtype, copy=False)
+        yp[r:] = pf.y.astype(dtype, copy=False)
+        if W is None:
+            W, Y = wp, yp
+        else:
+            ytwp = eng.gemm(Y.T, wp, tag="form_w")
+            w_new = wp - eng.gemm(W, ytwp, tag="form_w")
+            W = np.hstack([W, w_new])
+            Y = np.hstack([Y, yp])
+
+    # --- Incremental OA @ W cache (the 'reuse the original matrix'
+    #     cost of Algorithm 1's inner loop). -------------------------
+    with obs.span("sbr.oaw"):
+        OAW = np.hstack([OAW, eng.gemm(OA, W[:, -w_cols:], tag="wy_oaw")])
+
+    if m <= b + 1:
+        # Tail: no further panel will run (the next would have
+        # m' = m - b < 2 rows), so the partial update must finalize
+        # all m remaining columns, not just the next panel's b.
+        with obs.span("sbr.partial_update", cols=m):
+            _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=m)
+        if ctx is not None:
+            lo = j0 + b + r
+            ctx.check_norm_growth(
+                A[lo:, lo : lo + m], norm_baseline,
+                precision=eng.precision, site="wy_right",
+            )
+        return W, Y, OAW, "tail"
+    if r + b >= nb:
+        # Big block exhausted with panels remaining: full trailing
+        # update from OA, then start the next big block (recursion).
+        with obs.span("sbr.full_update", rows=M - r):
+            _full_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r_end=r)
+        if ctx is not None:
+            lo = j0 + b + r
+            ctx.check_norm_growth(
+                A[lo:, lo:], norm_baseline,
+                precision=eng.precision, site="wy_full_right",
+            )
+            ctx.check_symmetry(A[lo:, lo:], precision=eng.precision,
+                               norm=norm_baseline)
+        return W, Y, OAW, "block_end"
+
+    # --- 3. Partial update: only the next panel's columns. ----------
+    with obs.span("sbr.partial_update", cols=b):
+        _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=b)
+    if ctx is not None:
+        lo = j0 + b + r
+        ctx.check_norm_growth(
+            A[lo:, lo : lo + b], norm_baseline,
+            precision=eng.precision, site="wy_right",
+        )
+    return W, Y, OAW, "advance"
 
 
 def _partial_update(

@@ -12,6 +12,14 @@ symmetric rank-2b update is two independent outer-product GEMMs.  Every
 trailing GEMM here has inner dimension ``b`` (tall and skinny), which is
 what starves Tensor Cores and motivates the WY-based Algorithm 1.
 
+When a :class:`repro.resilience.ResilienceContext` is passed, each panel
+(QR + trailing update + Q accumulation) is a retryable unit: the trailing
+region ``A[i:, i:]`` and the touched Q columns are checkpointed, and a
+detected breakdown re-runs the panel at the ladder's next-safer
+precision.  The ZY trailing update's two independent outer products leave
+genuine rounding asymmetry, so the symmetry-drift detector is live here
+(it is trivially satisfied on the WY path, which symmetrizes exactly).
+
 GEMM tags (recorded in the engine trace):
 
 ====================  =====================================================
@@ -27,9 +35,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import NumericalBreakdownError, SingularMatrixError
 from ..gemm.engine import GemmEngine, SgemmEngine
 from ..obs import spans as obs
-from ..validation import as_symmetric_matrix, check_blocksizes
+from ..resilience.context import ResilienceContext
+from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
 from .panel import PanelStrategy, make_panel_strategy
 from .types import SbrResult, WYBlock
 
@@ -44,6 +54,8 @@ def sbr_zy(
     panel: "str | PanelStrategy" = "blocked_qr",
     want_q: bool = True,
     use_syr2k: bool = False,
+    resilience: ResilienceContext | None = None,
+    check_finite: bool = True,
 ) -> SbrResult:
     """Reduce a symmetric matrix to band form with the ZY-based algorithm.
 
@@ -65,14 +77,27 @@ def sbr_zy(
         instead of two explicit GEMMs.  Real Tensor Cores have no native
         syr2k (paper §4.1) — this switch exists for the "what if they did"
         ablation of the paper's future-work section.
+    resilience : ResilienceContext, optional
+        Per-run failure detection + per-panel precision-escalation retry.
+    check_finite : bool
+        Reject NaN/Inf inputs up front (cheap gate; disable only when the
+        caller already validated).
 
     Returns
     -------
     SbrResult
         Band matrix, bandwidth, optional ``Q``, and the per-panel WY blocks.
     """
-    eng = engine if engine is not None else SgemmEngine()
+    eng: "GemmEngine" = engine if engine is not None else SgemmEngine()
+    ctx = resilience
+    if ctx is not None:
+        eng = ctx.wrap_engine(eng)
     strategy = make_panel_strategy(panel)
+    a = np.asarray(a)
+    if check_finite and a.ndim == 2 and a.size:
+        # Before the symmetry check: a NaN fails allclose and would be
+        # misreported as asymmetry.
+        check_finite_matrix(a)
     a = as_symmetric_matrix(a, dtype=eng.working_dtype)
     n = a.shape[0]
     check_blocksizes(n, b)
@@ -81,50 +106,118 @@ def sbr_zy(
     A = np.array(a, dtype=dtype, copy=True)
     q = np.eye(n, dtype=dtype) if want_q else None
     blocks: list[WYBlock] = []
+    norm_baseline = float(np.abs(A).max()) if ctx is not None else 0.0
 
+    panel_index = 0
     i = 0
     while n - i - b >= 2:
-        m = n - i - b
-        w_cols = min(b, m)
-        with obs.span("sbr.panel", rows=m, cols=w_cols):
-            pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
-        w, y = pf.w.astype(dtype, copy=False), pf.y.astype(dtype, copy=False)
-
-        # Write R into the band, zero the annihilated part, mirror symmetric.
-        A[i + b : i + b + w_cols, i : i + w_cols] = pf.r.astype(dtype, copy=False)
-        A[i + b + w_cols :, i : i + w_cols] = 0
-        A[i : i + w_cols, i + b :] = A[i + b :, i : i + w_cols].T
-
-        if w_cols < b:
-            # Tail panel: columns [i+w, i+b) still carry in-band entries on
-            # the panel's row range; they see only this panel's transform
-            # from the left (no trailing panel follows).
-            strip = A[i + b :, i + w_cols : i + b]
-            wts = eng.gemm(w.T, strip, tag="sbr_strip")
-            strip -= eng.gemm(y, wts, tag="sbr_strip")
-            A[i + w_cols : i + b, i + b :] = strip.T
-
-        # ZY trailing update on the m×m trailing block (two-sided rank-2b).
-        with obs.span("sbr.trailing_update", rows=m):
-            trailing = A[i + b :, i + b :]
-            aw = eng.gemm(trailing, w, tag="zy_aw")
-            wtaw = eng.gemm(w.T, aw, tag="zy_wtaw")
-            z = aw - dtype.type(0.5) * eng.gemm(y, wtaw, tag="zy_z")
-            if use_syr2k:
-                trailing -= eng.syr2k(z, y, tag="zy_syr2k")
-            else:
-                trailing -= eng.gemm(z, y.T, tag="zy_zyt")
-                trailing -= eng.gemm(y, z.T, tag="zy_yzt")
-
+        w, y = _resilient_zy_panel(
+            A, q, eng, strategy, ctx,
+            b=b, i=i, n=n, use_syr2k=use_syr2k,
+            panel_index=panel_index, norm_baseline=norm_baseline,
+        )
         blocks.append(WYBlock(offset=i + b, w=w, y=y))
-        if q is not None:
-            # Q <- Q @ embed(I - W Y^T): only columns i+b.. change.
-            with obs.span("sbr.form_q"):
-                qw = eng.gemm(q[:, i + b :], w, tag="form_q")
-                q[:, i + b :] -= eng.gemm(qw, y.T, tag="form_q")
+        panel_index += 1
         i += b
 
     # Exact symmetry of the band output (two independent outer products
     # leave rounding-level asymmetry in the trailing block).
     A = (A + A.T) * dtype.type(0.5)
+    if ctx is not None:
+        ctx.note_precision("sbr", eng.precision)
+        if q is not None:
+            with ctx.unit("sbr"):
+                ctx.check_residual(a, q, A, precision=eng.precision)
     return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks)
+
+
+def _resilient_zy_panel(
+    A, q, eng, strategy, ctx,
+    *, b, i, n, use_syr2k, panel_index, norm_baseline,
+):
+    """One ZY panel as a retryable unit (checkpoint: A[i:, i:], Q[:, i+b:])."""
+    if ctx is None:
+        return _zy_panel_step(
+            A, q, eng, strategy, None,
+            b=b, i=i, n=n, use_syr2k=use_syr2k,
+            panel_index=panel_index, norm_baseline=norm_baseline,
+        )
+    snap_a = A[i:, i:].copy() if ctx.can_retry else None
+    snap_q = q[:, i + b :].copy() if (ctx.can_retry and q is not None) else None
+    attempt = 0
+    while True:
+        try:
+            with ctx.unit("sbr.panel", panel=panel_index):
+                return _zy_panel_step(
+                    A, q, eng, strategy, ctx,
+                    b=b, i=i, n=n, use_syr2k=use_syr2k,
+                    panel_index=panel_index, norm_baseline=norm_baseline,
+                )
+        except (NumericalBreakdownError, SingularMatrixError) as exc:
+            if not ctx.handle_breakdown(
+                exc, engine=eng, attempt=attempt,
+                phase="sbr.panel", panel=panel_index,
+            ):
+                raise
+            A[i:, i:] = snap_a
+            if snap_q is not None:
+                q[:, i + b :] = snap_q
+            attempt += 1
+
+
+def _zy_panel_step(
+    A, q, eng, strategy, ctx,
+    *, b, i, n, use_syr2k, panel_index, norm_baseline,
+):
+    """Panel QR + rank-2b trailing update + Q accumulation (one panel)."""
+    dtype = A.dtype
+    m = n - i - b
+    w_cols = min(b, m)
+    with obs.span("sbr.panel", rows=m, cols=w_cols):
+        try:
+            pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
+        except SingularMatrixError as exc:
+            if exc.panel is None:
+                exc.panel = panel_index
+            raise
+    w, y = pf.w.astype(dtype, copy=False), pf.y.astype(dtype, copy=False)
+    if ctx is not None:
+        ctx.check_panel(w, y, precision=eng.precision)
+
+    # Write R into the band, zero the annihilated part, mirror symmetric.
+    A[i + b : i + b + w_cols, i : i + w_cols] = pf.r.astype(dtype, copy=False)
+    A[i + b + w_cols :, i : i + w_cols] = 0
+    A[i : i + w_cols, i + b :] = A[i + b :, i : i + w_cols].T
+
+    if w_cols < b:
+        # Tail panel: columns [i+w, i+b) still carry in-band entries on
+        # the panel's row range; they see only this panel's transform
+        # from the left (no trailing panel follows).
+        strip = A[i + b :, i + w_cols : i + b]
+        wts = eng.gemm(w.T, strip, tag="sbr_strip")
+        strip -= eng.gemm(y, wts, tag="sbr_strip")
+        A[i + w_cols : i + b, i + b :] = strip.T
+
+    # ZY trailing update on the m×m trailing block (two-sided rank-2b).
+    with obs.span("sbr.trailing_update", rows=m):
+        trailing = A[i + b :, i + b :]
+        aw = eng.gemm(trailing, w, tag="zy_aw")
+        wtaw = eng.gemm(w.T, aw, tag="zy_wtaw")
+        z = aw - dtype.type(0.5) * eng.gemm(y, wtaw, tag="zy_z")
+        if use_syr2k:
+            trailing -= eng.syr2k(z, y, tag="zy_syr2k")
+        else:
+            trailing -= eng.gemm(z, y.T, tag="zy_zyt")
+            trailing -= eng.gemm(y, z.T, tag="zy_yzt")
+    if ctx is not None:
+        ctx.check_norm_growth(
+            trailing, norm_baseline, precision=eng.precision, site="zy_zyt"
+        )
+        ctx.check_symmetry(trailing, precision=eng.precision, norm=norm_baseline)
+
+    if q is not None:
+        # Q <- Q @ embed(I - W Y^T): only columns i+b.. change.
+        with obs.span("sbr.form_q"):
+            qw = eng.gemm(q[:, i + b :], w, tag="form_q")
+            q[:, i + b :] -= eng.gemm(qw, y.T, tag="form_q")
+    return w, y

@@ -16,6 +16,7 @@ __all__ = [
     "as_matrix",
     "as_square_matrix",
     "as_symmetric_matrix",
+    "check_finite_matrix",
     "check_positive_int",
     "check_blocksizes",
 ]
@@ -64,6 +65,28 @@ def as_symmetric_matrix(
     # Exact symmetrization: two-sided updates assume A == A.T bitwise.
     sym = (arr + arr.T) * arr.dtype.type(0.5)
     return np.ascontiguousarray(sym)
+
+
+def check_finite_matrix(arr: np.ndarray, *, name: str = "a") -> np.ndarray:
+    """Reject matrices containing NaN/Inf with a clear, early error.
+
+    A non-finite entry anywhere in the input silently poisons every
+    downstream GEMM, so the drivers gate on this up front (skippable with
+    ``check_finite=False`` for callers that already validated).  Raises
+    :class:`repro.errors.ShapeError` (a ``ValueError``) naming the first
+    offending position.
+    """
+    finite = np.isfinite(arr)
+    if not finite.all():
+        bad = np.argwhere(~finite)
+        i, j = (int(x) for x in bad[0])
+        kind = "nan" if np.isnan(arr[i, j]) else "inf"
+        raise ShapeError(
+            f"{name} contains {bad.shape[0]} non-finite entr"
+            f"{'y' if bad.shape[0] == 1 else 'ies'} (first: {kind} at "
+            f"[{i}, {j}]); pass check_finite=False to skip this gate"
+        )
+    return arr
 
 
 def check_positive_int(value: int, *, name: str) -> int:

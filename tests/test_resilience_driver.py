@@ -1,0 +1,379 @@
+"""Driver-level resilience: fault recovery, degradation modes, reporting.
+
+The acceptance test of the subsystem: inject NaN/overflow faults into
+each phase of the two-stage eigensolver (panel TSQR, WY trailing update,
+bulge chase) and verify that ``on_breakdown="escalate"`` recovers with
+the accuracy of the escalated mode, that ``"raise"`` names the failed
+phase, that ``"best_effort"`` always returns, and that everything is
+visible both in ``EvdResult.resilience_report`` and in the obs manifest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eig.driver import syevd_1stage, syevd_2stage, syevd_selected
+from repro.errors import (
+    ConvergenceError,
+    NumericalBreakdownError,
+    ReproError,
+    ShapeError,
+    SingularMatrixError,
+)
+from repro.matrices import generate_symmetric
+from repro.precision.modes import Precision
+from repro.resilience import EscalationLadder, FaultInjector, FaultSpec
+from repro.sbr.wy import sbr_wy
+from repro.sbr.zy import sbr_zy
+
+from conftest import random_symmetric
+
+
+@pytest.fixture
+def sym96(rng):
+    return random_symmetric(96, rng)
+
+
+def eig_error(res, a):
+    return float(np.abs(np.sort(res.eigenvalues) - np.linalg.eigvalsh(a)).max())
+
+
+# ---------------------------------------------------------------------------
+# Healthy runs: the layer is invisible
+# ---------------------------------------------------------------------------
+
+
+class TestHealthyRuns:
+    def test_default_run_has_empty_report(self, sym96):
+        res = syevd_2stage(sym96, b=8, nb=32, precision="fp32")
+        assert res.resilience_report is not None
+        assert res.resilience_report.empty
+        assert res.resilience_report.final_precision["sbr"] == "fp32"
+
+    def test_layer_can_be_disabled(self, sym96):
+        res = syevd_2stage(sym96, b=8, nb=32, on_breakdown=None)
+        assert res.resilience_report is None
+
+    def test_resilient_run_matches_unprotected_run(self, sym96):
+        protected = syevd_2stage(sym96, b=8, nb=32, precision="fp32")
+        bare = syevd_2stage(sym96, b=8, nb=32, precision="fp32", on_breakdown=None)
+        np.testing.assert_array_equal(protected.eigenvalues, bare.eigenvalues)
+
+    @pytest.mark.parametrize("precision", ["fp64", "fp32", "tf32_tc",
+                                           "fp16_tc", "bf16_tc", "fp16_ec_tc"])
+    @pytest.mark.parametrize("dist", ["geo", "normal", "cluster1"])
+    def test_precision_sweep_round_trips_clean(self, precision, dist):
+        # Property sweep: every precision mode round-trips through the
+        # resilient driver on SPD (geo), indefinite (normal), and
+        # clustered spectra without tripping a single detector.
+        a, _ = generate_symmetric(
+            64, distribution=dist, cond=1e2, rng=np.random.default_rng(3)
+        )
+        res = syevd_2stage(a, b=8, nb=32, precision=precision)
+        assert res.resilience_report.empty, res.resilience_report.summary()
+        eps = Precision.from_name(precision).machine_eps
+        assert eig_error(res, a) < 5e3 * eps * 64
+
+
+# ---------------------------------------------------------------------------
+# Fault recovery per phase (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+PHASE_FAULTS = [
+    ("panel_*", "panel factorization"),      # TSQR tree / WY reconstruction
+    ("wy_right", "deferred trailing update"),
+    ("wy_full_right", "big-block trailing update"),
+    ("bulge", "bulge chase"),
+]
+
+
+class TestEscalateRecovery:
+    @pytest.mark.parametrize("site,label", PHASE_FAULTS, ids=[s for s, _ in PHASE_FAULTS])
+    @pytest.mark.parametrize("kind", ["nan", "overflow"])
+    def test_transient_fault_recovers(self, sym96, site, label, kind):
+        inj = FaultInjector(FaultSpec(site=site, kind=kind, call_index=0))
+        res = syevd_2stage(sym96, b=8, nb=32, precision="fp32", faults=inj)
+        rep = res.resilience_report
+        assert rep.faults_injected, f"{label}: fault never fired"
+        assert rep.detections, f"{label}: no detector fired"
+        assert rep.retries >= 1
+        # Recovery accuracy within the (escalated) run's eps bound.
+        assert eig_error(res, sym96) < 5e3 * Precision.FP32.machine_eps * 96
+
+    def test_escalation_recorded_with_phase_and_panel(self, sym96):
+        inj = FaultInjector(FaultSpec(site="wy_right", kind="nan", call_index=1))
+        res = syevd_2stage(sym96, b=8, nb=32, precision="fp32", faults=inj)
+        escs = res.resilience_report.escalations
+        assert escs and escs[0].phase == "sbr.panel"
+        assert escs[0].from_precision == "fp32"
+        assert escs[0].to_precision == "fp64"
+        assert escs[0].panel is not None
+
+    def test_fp16_ladder_climbs_one_rung(self, sym96):
+        inj = FaultInjector(FaultSpec(site="panel_*", kind="nan", call_index=0))
+        res = syevd_2stage(sym96, b=8, nb=32, precision="fp16_tc", faults=inj)
+        escs = res.resilience_report.escalations
+        assert [(e.from_precision, e.to_precision) for e in escs] == [
+            ("fp16_tc", "fp16_ec_tc")
+        ]
+
+    def test_zy_method_recovers(self, sym96):
+        inj = FaultInjector(FaultSpec(site="zy_aw", kind="nan", call_index=1))
+        res = syevd_2stage(sym96, b=8, method="zy", precision="fp32", faults=inj)
+        rep = res.resilience_report
+        assert rep.detections and rep.retries >= 1
+        assert eig_error(res, sym96) < 5e3 * Precision.FP32.machine_eps * 96
+
+    def test_selected_driver_recovers(self, sym96):
+        inj = FaultInjector(FaultSpec(site="wy_right", kind="inf", call_index=0))
+        res = syevd_selected(sym96, select=(0, 5), b=8, nb=32,
+                             precision="fp32", faults=inj)
+        rep = res.resilience_report
+        assert rep.detections
+        ref = np.linalg.eigvalsh(sym96)[:5]
+        assert np.abs(res.eigenvalues - ref).max() < 5e3 * Precision.FP32.machine_eps * 96
+
+    def test_silent_sign_flip_caught_by_drift_detectors(self, sym96):
+        # sign_flip leaves all entries finite — only the invariant-drift
+        # detectors (orthogonality / symmetry / norm) can see it.
+        inj = FaultInjector(
+            FaultSpec(site="panel_reconstruct", kind="sign_flip",
+                      call_index=0, fraction=0.25)
+        )
+        res = syevd_2stage(sym96, b=8, nb=32, precision="fp32", faults=inj)
+        rep = res.resilience_report
+        assert any(d.detector == "orthogonality" for d in rep.detections)
+        assert eig_error(res, sym96) < 5e3 * Precision.FP32.machine_eps * 96
+
+
+# ---------------------------------------------------------------------------
+# raise / best_effort modes
+# ---------------------------------------------------------------------------
+
+
+class TestDegradationModes:
+    @pytest.mark.parametrize("site,phase", [
+        ("panel_*", "sbr.panel"),
+        ("wy_right", "sbr.panel"),
+        ("bulge", "bulge"),
+    ])
+    def test_raise_mode_names_phase(self, sym96, site, phase):
+        inj = FaultInjector(FaultSpec(site=site, kind="nan", call_index=0))
+        with pytest.raises(NumericalBreakdownError) as ei:
+            syevd_2stage(sym96, b=8, nb=32, precision="fp32",
+                         faults=inj, on_breakdown="raise")
+        assert ei.value.phase == phase
+        assert phase in str(ei.value)
+
+    def test_escalate_exhausts_budget_then_raises(self, sym96):
+        inj = FaultInjector(
+            FaultSpec(site="panel_*", kind="nan", call_index=0, count=10**6)
+        )
+        with pytest.raises((NumericalBreakdownError, SingularMatrixError)):
+            syevd_2stage(sym96, b=8, nb=32, precision="fp32", faults=inj,
+                         ladder=EscalationLadder(max_retries=2))
+
+    def test_best_effort_completes_on_persistent_overflow(self, sym96):
+        inj = FaultInjector(
+            FaultSpec(site="wy_right", kind="overflow", call_index=0, count=10**6)
+        )
+        res = syevd_2stage(sym96, b=8, nb=32, precision="fp32", faults=inj,
+                           on_breakdown="best_effort",
+                           ladder=EscalationLadder(max_retries=1))
+        rep = res.resilience_report
+        assert rep.best_effort
+        assert np.isfinite(res.eigenvalues).all()
+
+    def test_best_effort_propagates_structural_failure(self, sym96):
+        # A persistent NaN corrupts even the detector-suppressed final
+        # pass; the structural guards must end the run, not loop forever.
+        inj = FaultInjector(
+            FaultSpec(site="panel_*", kind="nan", call_index=0, count=10**6)
+        )
+        with pytest.raises(ReproError):
+            syevd_2stage(sym96, b=8, nb=32, precision="fp32", faults=inj,
+                         on_breakdown="best_effort",
+                         ladder=EscalationLadder(max_retries=1))
+
+    def test_faults_without_resilience_layer_rejected(self, sym96):
+        inj = FaultInjector(FaultSpec(site="bulge", kind="nan"))
+        with pytest.raises(ReproError, match="resilience"):
+            syevd_2stage(sym96, b=8, nb=32, faults=inj, on_breakdown=None)
+
+
+# ---------------------------------------------------------------------------
+# Obs manifest visibility
+# ---------------------------------------------------------------------------
+
+
+class TestManifestVisibility:
+    def test_report_and_spans_land_in_manifest(self, tmp_path):
+        from repro.obs.manifest import load_manifest
+        from repro.obs.record import record_syevd
+
+        inj = FaultInjector(FaultSpec(site="wy_right", kind="nan", call_index=0))
+        run = record_syevd(
+            n=64, b=8, nb=32, precision="fp32", seed=5, probes=False,
+            faults=inj, path=str(tmp_path / "faulted.jsonl"),
+        )
+        man = load_manifest(run.path)
+        assert man.resilience is not None
+        assert man.resilience["detections"]
+        assert man.resilience["escalations"]
+        assert man.resilience["faults_injected"]
+        names = {s.name for s in man.spans}
+        assert "resilience.detect" in names
+        assert "resilience.escalate" in names
+        assert "resilience.fault" in names
+
+    def test_clean_manifest_reports_clean(self, tmp_path):
+        from repro.obs.manifest import load_manifest
+        from repro.obs.record import record_syevd
+
+        run = record_syevd(
+            n=64, b=8, nb=32, precision="fp32", seed=5, probes=False,
+            path=str(tmp_path / "clean.jsonl"),
+        )
+        man = load_manifest(run.path)
+        assert man.resilience is not None
+        assert man.resilience["detections"] == []
+        assert man.resilience["retries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Input validation satellites
+# ---------------------------------------------------------------------------
+
+
+class TestInputValidation:
+    def make_bad(self, rng, value=np.nan):
+        a = random_symmetric(32, rng)
+        a[3, 4] = a[4, 3] = value
+        return a
+
+    @pytest.mark.parametrize("value", [np.nan, np.inf])
+    def test_syevd_2stage_rejects_nonfinite(self, rng, value):
+        with pytest.raises(ShapeError, match="non-finite"):
+            syevd_2stage(self.make_bad(rng, value), b=4, nb=16)
+
+    def test_syevd_1stage_rejects_nonfinite(self, rng):
+        with pytest.raises(ShapeError, match="non-finite"):
+            syevd_1stage(self.make_bad(rng))
+
+    def test_syevd_selected_rejects_nonfinite(self, rng):
+        with pytest.raises(ShapeError, match="non-finite"):
+            syevd_selected(self.make_bad(rng), select=(0, 2), b=4, nb=16)
+
+    def test_sbr_wy_rejects_nonfinite(self, rng):
+        with pytest.raises(ShapeError, match=r"nan at \[3, 4\]"):
+            sbr_wy(self.make_bad(rng), 4, 16)
+
+    def test_sbr_zy_rejects_nonfinite(self, rng):
+        with pytest.raises(ShapeError, match="non-finite"):
+            sbr_zy(self.make_bad(rng), 4)
+
+    def test_gate_skippable(self, rng):
+        # check_finite=False hands the NaN to the solver (which then
+        # reports breakdown through the resilience layer instead).
+        with pytest.raises(ReproError):
+            syevd_2stage(self.make_bad(rng), b=4, nb=16,
+                         check_finite=False, on_breakdown="raise")
+
+    def test_error_message_counts_and_locates(self, rng):
+        a = random_symmetric(16, rng)
+        a[0, 1] = np.nan
+        a[5, 6] = np.inf
+        with pytest.raises(ShapeError, match="2 non-finite"):
+            syevd_2stage(a, b=4, nb=8)
+
+
+# ---------------------------------------------------------------------------
+# Structured errors (satellites)
+# ---------------------------------------------------------------------------
+
+
+class TestStructuredErrors:
+    def test_convergence_error_renders_state(self):
+        exc = ConvergenceError("did not converge", iterations=30,
+                              residual=1.25e-3, phase="tridiag_solve")
+        text = str(exc)
+        assert "iterations=30" in text
+        assert "residual=1.250e-03" in text
+        assert "phase=tridiag_solve" in text
+
+    def test_convergence_error_backward_compatible(self):
+        exc = ConvergenceError("plain message")
+        assert str(exc) == "plain message"
+        assert exc.iterations is None and exc.phase is None
+
+    def test_ql_failure_carries_iterations(self):
+        from repro.eig.qliter import tridiag_eig_ql
+
+        # A pathological tridiagonal QL cannot settle: NaN off-diagonal is
+        # caught by validation, so force failure via the iteration cap by
+        # monkeypatching is avoided — instead just check the structured
+        # fields survive a driver re-raise.
+        exc = ConvergenceError("x", iterations=3, residual=0.5)
+        try:
+            try:
+                raise exc
+            except ConvergenceError as inner:
+                if inner.phase is None:
+                    inner.phase = "tridiag_solve"
+                raise
+        except ConvergenceError as outer:
+            assert outer is exc
+            assert outer.phase == "tridiag_solve"
+
+    def test_breakdown_error_to_dict(self):
+        exc = NumericalBreakdownError(
+            "boom", phase="sbr.panel", panel=2, detector="nonfinite",
+            site="wy_right", precision="fp16_tc",
+        )
+        d = exc.to_dict()
+        assert d["phase"] == "sbr.panel"
+        assert d["panel"] == 2
+        assert d["detector"] == "nonfinite"
+
+
+# ---------------------------------------------------------------------------
+# Degenerate-pivot regression (reconstruct_wy satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestReconstructDegeneracy:
+    def test_nonfinite_q_raises_with_pivot_location(self, rng):
+        from repro.la.reconstruct import reconstruct_wy
+        from repro.la.tsqr import tsqr
+
+        q, _ = tsqr(rng.standard_normal((32, 6)))
+        q = np.array(q)
+        q[:, 3] = np.nan  # corrupted panel column -> NaN pivot at j=3
+        with pytest.raises(SingularMatrixError) as ei:
+            reconstruct_wy(q)
+        assert ei.value.column == 3
+        assert "column 3" in str(ei.value)
+
+    def test_sbr_attaches_panel_index(self, rng):
+        # Through the full band reduction, the panel index is attached to
+        # the reconstruction failure (raise mode: no retry masking it).
+        a = random_symmetric(48, rng)
+        inj = FaultInjector(
+            FaultSpec(site="panel_reconstruct", kind="nan", call_index=2, count=10**6)
+        )
+        with pytest.raises((SingularMatrixError, NumericalBreakdownError)) as ei:
+            syevd_2stage(a, b=4, nb=16, precision="fp32", faults=inj,
+                         on_breakdown="raise")
+        assert ei.value.panel is not None
+
+    def test_healthy_reconstruction_unaffected(self, rng):
+        from repro.la.reconstruct import reconstruct_wy
+        from repro.la.tsqr import tsqr
+
+        x = rng.standard_normal((24, 5))
+        q, r = tsqr(x)
+        w, y, s = reconstruct_wy(q)
+        qs = np.eye(24)[:, :5] - w @ y[:5, :].T
+        np.testing.assert_allclose(qs, np.asarray(q) * s, atol=1e-12)
