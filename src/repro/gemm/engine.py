@@ -20,7 +20,6 @@ GEMM stream (tags) and the wall-clock timeline.
 from __future__ import annotations
 
 import threading
-import time
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -92,12 +91,12 @@ class GemmEngine(ABC):
             with self._trace_lock:
                 self.trace.add(rec)
         if _obs.is_enabled():
-            t0 = time.perf_counter()
+            t0 = _obs.now()
             out = self._matmul(a, b)
             _obs.gemm_event(
                 a.shape[0], b.shape[1], a.shape[1],
                 tag=tag, engine=self.name, op="gemm",
-                seconds=time.perf_counter() - t0,
+                seconds=_obs.now() - t0, start=t0,
             )
             return out
         return self._matmul(a, b)
@@ -125,13 +124,13 @@ class GemmEngine(ABC):
             with self._trace_lock:
                 self.trace.add(rec)
         if _obs.is_enabled():
-            t0 = time.perf_counter()
+            t0 = _obs.now()
             p = self._matmul(y, z.T)
             out = p + p.T
             _obs.gemm_event(
                 y.shape[0], y.shape[0], y.shape[1],
                 tag=tag, engine=self.name, op="syr2k",
-                seconds=time.perf_counter() - t0,
+                seconds=_obs.now() - t0, start=t0,
             )
             return out
         p = self._matmul(y, z.T)

@@ -12,6 +12,10 @@ narrative, made measurable between PRs):
   regression comparison between two manifests.
 - :mod:`repro.obs.record` — one-call instrumented ``syevd_2stage``
   runs (used by the CLI and CI smoke test).
+- :mod:`repro.obs.analytics` — the interpretation layer: model-vs-
+  measured attribution against the Table-1 rate model, Chrome-trace and
+  flamegraph exporters, the continuous-benchmark store, and the
+  statistical regression gate.
 
 CLI::
 
@@ -19,6 +23,10 @@ CLI::
     python -m repro.obs report runs/X.jsonl    # per-phase breakdown
     python -m repro.obs report --compare A B   # phase delta + regressions
     python -m repro.obs list                   # manifests under runs/
+    python -m repro.obs attribution runs/X.jsonl   # model-vs-measured
+    python -m repro.obs export --chrome runs/X.jsonl -o trace.json
+    python -m repro.obs bench --suite smoke    # pinned suite → BENCH_smoke.json
+    python -m repro.obs regress BASE CAND      # statistical gate (exit 2)
 
 Typical library use::
 
@@ -42,11 +50,32 @@ from .spans import (
     counter,
     gemm_event,
     is_enabled,
+    now,
     span,
 )
-from .manifest import SCHEMA_VERSION, RunManifest, load_manifest, write_manifest
+from .manifest import (
+    MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    RunManifest,
+    load_manifest,
+    write_manifest,
+)
 from .report import compare_phases, render_compare, render_report
 from .record import RecordedRun, evd_accuracy_probes, record_syevd
+from .analytics import (
+    AttributionReport,
+    BenchScenario,
+    attribute_manifest,
+    compare_sessions,
+    has_regressions,
+    load_session,
+    render_attribution,
+    render_regression,
+    run_suite,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    write_session,
+)
 
 __all__ = [
     "Span",
@@ -58,7 +87,9 @@ __all__ = [
     "gemm_event",
     "is_enabled",
     "active_collector",
+    "now",
     "SCHEMA_VERSION",
+    "MIN_SCHEMA_VERSION",
     "RunManifest",
     "write_manifest",
     "load_manifest",
@@ -68,4 +99,16 @@ __all__ = [
     "RecordedRun",
     "record_syevd",
     "evd_accuracy_probes",
+    "AttributionReport",
+    "attribute_manifest",
+    "render_attribution",
+    "to_chrome_trace",
+    "to_collapsed_stacks",
+    "BenchScenario",
+    "run_suite",
+    "write_session",
+    "load_session",
+    "compare_sessions",
+    "has_regressions",
+    "render_regression",
 ]

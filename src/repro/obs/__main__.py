@@ -6,14 +6,32 @@ Usage::
     python -m repro.obs report MANIFEST
     python -m repro.obs report --compare BASELINE CANDIDATE
     python -m repro.obs list [--dir runs]
+    python -m repro.obs attribution MANIFEST
+    python -m repro.obs export (--chrome | --flame) MANIFEST [-o FILE]
+    python -m repro.obs bench [--suite smoke --repeats 3]
+    python -m repro.obs regress BASELINE CANDIDATE [--tolerance 0.25]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
+from .analytics import (
+    SUITES,
+    attribute_manifest,
+    compare_sessions,
+    has_regressions,
+    render_attribution,
+    render_regression,
+    run_suite,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    write_session,
+)
+from .analytics.regress import DEFAULT_TOLERANCE
 from .manifest import DEFAULT_RUN_DIR, load_manifest
 from .report import REGRESSION_THRESHOLD, compare_phases, render_compare, render_report
 
@@ -53,6 +71,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 1
     print(render_report(args.manifest))
     return 0
+
+
+def _cmd_attribution(args: argparse.Namespace) -> int:
+    report = attribute_manifest(args.manifest)
+    print(render_attribution(report))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    if args.chrome:
+        payload = json.dumps(to_chrome_trace(args.manifest), indent=1)
+    else:
+        payload = to_collapsed_stacks(args.manifest)
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+            if not payload.endswith("\n"):
+                fh.write("\n")
+        kind = "chrome trace" if args.chrome else "collapsed stacks"
+        print(f"{kind} written: {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    session = run_suite(args.suite, repeats=args.repeats)
+    path = write_session(session, args.out, run_dir=args.dir)
+    print(f"bench session written: {path}")
+    for row in session["scenarios"]:
+        import statistics
+
+        med = statistics.median(row["wall"])
+        print(f"  {row['key']}: median {med:.3f} s over {len(row['wall'])} repeats")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    entries = compare_sessions(
+        args.baseline,
+        args.candidate,
+        tolerance=args.tolerance,
+        confidence=args.confidence,
+    )
+    print(render_regression(
+        args.baseline, args.candidate,
+        tolerance=args.tolerance, confidence=args.confidence, entries=entries,
+    ))
+    return 2 if has_regressions(entries) else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -120,6 +190,57 @@ def main(argv: list[str] | None = None) -> int:
     p_list = sub.add_parser("list", help="list manifests in a directory")
     p_list.add_argument("--dir", default=DEFAULT_RUN_DIR)
     p_list.set_defaults(func=_cmd_list)
+
+    p_attr = sub.add_parser(
+        "attribution",
+        help="model-vs-measured efficiency per phase/tag (Table-1 rate model)",
+    )
+    p_attr.add_argument("manifest", help="manifest with a full GEMM event stream")
+    p_attr.set_defaults(func=_cmd_attribution)
+
+    p_exp = sub.add_parser(
+        "export", help="export a manifest as a Chrome trace or flamegraph stacks"
+    )
+    p_exp.add_argument("manifest", help="manifest to export")
+    fmt = p_exp.add_mutually_exclusive_group(required=True)
+    fmt.add_argument(
+        "--chrome", action="store_true",
+        help="Chrome Trace Event JSON (chrome://tracing / Perfetto)",
+    )
+    fmt.add_argument(
+        "--flame", action="store_true",
+        help="collapsed stacks (flamegraph.pl / speedscope)",
+    )
+    p_exp.add_argument("-o", "--out", default=None, metavar="FILE",
+                       help="output file (default: stdout)")
+    p_exp.set_defaults(func=_cmd_export)
+
+    p_bench = sub.add_parser(
+        "bench", help="run a pinned benchmark suite → BENCH_<suite>.json"
+    )
+    p_bench.add_argument("--suite", default="smoke", choices=sorted(SUITES))
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed repetitions per scenario (default 3)")
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="session path (default <dir>/BENCH_<suite>.json)")
+    p_bench.add_argument("--dir", default=DEFAULT_RUN_DIR, help="session directory")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_reg = sub.add_parser(
+        "regress",
+        help="statistical comparison of two bench sessions (exit 2 on regression)",
+    )
+    p_reg.add_argument("baseline", help="baseline BENCH_*.json")
+    p_reg.add_argument("candidate", help="candidate BENCH_*.json")
+    p_reg.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative median slowdown that gates (default 0.25)",
+    )
+    p_reg.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="bootstrap CI confidence level (default 0.95)",
+    )
+    p_reg.set_defaults(func=_cmd_regress)
 
     args = parser.parse_args(argv)
     try:

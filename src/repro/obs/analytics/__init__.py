@@ -1,0 +1,58 @@
+"""repro.obs.analytics — interpret telemetry against the performance model.
+
+PR 1's telemetry records *what happened* (spans, GEMM events, manifests);
+this package says *what it means*:
+
+- :mod:`~repro.obs.analytics.attribution` — join every measured GEMM
+  event to its analytic prediction (the Table-1 rate model of
+  :mod:`repro.device.perf_model`), producing per-phase and per-tag
+  achieved-vs-modeled efficiency, roofline classification
+  (compute- / launch- / bandwidth-bound), and a ranked
+  "where the time went vs where the model says it should go" report.
+- :mod:`~repro.obs.analytics.export` — turn a session into Chrome-trace
+  JSON (``chrome://tracing`` / Perfetto) or collapsed-stack flamegraph
+  format.
+- :mod:`~repro.obs.analytics.benchstore` — run a pinned suite of
+  (n, b, nb, precision) scenarios and persist them as versioned
+  ``BENCH_<suite>.json`` sessions with environment fingerprints.
+- :mod:`~repro.obs.analytics.regress` — statistical comparison of two
+  bench sessions (median + bootstrap CI over repeats) with configurable
+  tolerance: the regression gate every perf PR is judged by.
+
+Like the rest of ``repro.obs``, module scope imports only the standard
+library; the numeric model and solver imports are deferred into the
+functions that need them.
+"""
+
+from .attribution import (
+    AttributionReport,
+    attribute_manifest,
+    render_attribution,
+)
+from .benchstore import (
+    BENCH_SCHEMA_VERSION,
+    BenchScenario,
+    SUITES,
+    load_session,
+    run_suite,
+    write_session,
+)
+from .export import to_chrome_trace, to_collapsed_stacks
+from .regress import compare_sessions, has_regressions, render_regression
+
+__all__ = [
+    "AttributionReport",
+    "attribute_manifest",
+    "render_attribution",
+    "to_chrome_trace",
+    "to_collapsed_stacks",
+    "BENCH_SCHEMA_VERSION",
+    "BenchScenario",
+    "SUITES",
+    "run_suite",
+    "write_session",
+    "load_session",
+    "compare_sessions",
+    "has_regressions",
+    "render_regression",
+]

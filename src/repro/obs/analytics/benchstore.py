@@ -1,0 +1,219 @@
+"""Continuous-benchmark store: pinned scenario suites, persisted sessions.
+
+A *bench session* runs a pinned suite of (n, b, nb, precision) scenarios
+``repeats`` times each and persists every repeat's wall time and
+per-phase breakdown as one versioned ``BENCH_<suite>.json`` under
+``runs/``, together with an environment fingerprint (platform, Python,
+NumPy, CPU count) so sessions from different machines are never compared
+silently.  Two sessions feed the regression detector
+(:mod:`~repro.obs.analytics.regress`); the CI perf-smoke job runs the
+``smoke`` suite against a committed baseline on every push.
+
+The suites are deliberately *pinned*: scenario keys are stable across
+PRs, so a stored session from PR N is comparable with PR N+5.  Add new
+scenarios rather than mutating existing ones.
+
+Timing uses the injectable telemetry clock (:mod:`repro.obs.spans`), so
+the store's statistics are testable with a deterministic fake clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+
+from ..spans import collect
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchScenario",
+    "SUITES",
+    "run_suite",
+    "write_session",
+    "load_session",
+    "default_session_path",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One pinned benchmark configuration.
+
+    The ``key`` is the join identity between sessions — never reuse a
+    key for a different configuration.
+    """
+
+    key: str
+    n: int
+    b: int
+    nb: int | None = None
+    precision: str = "fp32"
+    method: str = "wy"
+    want_vectors: bool = False
+    tridiag_solver: str = "dc"
+    seed: int = 1234
+
+
+#: Pinned suites.  ``smoke`` is the CI gate: small sizes, seconds per
+#: scenario.  ``standard`` is the local trajectory suite.
+SUITES: dict[str, tuple[BenchScenario, ...]] = {
+    "smoke": (
+        BenchScenario("wy-fp32-n128", n=128, b=8, nb=32),
+        BenchScenario("wy-fp32-n256", n=256, b=16, nb=64),
+        BenchScenario("zy-fp32-n128", n=128, b=8, method="zy"),
+        BenchScenario("wy-fp16-n128", n=128, b=8, nb=32, precision="fp16_tc"),
+    ),
+    "standard": (
+        BenchScenario("wy-fp32-n128", n=128, b=8, nb=32),
+        BenchScenario("wy-fp32-n256", n=256, b=16, nb=64),
+        BenchScenario("wy-fp32-n512", n=512, b=16, nb=64),
+        BenchScenario("zy-fp32-n256", n=256, b=16, method="zy"),
+        BenchScenario("wy-fp16-n256", n=256, b=16, nb=64, precision="fp16_tc"),
+        BenchScenario("wy-ec-n256", n=256, b=16, nb=64, precision="fp16_ec_tc"),
+        BenchScenario("wy-fp32-n256-vec", n=256, b=16, nb=64, want_vectors=True),
+    ),
+}
+
+
+def environment_fingerprint() -> dict:
+    """Where a session was measured (joined into every session file)."""
+    import platform
+
+    try:
+        import numpy as np
+
+        numpy_version = np.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _collector_phases(session) -> dict[str, float]:
+    """Phase-path -> seconds of one collected run (driver-level phases).
+
+    Mirrors :meth:`RunManifest.phase_paths`: with one root span the
+    phases are its direct children, otherwise the roots themselves.
+    """
+    roots = {s.path for s in session.spans if s.depth == 0}
+    depth = 1 if len(roots) == 1 and any(s.depth == 1 for s in session.spans) else 0
+    out: dict[str, float] = {}
+    for s in session.spans:
+        if s.depth == depth:
+            out[s.path] = out.get(s.path, 0.0) + s.duration
+    return out
+
+
+def run_suite(
+    suite: str = "smoke",
+    *,
+    repeats: int = 3,
+    scenarios: "tuple[BenchScenario, ...] | None" = None,
+    clock=None,
+) -> dict:
+    """Run one suite and return the session dict (not yet persisted).
+
+    Parameters
+    ----------
+    suite : str
+        Suite name (``smoke`` / ``standard``); the session records it.
+    repeats : int
+        Timed repetitions per scenario (medians feed the regression
+        gate; >= 2 recommended so bootstrap CIs exist).
+    scenarios : tuple of BenchScenario, optional
+        Explicit scenario list (tests use this); default: ``SUITES[suite]``.
+    clock : callable, optional
+        Deterministic time source forwarded to the telemetry collector.
+    """
+    import numpy as np
+
+    from ...eig.driver import syevd_2stage
+    from ...matrices import generate_symmetric
+
+    if scenarios is None:
+        if suite not in SUITES:
+            raise ValueError(f"unknown suite {suite!r}; expected one of {sorted(SUITES)}")
+        scenarios = SUITES[suite]
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    clk = clock if clock is not None else time.perf_counter
+    rows = []
+    for sc in scenarios:
+        a, _ = generate_symmetric(
+            sc.n, distribution="geo", cond=1e3, rng=np.random.default_rng(sc.seed)
+        )
+        wall: list[float] = []
+        phases: dict[str, list[float]] = {}
+        for _ in range(repeats):
+            t0 = clk()
+            with collect(clock=clk) as session:
+                syevd_2stage(
+                    a,
+                    b=sc.b,
+                    nb=sc.nb,
+                    method=sc.method,
+                    precision=sc.precision,
+                    want_vectors=sc.want_vectors,
+                    tridiag_solver=sc.tridiag_solver,
+                )
+            wall.append(clk() - t0)
+            for path, secs in _collector_phases(session).items():
+                phases.setdefault(path, []).append(secs)
+        rows.append({"key": sc.key, "config": asdict(sc), "wall": wall, "phases": phases})
+
+    return {
+        "kind": "bench_session",
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "repeats": repeats,
+        "env": environment_fingerprint(),
+        "scenarios": rows,
+    }
+
+
+def default_session_path(suite: str, run_dir: str = "runs") -> str:
+    return os.path.join(run_dir, f"BENCH_{suite}.json")
+
+
+def write_session(session: dict, path: str | None = None, *, run_dir: str = "runs") -> str:
+    """Persist a session as ``BENCH_<suite>.json`` (returns the path)."""
+    if path is None:
+        path = default_session_path(session.get("suite", "suite"), run_dir)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(session, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_session(path: str) -> dict:
+    """Load and validate one persisted bench session."""
+    with open(path) as fh:
+        try:
+            session = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a bench session: {exc}") from None
+    if not isinstance(session, dict) or session.get("kind") != "bench_session":
+        raise ValueError(f"{path}: not a bench session (missing kind discriminator)")
+    schema = session.get("schema")
+    if not isinstance(schema, int) or schema > BENCH_SCHEMA_VERSION or schema < 1:
+        raise ValueError(
+            f"{path}: bench-session schema {schema!r} is outside the supported "
+            f"range [1, {BENCH_SCHEMA_VERSION}]"
+        )
+    if not isinstance(session.get("scenarios"), list):
+        raise ValueError(f"{path}: bench session has no scenario list")
+    return session

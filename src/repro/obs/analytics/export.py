@@ -1,0 +1,142 @@
+"""Trace exporters: Chrome-trace JSON and collapsed-stack flamegraphs.
+
+Two standard visualization formats over one manifest:
+
+- :func:`to_chrome_trace` — the Chrome Trace Event format (the JSON
+  array-of-events layout understood by ``chrome://tracing``, Perfetto's
+  legacy importer, and speedscope).  Spans become complete (``"ph": "X"``)
+  events on the span thread; GEMM events with a recorded start (schema
+  v2 manifests) become complete events on a separate "gemm" thread, so
+  the kernel stream renders as its own lane under the phase timeline.
+- :func:`to_collapsed_stacks` — Brendan Gregg's folded-stack format
+  (``a;b;c <value>`` per line), consumable by ``flamegraph.pl`` and
+  speedscope.  Values are *self* microseconds: each path's total time
+  minus the time of its direct children, so the flamegraph's widths sum
+  correctly instead of double-counting nested spans.
+
+Pure standard-library transforms over :class:`~repro.obs.manifest.RunManifest`
+— importable everywhere, no numeric dependencies.
+"""
+
+from __future__ import annotations
+
+from ..manifest import RunManifest, load_manifest
+
+__all__ = ["to_chrome_trace", "to_collapsed_stacks"]
+
+#: Synthetic pid/tids of the exported trace (one process, two lanes).
+_PID = 1
+_TID_SPANS = 1
+_TID_GEMM = 2
+
+
+def _resolve(m: "RunManifest | str") -> RunManifest:
+    return m if isinstance(m, RunManifest) else load_manifest(m)
+
+
+def to_chrome_trace(manifest: "RunManifest | str") -> dict:
+    """Convert one manifest to a Chrome Trace Event JSON object.
+
+    Returns the dict form (``{"traceEvents": [...], ...}``); serialize
+    with ``json.dump`` and load the file in ``chrome://tracing`` or
+    Perfetto.  Timestamps are microseconds relative to the collector
+    epoch, durations clamped non-negative, as the format requires.
+    """
+    man = _resolve(manifest)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID_SPANS,
+            "args": {"name": f"repro: {man.label or 'run'}"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID_SPANS,
+            "args": {"name": "phase spans"},
+        },
+    ]
+    for s in man.spans:
+        args: dict = {"path": s.path, "depth": s.depth}
+        if s.counters:
+            args["counters"] = dict(s.counters)
+        if s.meta:
+            args.update({k: v for k, v in s.meta.items() if k not in args})
+        events.append({
+            "name": s.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": max(s.start, 0.0) * 1e6,
+            "dur": max(s.duration, 0.0) * 1e6,
+            "pid": _PID,
+            "tid": _TID_SPANS,
+            "args": args,
+        })
+
+    placed = [ev for ev in man.gemm_events if ev.get("start", -1.0) >= 0.0]
+    if placed:
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID_GEMM,
+            "args": {"name": "gemm stream"},
+        })
+        for ev in placed:
+            shape = f"{ev['m']}x{ev['n']}x{ev['k']}"
+            events.append({
+                "name": f"{ev.get('tag') or ev.get('op', 'gemm')} {shape}",
+                "cat": "gemm",
+                "ph": "X",
+                "ts": ev["start"] * 1e6,
+                "dur": max(ev["seconds"], 0.0) * 1e6,
+                "pid": _PID,
+                "tid": _TID_GEMM,
+                "args": {
+                    "m": ev["m"], "n": ev["n"], "k": ev["k"],
+                    "tag": ev.get("tag", ""),
+                    "engine": ev.get("engine", ""),
+                    "op": ev.get("op", "gemm"),
+                    "span_path": ev.get("span_path", ""),
+                    "gflops": (
+                        2.0 * ev["m"] * ev["n"] * ev["k"] / ev["seconds"] / 1e9
+                        if ev["seconds"] > 0 else 0.0
+                    ),
+                },
+            })
+
+    other: dict = {"schema": man.meta.get("schema")}
+    for key in ("label", "precision", "created"):
+        if key in man.meta:
+            other[key] = man.meta[key]
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def to_collapsed_stacks(manifest: "RunManifest | str") -> str:
+    """Convert one manifest to folded flamegraph stacks.
+
+    One line per span path: ``root;child;leaf <self-microseconds>``.
+    Self time is the path's total duration minus its direct children's
+    total (clamped at zero — overlapping threads can make children sum
+    past the parent), so stack widths nest correctly.
+    """
+    man = _resolve(manifest)
+    totals = man.time_by_path()
+    child_sum: dict[str, float] = {}
+    for s in man.spans:
+        if "/" in s.path:
+            parent = s.path.rsplit("/", 1)[0]
+            child_sum[parent] = child_sum.get(parent, 0.0) + s.duration
+
+    lines = []
+    for path in totals:  # insertion order: first-seen
+        self_us = (totals[path] - child_sum.get(path, 0.0)) * 1e6
+        lines.append(f"{path.replace('/', ';')} {max(int(round(self_us)), 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")

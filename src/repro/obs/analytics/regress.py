@@ -1,0 +1,213 @@
+"""Statistical regression detection between two bench sessions.
+
+The gate compares scenario medians with a **bootstrap confidence
+interval** over the recorded repeats: a scenario is a *regression* only
+when (1) the median slowdown exceeds the tolerance and (2) the lower
+bound of the bootstrap CI of the slowdown also exceeds it — a slowdown
+the repeat-to-repeat noise could explain downgrades to ``suspect`` and
+does not gate.  Identical sessions therefore always pass, and a
+deterministic >= 2x slowdown always fails, independent of repeat count.
+
+Pure standard library (``statistics`` + ``random``): the gate runs
+anywhere the CLI does, with a fixed bootstrap seed so verdicts are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from .benchstore import load_session
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "compare_sessions",
+    "has_regressions",
+    "render_regression",
+]
+
+#: Relative median slowdown above which a scenario can gate.
+DEFAULT_TOLERANCE = 0.25
+
+
+def _median(xs: list) -> float | None:
+    xs = [x for x in xs if isinstance(x, (int, float))]
+    return statistics.median(xs) if xs else None
+
+
+def _bootstrap_ci(
+    wa: list[float],
+    wb: list[float],
+    *,
+    confidence: float,
+    resamples: int,
+    seed: int,
+) -> tuple[float, float]:
+    """Bootstrap CI of the relative slowdown of medians ((mb-ma)/ma)."""
+    rng = random.Random(seed)
+    deltas = []
+    for _ in range(resamples):
+        sa = statistics.median(rng.choices(wa, k=len(wa)))
+        sb = statistics.median(rng.choices(wb, k=len(wb)))
+        if sa > 0:
+            deltas.append((sb - sa) / sa)
+    if not deltas:
+        return (0.0, 0.0)
+    deltas.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo = deltas[min(int(alpha * len(deltas)), len(deltas) - 1)]
+    hi = deltas[min(int((1.0 - alpha) * len(deltas)), len(deltas) - 1)]
+    return (lo, hi)
+
+
+def compare_sessions(
+    baseline: "dict | str",
+    candidate: "dict | str",
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 20230225,
+) -> list[dict]:
+    """Join two bench sessions by scenario key and attach verdicts.
+
+    Returns one dict per scenario (baseline order first, then
+    candidate-only keys): ``key``, ``median_a``, ``median_b``, ``delta``
+    (relative change of medians), ``ci`` (bootstrap interval of the
+    delta), ``verdict`` in ``{"regression", "suspect", "improved", "ok",
+    "missing"}``, and ``phases`` (per-phase median deltas, context only
+    — phase noise does not gate).
+
+    ``baseline`` / ``candidate`` accept session dicts or file paths.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    sa = baseline if isinstance(baseline, dict) else load_session(baseline)
+    sb = candidate if isinstance(candidate, dict) else load_session(candidate)
+    rows_a = {row["key"]: row for row in sa.get("scenarios", [])}
+    rows_b = {row["key"]: row for row in sb.get("scenarios", [])}
+    keys = list(rows_a) + [k for k in rows_b if k not in rows_a]
+
+    out: list[dict] = []
+    for key in keys:
+        ra, rb = rows_a.get(key), rows_b.get(key)
+        wa = list(ra.get("wall", [])) if ra else []
+        wb = list(rb.get("wall", [])) if rb else []
+        ma, mb = _median(wa), _median(wb)
+        entry: dict = {
+            "key": key, "median_a": ma, "median_b": mb,
+            "delta": None, "ci": None, "verdict": "missing", "phases": {},
+        }
+        if ma is not None and mb is not None and ma > 0:
+            delta = (mb - ma) / ma
+            ci = _bootstrap_ci(
+                wa, wb, confidence=confidence, resamples=resamples, seed=seed
+            )
+            if delta > tolerance:
+                entry["verdict"] = "regression" if ci[0] > tolerance else "suspect"
+            elif delta < -tolerance:
+                entry["verdict"] = "improved"
+            else:
+                entry["verdict"] = "ok"
+            entry["delta"] = delta
+            entry["ci"] = ci
+            for path in set(ra.get("phases", {})) | set(rb.get("phases", {})):
+                pa = _median(ra.get("phases", {}).get(path, []))
+                pb = _median(rb.get("phases", {}).get(path, []))
+                entry["phases"][path] = {
+                    "a": pa,
+                    "b": pb,
+                    "delta": (pb - pa) / pa
+                    if pa is not None and pb is not None and pa > 0 else None,
+                }
+        out.append(entry)
+    return out
+
+
+def has_regressions(entries: list[dict]) -> bool:
+    """Whether any scenario gates (verdict ``regression``)."""
+    return any(e["verdict"] == "regression" for e in entries)
+
+
+def _fmt_s(s) -> str:
+    if s is None:
+        return "-"
+    if s >= 1.0:
+        return f"{s:.3f} s"
+    return f"{s * 1e3:.2f} ms"
+
+
+def render_regression(
+    baseline: "dict | str",
+    candidate: "dict | str",
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    confidence: float = 0.95,
+    entries: "list[dict] | None" = None,
+) -> str:
+    """Text report of the scenario-level comparison (the CLI output)."""
+    sa = baseline if isinstance(baseline, dict) else load_session(baseline)
+    sb = candidate if isinstance(candidate, dict) else load_session(candidate)
+    if entries is None:
+        entries = compare_sessions(
+            sa, sb, tolerance=tolerance, confidence=confidence
+        )
+
+    lines = [
+        f"bench regress: suite A={sa.get('suite', '?')} "
+        f"({sa.get('created', '?')}, {sa.get('repeats', '?')} repeats)  "
+        f"B={sb.get('suite', '?')} "
+        f"({sb.get('created', '?')}, {sb.get('repeats', '?')} repeats)",
+    ]
+    env_a, env_b = sa.get("env", {}), sb.get("env", {})
+    mismatched = [k for k in env_a if k in env_b and env_a[k] != env_b[k]]
+    if mismatched:
+        lines.append(
+            "WARNING: environment differs between sessions "
+            f"({', '.join(f'{k}: {env_a[k]!r} vs {env_b[k]!r}' for k in mismatched)}) "
+            "— absolute deltas are not meaningful across machines"
+        )
+    lines.append("")
+
+    headers = ["scenario", "A median", "B median", "delta", "CI", "verdict"]
+    widths = [len(h) for h in headers]
+    rows = []
+    for e in entries:
+        delta, ci = e["delta"], e["ci"]
+        rows.append([
+            e["key"],
+            _fmt_s(e["median_a"]),
+            _fmt_s(e["median_b"]),
+            f"{delta * 100.0:+.1f}%" if delta is not None else "-",
+            f"[{ci[0] * 100.0:+.1f}%, {ci[1] * 100.0:+.1f}%]" if ci else "-",
+            e["verdict"].upper() if e["verdict"] == "regression" else e["verdict"],
+        ])
+        widths = [max(w, len(c)) for w, c in zip(widths, rows[-1])]
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines.append(line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(line(r) for r in rows)
+
+    for e in entries:
+        if e["verdict"] in ("regression", "suspect"):
+            worst = [
+                (p, d["delta"]) for p, d in e["phases"].items()
+                if d["delta"] is not None
+            ]
+            worst.sort(key=lambda x: x[1], reverse=True)
+            if worst:
+                top = ", ".join(f"{p} {d * 100.0:+.0f}%" for p, d in worst[:3])
+                lines.append(f"  {e['key']}: slowest-moving phases: {top}")
+
+    n_reg = sum(1 for e in entries if e["verdict"] == "regression")
+    n_sus = sum(1 for e in entries if e["verdict"] == "suspect")
+    lines.append("")
+    lines.append(
+        f"{n_reg} regression(s), {n_sus} suspect beyond "
+        f"{tolerance * 100.0:.0f}% at {confidence * 100.0:.0f}% confidence"
+    )
+    return "\n".join(lines)

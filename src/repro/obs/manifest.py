@@ -21,7 +21,16 @@ Line kinds (each line carries a ``"kind"`` discriminator):
 ==============  ========================================================
 
 Schema version: ``SCHEMA_VERSION`` (bump on incompatible change; the
-loader rejects newer majors).
+loader rejects newer versions and anything older than
+``MIN_SCHEMA_VERSION`` with a clear error instead of failing deep inside
+field access).  History:
+
+- **1** — PR 1 format (spans, gemm, gemm_summary, trace, accuracy) plus
+  the PR 2 ``resilience`` line.
+- **2** — ``gemm`` lines gain an optional ``start`` timestamp (relative
+  to the collector epoch) so trace exporters can place events on the
+  span timeline.  Backward compatible: v1 manifests still load, their
+  events just carry no position.
 """
 
 from __future__ import annotations
@@ -33,9 +42,18 @@ from dataclasses import dataclass, field
 
 from .spans import Collector, Span
 
-__all__ = ["SCHEMA_VERSION", "RunManifest", "write_manifest", "load_manifest"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "MIN_SCHEMA_VERSION",
+    "RunManifest",
+    "write_manifest",
+    "load_manifest",
+]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Oldest manifest schema the loader still understands.
+MIN_SCHEMA_VERSION = 1
 
 #: Default directory for manifests (relative to the working directory).
 DEFAULT_RUN_DIR = "runs"
@@ -238,14 +256,33 @@ def load_manifest(path: str) -> RunManifest:
                 raise ValueError(f"{path}:{lineno}: invalid manifest line: {exc}") from None
             kind = obj.pop("kind", None)
             if kind == "meta":
-                if obj.get("schema", 1) > SCHEMA_VERSION:
+                schema = obj.get("schema")
+                if schema is None:
                     raise ValueError(
-                        f"{path}: manifest schema {obj.get('schema')} is newer than "
+                        f"{path}: manifest has no schema-version field — written "
+                        f"by a pre-release telemetry build; re-record it with "
+                        f"this version (schema {SCHEMA_VERSION})"
+                    )
+                if schema > SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: manifest schema {schema} is newer than "
                         f"supported version {SCHEMA_VERSION}"
+                    )
+                if schema < MIN_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: manifest schema {schema} is older than the "
+                        f"oldest supported version {MIN_SCHEMA_VERSION}; "
+                        f"re-record the run to upgrade it"
                     )
                 man.meta = obj
             elif kind == "span":
-                man.spans.append(Span.from_dict(obj))
+                try:
+                    man.spans.append(Span.from_dict(obj))
+                except KeyError as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: span line is missing field {exc} "
+                        f"(incompatible or truncated manifest)"
+                    ) from None
             elif kind == "gemm":
                 man.gemm_events.append(obj)
             elif kind == "gemm_summary":

@@ -27,6 +27,13 @@ This module depends only on the standard library so the numeric packages
 can import it without cycles.  The active-span stack is per-thread
 (``threading.local``); the finished-span list is lock-guarded, so
 concurrent instrumented threads are safe.
+
+Time comes from the collector's injectable *clock* (default
+``time.perf_counter``).  Tests and the benchmark store pass a
+deterministic fake clock so duration-dependent logic (regression gates,
+zero-duration handling) is testable without wall-clock sleeps; the
+engine hook reads the same clock through :func:`now`, keeping span and
+GEMM-event timestamps on one timeline.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ __all__ = [
     "span",
     "counter",
     "gemm_event",
+    "now",
 ]
 
 
@@ -110,7 +118,13 @@ class Span:
 
 @dataclass(frozen=True)
 class GemmEvent:
-    """One timed GEMM (or syr2k) call attributed to its enclosing span."""
+    """One timed GEMM (or syr2k) call attributed to its enclosing span.
+
+    ``start`` is the call's entry time relative to the collector's epoch
+    (the same timeline as :attr:`Span.start`), so events place on the
+    trace-export timeline next to their enclosing spans.  Events loaded
+    from pre-v2 manifests carry ``start = -1.0`` (unknown).
+    """
 
     m: int
     n: int
@@ -120,6 +134,7 @@ class GemmEvent:
     op: str
     seconds: float
     span_path: str
+    start: float = -1.0
 
     @property
     def flops(self) -> int:
@@ -127,11 +142,14 @@ class GemmEvent:
         return 2 * self.m * self.n * self.k
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "m": self.m, "n": self.n, "k": self.k,
             "tag": self.tag, "engine": self.engine, "op": self.op,
             "seconds": self.seconds, "span_path": self.span_path,
         }
+        if self.start >= 0.0:
+            out["start"] = self.start
+        return out
 
 
 class Collector:
@@ -142,8 +160,9 @@ class Collector:
     lock-guarded.
     """
 
-    def __init__(self) -> None:
-        self.epoch = time.perf_counter()
+    def __init__(self, clock=None) -> None:
+        self.clock = clock if clock is not None else time.perf_counter
+        self.epoch = self.clock()
         self.spans: list[Span] = []
         self.gemm_events: list[GemmEvent] = []
         self._lock = threading.Lock()
@@ -164,8 +183,8 @@ class Collector:
     # -- queries ----------------------------------------------------------
     @property
     def wall(self) -> float:
-        """Seconds since the collector was created."""
-        return time.perf_counter() - self.epoch
+        """Seconds since the collector was created (on its own clock)."""
+        return self.clock() - self.epoch
 
     def roots(self) -> list[Span]:
         """Finished depth-0 spans."""
@@ -234,12 +253,12 @@ class _LiveSpan:
             self.path = f"{parent.path}/{self.name}"
             self.depth = parent.depth + 1
         st.append(self)
-        self._t0 = time.perf_counter()
+        self._t0 = self._col.clock()
         self._start = self._t0 - self._col.epoch
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        t1 = time.perf_counter()
+        t1 = self._col.clock()
         st = self._col._stack()
         if st and st[-1] is self:
             st.pop()
@@ -298,11 +317,11 @@ class collect:
 
     Nesting restores the previous collector on exit, so an outer session
     (e.g. a benchmark harness) is shadowed, not corrupted, by an inner
-    one.
+    one.  ``clock`` injects a deterministic time source for tests.
     """
 
-    def __init__(self) -> None:
-        self.collector = Collector()
+    def __init__(self, clock=None) -> None:
+        self.collector = Collector(clock=clock)
         self._prev: Collector | None = None
 
     def __enter__(self) -> Collector:
@@ -335,6 +354,17 @@ def span(name: str, **meta):
     return _LiveSpan(col, name, meta)
 
 
+def now() -> float:
+    """Current time on the active collector's clock.
+
+    Falls back to ``time.perf_counter`` when telemetry is disabled, so
+    instrumentation points can time unconditionally and stay consistent
+    with an injected fake clock when one is active.
+    """
+    col = _active
+    return (col.clock if col is not None else time.perf_counter)()
+
+
 def counter(name: str, value: float = 1) -> None:
     """Accumulate a counter on the innermost active span (no-op otherwise)."""
     col = _active
@@ -354,14 +384,20 @@ def gemm_event(
     engine: str,
     op: str,
     seconds: float,
+    start: float | None = None,
 ) -> None:
-    """Report one timed GEMM call to the active collector (engine hook)."""
+    """Report one timed GEMM call to the active collector (engine hook).
+
+    ``start`` is the call's entry time as read from :func:`now` (i.e. on
+    the collector's clock); it is stored relative to the collector epoch.
+    """
     col = _active
     if col is None:
         return
     ev = GemmEvent(
         m=m, n=n, k=k, tag=tag, engine=engine, op=op,
         seconds=seconds, span_path=col.current_path(),
+        start=(start - col.epoch) if start is not None else -1.0,
     )
     with col._lock:
         col.gemm_events.append(ev)

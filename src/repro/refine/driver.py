@@ -14,6 +14,7 @@ import numpy as np
 
 from ..eig.driver import EvdResult, syevd_2stage
 from ..errors import ConfigurationError
+from ..obs import spans as obs
 from ..precision.modes import Precision
 from .newton import refine_eigenpairs
 
@@ -45,14 +46,21 @@ def refined_syevd(
         raise ConfigurationError(
             f"refine_iterations must be >= 0, got {refine_iterations}"
         )
-    base = syevd_2stage(
-        a, b=b, nb=nb, method=method, precision=precision, want_vectors=True
-    )
-    lam, x = refine_eigenpairs(
-        np.asarray(a, dtype=np.float64),
-        base.eigenvectors,
+    with obs.span(
+        "refined_syevd",
+        precision=str(getattr(precision, "value", precision)),
         iterations=refine_iterations,
-    )
+    ):
+        with obs.span("base_evd"):
+            base = syevd_2stage(
+                a, b=b, nb=nb, method=method, precision=precision, want_vectors=True
+            )
+        with obs.span("refine"):
+            lam, x = refine_eigenpairs(
+                np.asarray(a, dtype=np.float64),
+                base.eigenvectors,
+                iterations=refine_iterations,
+            )
     return EvdResult(
         eigenvalues=lam,
         eigenvectors=x,

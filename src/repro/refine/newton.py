@@ -28,6 +28,7 @@ import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 
 from ..errors import ShapeError
+from ..obs import spans as obs
 from ..validation import as_symmetric_matrix
 
 __all__ = ["refine_eigenpairs", "rayleigh_refine"]
@@ -75,51 +76,53 @@ def refine_eigenpairs(
     idx = np.arange(n)
     lam = np.diagonal(x.T @ a @ x).copy()
 
-    for _ in range(iterations):
-        r = eye - x.T @ x
-        s = x.T @ a @ x
-        denom_diag = 1.0 - np.diagonal(r)
-        lam = np.diagonal(s) / np.where(np.abs(denom_diag) > 0.1, denom_diag, 1.0)
+    for sweep in range(iterations):
+        with obs.span("refine.sweep", sweep=sweep) as sweep_span:
+            r = eye - x.T @ x
+            s = x.T @ a @ x
+            denom_diag = 1.0 - np.diagonal(r)
+            lam = np.diagonal(s) / np.where(np.abs(denom_diag) > 0.1, denom_diag, 1.0)
 
-        # Keep eigenvalue order ascending so clusters are contiguous.
-        order = np.argsort(lam, kind="stable")
-        if not np.array_equal(order, idx):
-            lam = lam[order]
-            x = x[:, order]
-            r = r[np.ix_(order, order)]
-            s = s[np.ix_(order, order)]
+            # Keep eigenvalue order ascending so clusters are contiguous.
+            order = np.argsort(lam, kind="stable")
+            if not np.array_equal(order, idx):
+                lam = lam[order]
+                x = x[:, order]
+                r = r[np.ix_(order, order)]
+                s = s[np.ix_(order, order)]
 
-        # Cluster detection at the current error level (Ogita–Aishima
-        # Algorithm 2): pairs closer than the attainable accuracy cannot be
-        # separated by the Newton division this sweep.
-        off = s - np.diag(np.diagonal(s))
-        est = float(np.abs(off).max(initial=0.0)) + float(np.abs(r).max(initial=0.0)) * norm_a
-        tol = cluster_tol if cluster_tol is not None else max(
-            10.0 * est, 1e3 * np.finfo(np.float64).eps * norm_a
-        )
-        boundaries = np.nonzero(np.diff(lam) > tol)[0] + 1
-        starts = np.concatenate([[0], boundaries])
-        stops = np.concatenate([boundaries, [n]])
-        cluster_id = np.repeat(np.arange(starts.size), stops - starts)
+            # Cluster detection at the current error level (Ogita–Aishima
+            # Algorithm 2): pairs closer than the attainable accuracy cannot be
+            # separated by the Newton division this sweep.
+            off = s - np.diag(np.diagonal(s))
+            est = float(np.abs(off).max(initial=0.0)) + float(np.abs(r).max(initial=0.0)) * norm_a
+            tol = cluster_tol if cluster_tol is not None else max(
+                10.0 * est, 1e3 * np.finfo(np.float64).eps * norm_a
+            )
+            boundaries = np.nonzero(np.diff(lam) > tol)[0] + 1
+            starts = np.concatenate([[0], boundaries])
+            stops = np.concatenate([boundaries, [n]])
+            cluster_id = np.repeat(np.arange(starts.size), stops - starts)
 
-        gap = lam[np.newaxis, :] - lam[:, np.newaxis]  # lam_j - lam_i
-        num = s + lam[np.newaxis, :] * r
-        separated = cluster_id[np.newaxis, :] != cluster_id[:, np.newaxis]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            e = np.where(separated, num / np.where(separated, gap, 1.0), r / 2.0)
-        e[idx, idx] = np.diagonal(r) / 2.0
-        x = x + x @ e
+            gap = lam[np.newaxis, :] - lam[:, np.newaxis]  # lam_j - lam_i
+            num = s + lam[np.newaxis, :] * r
+            separated = cluster_id[np.newaxis, :] != cluster_id[:, np.newaxis]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                e = np.where(separated, num / np.where(separated, gap, 1.0), r / 2.0)
+            e[idx, idx] = np.diagonal(r) / 2.0
+            x = x + x @ e
 
-        # Within-cluster resolution: the R/2 update restores orthogonality
-        # between cluster members but cannot rotate inside the (near-)
-        # invariant subspace; a small dense eigensolve per cluster does.
-        for lo, hi in zip(starts, stops):
-            if hi - lo < 2:
-                continue
-            xc, _ = np.linalg.qr(x[:, lo:hi])
-            sc = xc.T @ a @ xc
-            _, u = np.linalg.eigh((sc + sc.T) / 2.0)
-            x[:, lo:hi] = xc @ u
+            # Within-cluster resolution: the R/2 update restores orthogonality
+            # between cluster members but cannot rotate inside the (near-)
+            # invariant subspace; a small dense eigensolve per cluster does.
+            for lo, hi in zip(starts, stops):
+                if hi - lo < 2:
+                    continue
+                sweep_span.count("clusters", 1)
+                xc, _ = np.linalg.qr(x[:, lo:hi])
+                sc = xc.T @ a @ xc
+                _, u = np.linalg.eigh((sc + sc.T) / 2.0)
+                x[:, lo:hi] = xc @ u
 
     # Final clean-up: exact Rayleigh quotients + ordering.
     g = np.einsum("ij,ij->j", x, x)

@@ -26,6 +26,7 @@ import numpy as np
 from ..eig.dc import tridiag_eig_dc
 from ..errors import ShapeError
 from ..la.householder import apply_reflector_left, apply_reflector_right, make_reflector
+from ..obs import spans as obs
 
 __all__ = ["bidiagonalize", "svd_direct"]
 
@@ -106,35 +107,40 @@ def svd_direct(a) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         return vt.T, s, u.T
     m, n = a.shape
 
-    u_b, d, e, v_b = bidiagonalize(a, want_uv=True)
+    with obs.span("svd_direct", m=m, n=n):
+        with obs.span("bidiagonalize"):
+            u_b, d, e, v_b = bidiagonalize(a, want_uv=True)
 
-    # Golub–Kahan tridiagonal: zero diagonal, off-diagonals interleave
-    # B's diagonal and superdiagonal under the (v_1, u_1, v_2, u_2, ...)
-    # perfect shuffle.
-    off = np.empty(2 * n - 1)
-    off[0::2] = d
-    if n > 1:
-        off[1::2] = e
-    lam, z = tridiag_eig_dc(np.zeros(2 * n), off)
+        with obs.span("gk_tridiag_solve"):
+            # Golub–Kahan tridiagonal: zero diagonal, off-diagonals interleave
+            # B's diagonal and superdiagonal under the (v_1, u_1, v_2, u_2, ...)
+            # perfect shuffle.
+            off = np.empty(2 * n - 1)
+            off[0::2] = d
+            if n > 1:
+                off[1::2] = e
+            lam, z = tridiag_eig_dc(np.zeros(2 * n), off)
 
-    # The n largest eigenvalues are the singular values (descending).
-    order = np.argsort(lam)[::-1][:n]
-    s = np.maximum(lam[order], 0.0)
-    zk = z[:, order]
-    v_small = zk[0::2, :] * np.sqrt(2.0)
-    u_small = zk[1::2, :] * np.sqrt(2.0)
+        with obs.span("assemble_factors"):
+            # The n largest eigenvalues are the singular values (descending).
+            order = np.argsort(lam)[::-1][:n]
+            s = np.maximum(lam[order], 0.0)
+            zk = z[:, order]
+            v_small = zk[0::2, :] * np.sqrt(2.0)
+            u_small = zk[1::2, :] * np.sqrt(2.0)
 
-    # For sigma ~ 0 the ± eigenpair degenerates: a zero-eigenvalue vector
-    # of the Golub-Kahan matrix can be purely u-type or purely v-type, so
-    # the shuffled halves are neither unit nor mutually orthonormal there.
-    # Normalize the well-separated columns and complete the degenerate
-    # block with an orthonormal basis of the remaining subspace.
-    good = s > 1e-12 * max(float(s.max(initial=0.0)), 1.0)
-    u_small = _fix_degenerate_columns(u_small, good)
-    v_small = _fix_degenerate_columns(v_small, good)
+            # For sigma ~ 0 the ± eigenpair degenerates: a zero-eigenvalue
+            # vector of the Golub-Kahan matrix can be purely u-type or purely
+            # v-type, so the shuffled halves are neither unit nor mutually
+            # orthonormal there.  Normalize the well-separated columns and
+            # complete the degenerate block with an orthonormal basis of the
+            # remaining subspace.
+            good = s > 1e-12 * max(float(s.max(initial=0.0)), 1.0)
+            u_small = _fix_degenerate_columns(u_small, good)
+            v_small = _fix_degenerate_columns(v_small, good)
 
-    u = u_b[:, :n] @ u_small
-    vt = (v_b @ v_small).T
+            u = u_b[:, :n] @ u_small
+            vt = (v_b @ v_small).T
     return u, s, vt
 
 

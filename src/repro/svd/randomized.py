@@ -19,6 +19,7 @@ import numpy as np
 from ..errors import ConfigurationError, ShapeError
 from ..gemm.engine import GemmEngine, PlainEngine, make_engine
 from ..la.qr import qr_explicit
+from ..obs import spans as obs
 from ..precision.modes import Precision
 from ..validation import as_symmetric_matrix
 
@@ -68,16 +69,22 @@ def randomized_svd(
         rng = np.random.default_rng()
 
     ell = min(k + oversample, n)
-    sketch = eng.gemm(a, rng.standard_normal((n, ell)), tag="rand_sketch")
-    q, _ = qr_explicit(sketch, engine=eng)
-    for _ in range(power_iterations):
-        q, _ = qr_explicit(eng.gemm(a.T, q, tag="rand_power"), engine=eng)
-        q, _ = qr_explicit(eng.gemm(a, q, tag="rand_power"), engine=eng)
+    with obs.span("randomized_svd", m=m, n=n, k=k, ell=ell):
+        with obs.span("rand.sketch"):
+            sketch = eng.gemm(a, rng.standard_normal((n, ell)), tag="rand_sketch")
+            q, _ = qr_explicit(sketch, engine=eng)
+        with obs.span("rand.power", iterations=power_iterations):
+            for _ in range(power_iterations):
+                q, _ = qr_explicit(eng.gemm(a.T, q, tag="rand_power"), engine=eng)
+                q, _ = qr_explicit(eng.gemm(a, q, tag="rand_power"), engine=eng)
 
-    # Small projected problem, solved exactly.
-    b = eng.gemm(q.T, a, tag="rand_project")
-    ub, s, vt = np.linalg.svd(np.asarray(b, dtype=np.float64), full_matrices=False)
-    u = np.asarray(q, dtype=np.float64) @ ub
+        # Small projected problem, solved exactly.
+        with obs.span("rand.project_solve"):
+            b = eng.gemm(q.T, a, tag="rand_project")
+            ub, s, vt = np.linalg.svd(
+                np.asarray(b, dtype=np.float64), full_matrices=False
+            )
+            u = np.asarray(q, dtype=np.float64) @ ub
     return u[:, :k], s[:k], vt[:k, :]
 
 
@@ -103,14 +110,23 @@ def randomized_eig(
         rng = np.random.default_rng()
 
     ell = min(k + oversample, n)
-    q, _ = qr_explicit(eng.gemm(a, rng.standard_normal((n, ell)), tag="rand_sketch"), engine=eng)
-    for _ in range(power_iterations):
-        q, _ = qr_explicit(eng.gemm(a, q, tag="rand_power"), engine=eng)
+    with obs.span("randomized_eig", n=n, k=k, ell=ell):
+        with obs.span("rand.sketch"):
+            q, _ = qr_explicit(
+                eng.gemm(a, rng.standard_normal((n, ell)), tag="rand_sketch"),
+                engine=eng,
+            )
+        with obs.span("rand.power", iterations=power_iterations):
+            for _ in range(power_iterations):
+                q, _ = qr_explicit(eng.gemm(a, q, tag="rand_power"), engine=eng)
 
-    t = np.asarray(eng.gemm(q.T, eng.gemm(a, q, tag="rand_project"), tag="rand_project"),
-                   dtype=np.float64)
-    lam, u = np.linalg.eigh((t + t.T) / 2.0)
-    order = np.argsort(np.abs(lam))[::-1][:k]
+        with obs.span("rand.project_solve"):
+            t = np.asarray(
+                eng.gemm(q.T, eng.gemm(a, q, tag="rand_project"), tag="rand_project"),
+                dtype=np.float64,
+            )
+            lam, u = np.linalg.eigh((t + t.T) / 2.0)
+            order = np.argsort(np.abs(lam))[::-1][:k]
     return lam[order], np.asarray(q, dtype=np.float64) @ u[:, order]
 
 
@@ -144,29 +160,34 @@ def block_lanczos_eig(
         block_size = max(k // 2, 4)
     block_size = min(block_size, n)
 
-    q, _ = qr_explicit(rng.standard_normal((n, block_size)), engine=eng)
-    basis = [np.asarray(q, dtype=np.float64)]
-    for _ in range(n_blocks - 1):
-        w = np.asarray(eng.gemm(a, basis[-1], tag="lanczos_matvec"), dtype=np.float64)
-        # Full reorthogonalization against all previous blocks (twice).
-        for _pass in range(2):
-            for qb in basis:
-                w -= qb @ (qb.T @ w)
-        nrm = np.linalg.norm(w, axis=0)
-        keep = nrm > 1e-12 * max(float(nrm.max(initial=0.0)), 1.0)
-        if not np.any(keep):
-            break
-        qb, _ = qr_explicit(w[:, keep], engine=PlainEngine())
-        basis.append(np.asarray(qb, dtype=np.float64))
-    qq = np.hstack(basis)
-    if qq.shape[1] < k:
-        raise ConfigurationError(
-            f"Krylov basis rank {qq.shape[1]} < k={k}; increase block_size/n_blocks"
-        )
+    with obs.span("block_lanczos_eig", n=n, k=k, block_size=block_size, n_blocks=n_blocks):
+        with obs.span("lanczos.basis"):
+            q, _ = qr_explicit(rng.standard_normal((n, block_size)), engine=eng)
+            basis = [np.asarray(q, dtype=np.float64)]
+            for _ in range(n_blocks - 1):
+                w = np.asarray(
+                    eng.gemm(a, basis[-1], tag="lanczos_matvec"), dtype=np.float64
+                )
+                # Full reorthogonalization against all previous blocks (twice).
+                for _pass in range(2):
+                    for qb in basis:
+                        w -= qb @ (qb.T @ w)
+                nrm = np.linalg.norm(w, axis=0)
+                keep = nrm > 1e-12 * max(float(nrm.max(initial=0.0)), 1.0)
+                if not np.any(keep):
+                    break
+                qb, _ = qr_explicit(w[:, keep], engine=PlainEngine())
+                basis.append(np.asarray(qb, dtype=np.float64))
+            qq = np.hstack(basis)
+        if qq.shape[1] < k:
+            raise ConfigurationError(
+                f"Krylov basis rank {qq.shape[1]} < k={k}; increase block_size/n_blocks"
+            )
 
-    t = qq.T @ a @ qq
-    lam, u = np.linalg.eigh((t + t.T) / 2.0)
-    order = np.argsort(np.abs(lam))[::-1][:k]
+        with obs.span("lanczos.project_solve"):
+            t = qq.T @ a @ qq
+            lam, u = np.linalg.eigh((t + t.T) / 2.0)
+            order = np.argsort(np.abs(lam))[::-1][:k]
     return lam[order], qq @ u[:, order]
 
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, ShapeError
 from ..eig.driver import syevd_2stage
+from ..obs import spans as obs
 from ..precision.modes import Precision
 
 __all__ = ["svd_via_evd"]
@@ -64,22 +65,30 @@ def svd_via_evd(
     m, n = a.shape
 
     if method == "gram":
-        gram = a.T @ a
-        res = syevd_2stage(gram, b=min(b, max(n // 4, 1)), nb=nb, precision=precision)
-        lam = res.eigenvalues[::-1]
-        v = res.eigenvectors[:, ::-1]
-        s = np.sqrt(np.maximum(lam, 0.0))
-        # U columns: A v_i / s_i where s_i is safely nonzero; complete the
-        # rest to an orthonormal basis of range(A)'s complement.
-        u = np.zeros((m, n))
-        safe = s > np.finfo(np.float64).eps ** 0.5 * max(float(s.max(initial=0.0)), 1e-300)
-        if np.any(safe):
-            u[:, safe] = (a @ v[:, safe]) / s[safe]
-        for j in np.nonzero(~safe)[0]:
-            vec = np.random.default_rng(j).standard_normal(m)
-            vec -= u @ (u.T @ vec)
-            vec -= u @ (u.T @ vec)
-            u[:, j] = vec / np.linalg.norm(vec)
+        with obs.span("svd_via_evd", method="gram", m=m, n=n):
+            with obs.span("svd.reduce"):
+                gram = a.T @ a
+            with obs.span("svd.inner_evd"):
+                res = syevd_2stage(
+                    gram, b=min(b, max(n // 4, 1)), nb=nb, precision=precision
+                )
+            with obs.span("svd.recover_factors"):
+                lam = res.eigenvalues[::-1]
+                v = res.eigenvectors[:, ::-1]
+                s = np.sqrt(np.maximum(lam, 0.0))
+                # U columns: A v_i / s_i where s_i is safely nonzero; complete
+                # the rest to an orthonormal basis of range(A)'s complement.
+                u = np.zeros((m, n))
+                safe = s > np.finfo(np.float64).eps ** 0.5 * max(
+                    float(s.max(initial=0.0)), 1e-300
+                )
+                if np.any(safe):
+                    u[:, safe] = (a @ v[:, safe]) / s[safe]
+                for j in np.nonzero(~safe)[0]:
+                    vec = np.random.default_rng(j).standard_normal(m)
+                    vec -= u @ (u.T @ vec)
+                    vec -= u @ (u.T @ vec)
+                    u[:, j] = vec / np.linalg.norm(vec)
         return u, s, v.T
 
     if method != "jordan_wielandt":
@@ -87,26 +96,32 @@ def svd_via_evd(
             f"method must be 'jordan_wielandt' or 'gram', got {method!r}"
         )
 
-    # Jordan–Wielandt embedding: eigenpairs (±s_i, [u_i; ±v_i] / sqrt(2)).
-    big = np.zeros((m + n, m + n))
-    big[:m, m:] = a
-    big[m:, :m] = a.T
-    res = syevd_2stage(big, b=min(b, max((m + n) // 4, 1)), nb=nb, precision=precision)
-    lam = res.eigenvalues
-    x = res.eigenvectors
-    # Take the n largest (positive) eigenvalues: descending order.
-    order = np.argsort(lam)[::-1][:n]
-    s = lam[order]
-    u = x[:m, order] * np.sqrt(2.0)
-    v = x[m:, order] * np.sqrt(2.0)
-    # Zero singular values (rank-deficient A) leave u/v badly scaled;
-    # renormalize columns defensively.
-    for j in range(n):
-        nu = np.linalg.norm(u[:, j])
-        nv = np.linalg.norm(v[:, j])
-        if nu > 0:
-            u[:, j] /= nu
-        if nv > 0:
-            v[:, j] /= nv
-    s = np.maximum(s, 0.0)
+    with obs.span("svd_via_evd", method="jordan_wielandt", m=m, n=n):
+        # Jordan–Wielandt embedding: eigenpairs (±s_i, [u_i; ±v_i] / sqrt(2)).
+        with obs.span("svd.reduce"):
+            big = np.zeros((m + n, m + n))
+            big[:m, m:] = a
+            big[m:, :m] = a.T
+        with obs.span("svd.inner_evd"):
+            res = syevd_2stage(
+                big, b=min(b, max((m + n) // 4, 1)), nb=nb, precision=precision
+            )
+        with obs.span("svd.recover_factors"):
+            lam = res.eigenvalues
+            x = res.eigenvectors
+            # Take the n largest (positive) eigenvalues: descending order.
+            order = np.argsort(lam)[::-1][:n]
+            s = lam[order]
+            u = x[:m, order] * np.sqrt(2.0)
+            v = x[m:, order] * np.sqrt(2.0)
+            # Zero singular values (rank-deficient A) leave u/v badly scaled;
+            # renormalize columns defensively.
+            for j in range(n):
+                nu = np.linalg.norm(u[:, j])
+                nv = np.linalg.norm(v[:, j])
+                if nu > 0:
+                    u[:, j] /= nu
+                if nv > 0:
+                    v[:, j] /= nv
+            s = np.maximum(s, 0.0)
     return u, s, v.T

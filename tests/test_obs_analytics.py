@@ -1,0 +1,673 @@
+"""Tests for the observability analytics layer: attribution, exporters,
+bench store, regression gate, and the satellite telemetry additions."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs, syevd_2stage
+from repro.device.perf_model import PerfModel
+from repro.device.specs import A100Spec
+from repro.gemm import SgemmEngine
+from repro.obs.__main__ import main as obs_main
+from repro.obs.analytics import (
+    SUITES,
+    BenchScenario,
+    attribute_manifest,
+    compare_sessions,
+    has_regressions,
+    load_session,
+    render_attribution,
+    render_regression,
+    run_suite,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    write_session,
+)
+from repro.obs.analytics.attribution import UNATTRIBUTED
+from repro.obs.manifest import MIN_SCHEMA_VERSION, SCHEMA_VERSION
+
+
+class FakeClock:
+    """Deterministic clock: advances by a fixed step on every read."""
+
+    def __init__(self, step: float = 0.001):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def _syevd_manifest(tmp_path, *, n=64, b=4, nb=16, name="syevd.jsonl"):
+    """One instrumented small syevd_2stage run persisted with full meta."""
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((n, n))
+    a = (a + a.T) * 0.5
+    with obs.collect() as session:
+        syevd_2stage(a, b=b, nb=nb, want_vectors=False, tridiag_solver="dc")
+    return obs.write_manifest(
+        session,
+        str(tmp_path / name),
+        label="syevd-small",
+        precision="fp32",
+        matrix={"n": n},
+        config={"b": b, "nb": nb, "method": "wy", "want_vectors": False},
+    )
+
+
+class TestDeterministicClock:
+    def test_collector_durations_are_deterministic(self):
+        clk = FakeClock(step=0.5)
+        with obs.collect(clock=clk) as session:
+            with obs.span("a"):
+                pass
+        # Clock reads: epoch, span enter, span exit -> duration is one step.
+        assert session.spans[0].duration == pytest.approx(0.5)
+        assert session.spans[0].start == pytest.approx(0.5)
+
+    def test_now_reads_the_active_clock(self):
+        clk = FakeClock(step=1.0)
+        with obs.collect(clock=clk):
+            first = obs.now()
+            second = obs.now()
+        assert second - first == pytest.approx(1.0)
+
+    def test_engine_events_share_the_fake_timeline(self, rng):
+        eng = SgemmEngine()
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        clk = FakeClock(step=0.25)
+        with obs.collect(clock=clk) as session:
+            with obs.span("p"):
+                eng.gemm(a, a, tag="t")
+        ev = session.gemm_events[0]
+        # The engine reads the clock twice (entry/exit): one deterministic step.
+        assert ev.seconds == pytest.approx(0.25)
+        assert ev.start >= 0.0  # placed on the collector epoch timeline
+        sp = session.by_path("p")[0]
+        assert sp.start <= ev.start <= sp.start + sp.duration
+
+    def test_run_suite_accepts_fake_clock(self):
+        clk = FakeClock(step=0.001)
+        scenarios = (BenchScenario("tiny", n=16, b=2, nb=4),)
+        session = run_suite("smoke", repeats=2, scenarios=scenarios, clock=clk)
+        row = session["scenarios"][0]
+        assert len(row["wall"]) == 2
+        # Wall times come off the fake clock: strictly positive multiples
+        # of the step, identical logic each repeat.
+        assert all(w > 0 and abs(w / 0.001 - round(w / 0.001)) < 1e-9
+                   for w in row["wall"])
+
+
+class TestAttribution:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        path = _syevd_manifest(tmp_path_factory.mktemp("attr"))
+        return attribute_manifest(path)
+
+    def test_phases_are_the_pipeline_stages(self, report):
+        assert [row["phase"] for row in report.phases] == [
+            "syevd/sbr", "syevd/bulge", "syevd/tridiag_solve",
+        ]
+
+    def test_every_gemm_phase_has_model_prediction(self, report):
+        sbr = next(r for r in report.phases if r["phase"] == "syevd/sbr")
+        assert sbr["calls"] > 0
+        assert sbr["measured"] > 0
+        assert sbr["modeled"] > 0
+        assert sbr["efficiency"] is not None and sbr["efficiency"] > 0
+        assert sbr["span_seconds"] >= sbr["measured"] - 1e-9
+        assert sbr["other_seconds"] >= 0.0
+
+    def test_totals_are_the_sum_of_phases(self, report):
+        assert report.totals["calls"] == sum(r["calls"] for r in report.phases)
+        assert report.totals["measured"] == pytest.approx(
+            sum(r["measured"] for r in report.phases)
+        )
+        # Every modeled second lands in exactly one roofline class.
+        assert sum(report.totals["bound"].values()) == pytest.approx(
+            report.totals["modeled"]
+        )
+
+    def test_tags_sorted_by_measured_time(self, report):
+        measured = [row["measured"] for row in report.tags]
+        assert measured == sorted(measured, reverse=True)
+
+    def test_gaps_ranked_by_excess(self, report):
+        excess = [g["excess"] for g in report.gaps]
+        assert excess == sorted(excess, reverse=True)
+        assert {g["phase"] for g in report.gaps} <= {
+            r["phase"] for r in report.phases
+        }
+
+    def test_analytic_flop_join(self, report):
+        assert report.analytic is not None
+        assert report.analytic["sbr_flops"] > 0
+        cov = report.analytic["engine_flop_coverage"]
+        assert cov is not None and 0.0 < cov < 2.0
+
+    def test_render_contains_sections(self, report):
+        text = render_attribution(report)
+        assert "per phase:" in text
+        assert "per tag:" in text
+        assert "where the time went" in text
+        assert "efficiency" in text
+        assert "analytic check" in text
+
+    def _manifest_with_events(self, tmp_path, events):
+        with obs.collect() as session:
+            with obs.span("run"):
+                for name, (m, n, k, engine) in events.items():
+                    with obs.span(name):
+                        obs.gemm_event(m, n, k, tag=name, engine=engine,
+                                       op="gemm", seconds=1e-4, start=obs.now())
+        return obs.write_manifest(session, str(tmp_path / "synth.jsonl"))
+
+    def test_roofline_launch_vs_compute(self, tmp_path):
+        path = self._manifest_with_events(tmp_path, {
+            "tiny": (4, 4, 4, "sgemm"),          # everything below launch cost
+            "big": (2048, 2048, 2048, "tc"),     # throughput-curve limited
+        })
+        report = attribute_manifest(path)
+        bound = {row["tag"]: row["bound"] for row in report.tags}
+        assert max(bound["tiny"], key=bound["tiny"].get) == "launch"
+        assert max(bound["big"], key=bound["big"].get) == "compute"
+
+    def test_roofline_bandwidth_bound(self, tmp_path):
+        # A spec with starved HBM makes the memory roofline bind.
+        slow_hbm = PerfModel(dataclasses.replace(A100Spec, hbm_bandwidth=1e9))
+        path = self._manifest_with_events(tmp_path, {
+            "big": (2048, 2048, 2048, "tc"),
+        })
+        report = attribute_manifest(path, model=slow_hbm)
+        bound = report.tags[0]["bound"]
+        assert max(bound, key=bound.get) == "bandwidth"
+
+    def test_modeled_matches_perf_model_exactly(self, tmp_path):
+        path = self._manifest_with_events(tmp_path, {"one": (64, 32, 16, "tc")})
+        report = attribute_manifest(path)
+        assert report.totals["modeled"] == pytest.approx(
+            PerfModel().gemm_time(64, 32, 16, "tc")
+        )
+
+    def test_event_outside_any_span_is_unattributed(self, tmp_path):
+        with obs.collect() as session:
+            with obs.span("run"):
+                with obs.span("phase"):
+                    obs.gemm_event(8, 8, 8, tag="in", engine="sgemm",
+                                   op="gemm", seconds=1e-5)
+            # No active span: span_path is "".
+            obs.gemm_event(8, 8, 8, tag="out", engine="sgemm",
+                           op="gemm", seconds=1e-5)
+        path = obs.write_manifest(session, str(tmp_path / "m.jsonl"))
+        report = attribute_manifest(path)
+        by_phase = {row["phase"]: row for row in report.phases}
+        assert UNATTRIBUTED in by_phase
+        assert by_phase[UNATTRIBUTED]["calls"] == 1
+        assert by_phase["run/phase"]["calls"] == 1
+
+    def test_syr2k_events_price_on_syr2k_model(self, tmp_path):
+        with obs.collect() as session:
+            with obs.span("run"):
+                obs.gemm_event(32, 32, 8, tag="s", engine="sgemm",
+                               op="syr2k", seconds=1e-5)
+        path = obs.write_manifest(session, str(tmp_path / "m.jsonl"))
+        report = attribute_manifest(path)
+        assert report.totals["modeled"] == pytest.approx(
+            PerfModel().syr2k_time(32, 8, "sgemm")
+        )
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def trace(self, tmp_path_factory):
+        path = _syevd_manifest(tmp_path_factory.mktemp("chrome"))
+        return to_chrome_trace(path)
+
+    def test_schema_shape(self, trace):
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert isinstance(trace["traceEvents"], list)
+        assert trace["traceEvents"]
+        for ev in trace["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            assert isinstance(ev["name"], str) and ev["name"]
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0.0
+                assert ev["dur"] >= 0.0
+            else:
+                assert "name" in ev["args"]
+
+    def test_json_round_trip(self, trace):
+        again = json.loads(json.dumps(trace))
+        assert again == trace
+
+    def test_span_and_gemm_lanes(self, trace):
+        tids = {ev["tid"] for ev in trace["traceEvents"] if ev["ph"] == "X"}
+        assert tids == {1, 2}  # phase spans + gemm stream
+        thread_names = {
+            ev["args"]["name"]
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert thread_names == {"phase spans", "gemm stream"}
+
+    def test_span_args_carry_path(self, trace):
+        spans = [ev for ev in trace["traceEvents"]
+                 if ev["ph"] == "X" and ev.get("cat") == "span"]
+        assert any(ev["args"]["path"] == "syevd/sbr" for ev in spans)
+
+    def test_gemm_events_nest_inside_run(self, trace):
+        spans = [ev for ev in trace["traceEvents"]
+                 if ev["ph"] == "X" and ev.get("cat") == "span"]
+        root = next(ev for ev in spans if ev["args"]["depth"] == 0)
+        gemms = [ev for ev in trace["traceEvents"] if ev.get("cat") == "gemm"]
+        assert gemms
+        for ev in gemms:
+            assert root["ts"] - 1.0 <= ev["ts"] <= root["ts"] + root["dur"] + 1.0
+
+    def test_v1_manifest_without_starts_exports_spans_only(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "schema": 1, "label": "old"}) + "\n"
+            + json.dumps({"kind": "span", "name": "run", "path": "run",
+                          "start": 0.0, "duration": 1.0, "depth": 0}) + "\n"
+            + json.dumps({"kind": "gemm", "m": 4, "n": 4, "k": 4, "tag": "t",
+                          "engine": "sgemm", "op": "gemm", "seconds": 0.1,
+                          "span_path": "run"}) + "\n"
+        )
+        trace = to_chrome_trace(str(path))
+        assert not [ev for ev in trace["traceEvents"] if ev.get("cat") == "gemm"]
+        assert [ev for ev in trace["traceEvents"] if ev.get("cat") == "span"]
+
+
+class TestCollapsedStacks:
+    def test_format_and_self_time(self, tmp_path):
+        clk = FakeClock(step=1.0)
+        with obs.collect(clock=clk) as session:
+            with obs.span("root"):
+                with obs.span("child"):
+                    pass
+        path = obs.write_manifest(session, str(tmp_path / "m.jsonl"))
+        text = to_collapsed_stacks(path)
+        lines = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in text.strip().splitlines()
+        )
+        assert set(lines) == {"root;child", "root"}
+        # child: one step; root: enter..exit spans 3 steps, minus child's 1.
+        assert lines["root;child"] == 1_000_000
+        assert lines["root"] == 2_000_000
+        assert text.endswith("\n")
+
+    def test_zero_duration_spans_clamp_to_zero(self, tmp_path):
+        # A child longer than its parent's bookkeeping can make self time
+        # negative; the exporter clamps at zero rather than emitting
+        # negative widths.
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "schema": SCHEMA_VERSION}) + "\n"
+            + json.dumps({"kind": "span", "name": "child", "path": "p/child",
+                          "start": 0.0, "duration": 2.0, "depth": 1}) + "\n"
+            + json.dumps({"kind": "span", "name": "p", "path": "p",
+                          "start": 0.0, "duration": 1.0, "depth": 0}) + "\n"
+        )
+        text = to_collapsed_stacks(str(path))
+        values = {l.rsplit(" ", 1)[0]: int(l.rsplit(" ", 1)[1])
+                  for l in text.strip().splitlines()}
+        assert values["p"] == 0
+        assert values["p;child"] == 2_000_000
+
+    def test_empty_manifest_is_empty_string(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps({"kind": "meta", "schema": SCHEMA_VERSION}) + "\n")
+        assert to_collapsed_stacks(str(path)) == ""
+
+
+class TestBenchStore:
+    SCENARIOS = (
+        BenchScenario("tiny-a", n=24, b=2, nb=4),
+        BenchScenario("tiny-b", n=32, b=4, nb=8),
+    )
+
+    def test_run_suite_shape(self):
+        session = run_suite("smoke", repeats=2, scenarios=self.SCENARIOS)
+        assert session["kind"] == "bench_session"
+        assert session["suite"] == "smoke"
+        assert session["repeats"] == 2
+        assert {"platform", "python", "numpy", "cpu_count"} <= set(session["env"])
+        keys = [row["key"] for row in session["scenarios"]]
+        assert keys == ["tiny-a", "tiny-b"]
+        for row in session["scenarios"]:
+            assert len(row["wall"]) == 2
+            assert all(w > 0 for w in row["wall"])
+            assert row["phases"]  # per-phase breakdowns recorded
+            assert all(len(v) == 2 for v in row["phases"].values())
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        session = run_suite("smoke", repeats=1, scenarios=self.SCENARIOS[:1])
+        path = write_session(session, run_dir=str(tmp_path))
+        assert path.endswith("BENCH_smoke.json")
+        assert load_session(path) == session
+
+    def test_load_rejects_non_sessions(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text("{}")
+        with pytest.raises(ValueError, match="kind"):
+            load_session(str(p))
+        p.write_text("not json")
+        with pytest.raises(ValueError, match="not a bench session"):
+            load_session(str(p))
+        p.write_text(json.dumps({"kind": "bench_session", "schema": 99,
+                                 "scenarios": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_session(str(p))
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite("nope", repeats=1)
+        with pytest.raises(ValueError, match="repeats"):
+            run_suite("smoke", repeats=0, scenarios=self.SCENARIOS[:1])
+
+    def test_pinned_suites_well_formed(self):
+        assert set(SUITES) >= {"smoke", "standard"}
+        for suite in SUITES.values():
+            keys = [sc.key for sc in suite]
+            assert len(keys) == len(set(keys))  # join identity is unique
+        assert all(sc.n <= 512 for sc in SUITES["smoke"])
+
+
+class TestRegress:
+    def _session(self, walls_by_key, suite="smoke"):
+        return {
+            "kind": "bench_session", "schema": 1, "suite": suite,
+            "created": "2026-01-01T00:00:00", "repeats": len(next(iter(walls_by_key.values()))),
+            "env": {"platform": "x", "python": "3"},
+            "scenarios": [
+                {"key": k, "config": {}, "wall": list(w),
+                 "phases": {"syevd/sbr": [x * 0.5 for x in w]}}
+                for k, w in walls_by_key.items()
+            ],
+        }
+
+    def test_identical_sessions_pass(self):
+        s = self._session({"a": [1.0, 1.1, 0.9], "b": [2.0, 2.1, 1.9]})
+        entries = compare_sessions(s, s)
+        assert all(e["verdict"] == "ok" for e in entries)
+        assert not has_regressions(entries)
+
+    def test_deterministic_2x_slowdown_gates(self):
+        base = self._session({"a": [1.0, 1.0, 1.0]})
+        cand = self._session({"a": [2.0, 2.0, 2.0]})
+        entries = compare_sessions(base, cand)
+        assert entries[0]["verdict"] == "regression"
+        assert entries[0]["delta"] == pytest.approx(1.0)
+        assert has_regressions(entries)
+
+    def test_noisy_slowdown_downgrades_to_suspect(self):
+        # Median is up 50% but the repeats straddle the baseline: the
+        # bootstrap CI reaches below tolerance, so the verdict must not gate.
+        base = self._session({"a": [1.0, 1.0, 1.0, 1.0]})
+        cand = self._session({"a": [0.5, 0.9, 2.1, 2.3]})
+        entries = compare_sessions(base, cand, tolerance=0.25)
+        assert entries[0]["verdict"] in ("suspect", "ok")
+        assert not has_regressions(entries)
+
+    def test_improvement_and_missing(self):
+        base = self._session({"a": [2.0, 2.0], "gone": [1.0, 1.0]})
+        cand = self._session({"a": [1.0, 1.0], "new": [1.0, 1.0]})
+        entries = {e["key"]: e for e in compare_sessions(base, cand)}
+        assert entries["a"]["verdict"] == "improved"
+        assert entries["gone"]["verdict"] == "missing"
+        assert entries["new"]["verdict"] == "missing"
+
+    def test_phase_deltas_attached(self):
+        base = self._session({"a": [1.0, 1.0]})
+        cand = self._session({"a": [2.0, 2.0]})
+        entries = compare_sessions(base, cand)
+        assert entries[0]["phases"]["syevd/sbr"]["delta"] == pytest.approx(1.0)
+
+    def test_render_mentions_env_mismatch(self):
+        base = self._session({"a": [1.0, 1.0]})
+        cand = self._session({"a": [1.0, 1.0]})
+        cand["env"] = {"platform": "y", "python": "3"}
+        text = render_regression(base, cand)
+        assert "environment differs" in text
+
+    def test_render_regression_report(self):
+        base = self._session({"a": [1.0, 1.0]})
+        cand = self._session({"a": [3.0, 3.0]})
+        text = render_regression(base, cand)
+        assert "REGRESSION" in text
+        assert "slowest-moving phases" in text
+        assert "1 regression(s)" in text
+
+    def test_invalid_parameters_rejected(self):
+        s = self._session({"a": [1.0]})
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_sessions(s, s, tolerance=0.0)
+        with pytest.raises(ValueError, match="confidence"):
+            compare_sessions(s, s, confidence=1.5)
+
+
+class TestJoinEdgeCases:
+    """Satellite: GEMM-event/span join edge cases."""
+
+    def test_events_outside_any_span_in_gemm_by_phase(self, tmp_path):
+        with obs.collect() as session:
+            with obs.span("run"):
+                with obs.span("inner"):
+                    obs.gemm_event(4, 4, 4, tag="t", engine="sgemm",
+                                   op="gemm", seconds=0.1)
+            obs.gemm_event(4, 4, 4, tag="t", engine="sgemm",
+                           op="gemm", seconds=0.2)
+        path = obs.write_manifest(session, str(tmp_path / "m.jsonl"))
+        man = obs.load_manifest(path)
+        by_phase = man.gemm_by_phase()
+        # The orphan event maps to no phase but must not crash or be
+        # silently folded into an unrelated phase.
+        assert by_phase["run/inner"]["calls"] == 1
+        assert sum(slot["calls"] for slot in by_phase.values()) == 1
+
+    def test_nested_collectors_do_not_cross_attribute(self, rng):
+        eng = SgemmEngine()
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        with obs.collect() as outer:
+            with obs.span("outer_phase"):
+                with obs.collect() as inner:
+                    with obs.span("inner_phase"):
+                        eng.gemm(a, a, tag="t")
+                eng.gemm(a, a, tag="t2")
+        assert [e.span_path for e in inner.gemm_events] == ["inner_phase"]
+        # The outer collector sees only the event recorded while active.
+        assert [e.span_path for e in outer.gemm_events] == ["outer_phase"]
+
+    def test_zero_duration_spans_in_time_by_path(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "schema": SCHEMA_VERSION, "wall": 1.0}) + "\n"
+            + json.dumps({"kind": "span", "name": "z", "path": "z",
+                          "start": 0.0, "duration": 0.0, "depth": 0}) + "\n"
+            + json.dumps({"kind": "span", "name": "z", "path": "z",
+                          "start": 0.5, "duration": 0.0, "depth": 0}) + "\n"
+        )
+        man = obs.load_manifest(str(path))
+        assert man.time_by_path() == {"z": 0.0}
+        assert man.phase_paths() == ["z"]
+        assert man.coverage() == 0.0  # falls back to meta wall, no div-by-zero
+        # And the exporters accept it.
+        assert to_collapsed_stacks(man) == "z 0\n"
+        assert to_chrome_trace(man)["traceEvents"]
+
+
+class TestManifestSchemaGuards:
+    """Satellite: graceful degradation on older/foreign manifests."""
+
+    def test_missing_schema_field_is_clear_error(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps({"kind": "meta", "label": "x"}) + "\n")
+        with pytest.raises(ValueError, match="schema-version"):
+            obs.load_manifest(str(path))
+
+    def test_too_old_schema_rejected(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "schema": MIN_SCHEMA_VERSION - 1}) + "\n"
+        )
+        with pytest.raises(ValueError, match="older"):
+            obs.load_manifest(str(path))
+
+    def test_span_missing_field_is_clear_error(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "schema": SCHEMA_VERSION}) + "\n"
+            + json.dumps({"kind": "span", "name": "x", "path": "x"}) + "\n"
+        )
+        with pytest.raises(ValueError, match="missing field"):
+            obs.load_manifest(str(path))
+
+    def test_report_cli_degrades_gracefully(self, tmp_path, capsys):
+        path = tmp_path / "old.jsonl"
+        path.write_text(json.dumps({"kind": "meta", "label": "pre"}) + "\n")
+        assert obs_main(["report", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "schema" in err
+
+    def test_v1_manifests_still_load(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "schema": 1, "label": "v1",
+                        "wall": 0.5}) + "\n"
+        )
+        assert obs.load_manifest(str(path)).label == "v1"
+
+
+class TestSpanCoverageSatellites:
+    """Satellite: spans in the refine and SVD drivers."""
+
+    def test_refined_syevd_spans(self, rng):
+        from repro.refine import refined_syevd
+
+        a = rng.standard_normal((24, 24))
+        a = (a + a.T) * 0.5
+        with obs.collect() as session:
+            refined_syevd(a, b=2, nb=4, precision="fp32", refine_iterations=2)
+        paths = {s.path for s in session.spans}
+        assert "refined_syevd" in paths
+        assert "refined_syevd/base_evd" in paths
+        assert "refined_syevd/refine" in paths
+        sweeps = [s for s in session.spans
+                  if s.path == "refined_syevd/refine/refine.sweep"]
+        assert len(sweeps) == 2
+        assert [s.meta["sweep"] for s in sweeps] == [0, 1]
+
+    def test_svd_direct_spans(self, rng):
+        from repro.svd import svd_direct
+
+        with obs.collect() as session:
+            svd_direct(rng.standard_normal((20, 12)))
+        paths = {s.path for s in session.spans}
+        assert {"svd_direct", "svd_direct/bidiagonalize",
+                "svd_direct/gk_tridiag_solve",
+                "svd_direct/assemble_factors"} <= paths
+
+    def test_svd_via_evd_spans(self, rng):
+        from repro.svd import svd_via_evd
+
+        a = rng.standard_normal((16, 10))
+        for method in ("gram", "jordan_wielandt"):
+            with obs.collect() as session:
+                svd_via_evd(a, method=method, b=2)
+            roots = session.roots()
+            assert [s.name for s in roots] == ["svd_via_evd"]
+            assert roots[0].meta["method"] == method
+            paths = {s.path for s in session.spans}
+            assert {"svd_via_evd/svd.reduce", "svd_via_evd/svd.inner_evd",
+                    "svd_via_evd/svd.recover_factors"} <= paths
+
+    def test_randomized_drivers_span(self, rng):
+        from repro.svd import block_lanczos_eig, randomized_eig, randomized_svd
+
+        a = rng.standard_normal((24, 16))
+        sym = a[:16, :] + a[:16, :].T
+        with obs.collect() as session:
+            randomized_svd(a, 3, rng=rng)
+            randomized_eig(sym, 3, rng=rng)
+            block_lanczos_eig(sym, 3, rng=rng)
+        roots = [s.path for s in session.roots()]
+        assert roots == ["randomized_svd", "randomized_eig", "block_lanczos_eig"]
+        paths = {s.path for s in session.spans}
+        assert "randomized_svd/rand.sketch" in paths
+        assert "randomized_eig/rand.power" in paths
+        assert "block_lanczos_eig/lanczos.basis" in paths
+
+
+class TestAnalyticsCli:
+    def test_attribution_cli(self, tmp_path, capsys):
+        path = _syevd_manifest(tmp_path)
+        assert obs_main(["attribution", path]) == 0
+        out = capsys.readouterr().out
+        assert "syevd/sbr" in out and "efficiency" in out
+
+    def test_export_chrome_cli(self, tmp_path, capsys):
+        path = _syevd_manifest(tmp_path)
+        out_file = str(tmp_path / "trace.json")
+        assert obs_main(["export", "--chrome", path, "-o", out_file]) == 0
+        with open(out_file) as fh:
+            trace = json.load(fh)
+        assert "traceEvents" in trace
+        assert all(ev["ph"] in ("X", "M") for ev in trace["traceEvents"])
+
+    def test_export_flame_cli(self, tmp_path, capsys):
+        path = _syevd_manifest(tmp_path)
+        assert obs_main(["export", "--flame", path]) == 0
+        out = capsys.readouterr().out
+        assert "syevd;sbr" in out
+
+    def test_export_requires_format(self, tmp_path):
+        path = _syevd_manifest(tmp_path)
+        with pytest.raises(SystemExit):
+            obs_main(["export", path])
+
+    def test_bench_cli_writes_session(self, tmp_path, capsys, monkeypatch):
+        import repro.obs.analytics.benchstore as benchstore
+
+        monkeypatch.setitem(
+            benchstore.SUITES, "smoke",
+            (BenchScenario("tiny", n=24, b=2, nb=4),),
+        )
+        out = str(tmp_path / "BENCH_smoke.json")
+        assert obs_main(["bench", "--suite", "smoke", "--repeats", "1",
+                         "--out", out]) == 0
+        session = load_session(out)
+        assert session["suite"] == "smoke"
+        assert "bench session written" in capsys.readouterr().out
+
+    def test_regress_cli_exit_codes(self, tmp_path, capsys):
+        def write(name, scale):
+            session = {
+                "kind": "bench_session", "schema": 1, "suite": "smoke",
+                "created": "t", "repeats": 3, "env": {},
+                "scenarios": [{"key": "a", "config": {},
+                               "wall": [scale, scale, scale], "phases": {}}],
+            }
+            return write_session(session, str(tmp_path / name))
+
+        base = write("base.json", 1.0)
+        same = write("same.json", 1.0)
+        slow = write("slow.json", 2.0)
+        assert obs_main(["regress", base, same]) == 0
+        assert obs_main(["regress", base, slow]) == 2
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_regress_cli_bad_file(self, tmp_path, capsys):
+        p = tmp_path / "x.json"
+        p.write_text("{}")
+        assert obs_main(["regress", str(p), str(p)]) == 1
+        assert "error:" in capsys.readouterr().err
