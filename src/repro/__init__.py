@@ -31,17 +31,22 @@ Package map
 - :mod:`repro.device` — calibrated A100 performance model
 - :mod:`repro.obs` — telemetry: phase spans, run manifests, reports
 - :mod:`repro.resilience` — failure detectors, precision-escalation
-  retry, fault injection
+  retry, fault injection (numeric and crash)
+- :mod:`repro.ckpt` — durable checkpoint/restart with ABFT checksums
 - :mod:`repro.experiments` — per-table/figure reproduction drivers
 """
 
 from .errors import (
+    BudgetExceededError,
+    CheckpointCorruptionError,
+    CheckpointSchemaError,
     ConfigurationError,
     ConvergenceError,
     NotSymmetricError,
     NumericalBreakdownError,
     ReproError,
     ShapeError,
+    SimulatedCrashError,
     SingularMatrixError,
 )
 from .precision import Precision, ec_tcgemm, tcgemm
@@ -78,6 +83,8 @@ from .matrices import MatrixSpec, TABLE_MATRIX_SPECS, generate_symmetric
 from .metrics import backward_error, eigenvalue_error, orthogonality_error
 from .device import A100Spec, DeviceSpec, PerfModel
 from .resilience import (
+    CrashFaultSpec,
+    CrashInjector,
     DetectorConfig,
     EscalationLadder,
     FaultInjector,
@@ -85,8 +92,16 @@ from .resilience import (
     ResilienceContext,
     ResilienceReport,
 )
+from .ckpt import (
+    CheckpointConfig,
+    CheckpointManager,
+    CheckpointReport,
+    resume,
+    result_digest,
+)
 from . import obs
 from . import resilience
+from . import ckpt
 
 __version__ = "1.0.0"
 
@@ -98,6 +113,10 @@ __all__ = [
     "ConvergenceError",
     "ConfigurationError",
     "NumericalBreakdownError",
+    "BudgetExceededError",
+    "CheckpointCorruptionError",
+    "CheckpointSchemaError",
+    "SimulatedCrashError",
     "Precision",
     "tcgemm",
     "ec_tcgemm",
@@ -150,7 +169,15 @@ __all__ = [
     "FaultSpec",
     "ResilienceContext",
     "ResilienceReport",
+    "CrashFaultSpec",
+    "CrashInjector",
+    "CheckpointConfig",
+    "CheckpointManager",
+    "CheckpointReport",
+    "resume",
+    "result_digest",
     "obs",
     "resilience",
+    "ckpt",
     "__version__",
 ]

@@ -1,0 +1,72 @@
+"""Wall-clock budget guard for iterative solvers.
+
+The iterative solvers (QL iteration, inverse iteration, QDWH, LOBPCG)
+bound their *iteration counts*, but a pathological input can still make
+each iteration arbitrarily slow, or drive a retry loop that restarts the
+counter.  :class:`WallClockBudget` adds the orthogonal guard a serving
+deployment needs: a hard wall-clock ceiling, checked once per iteration,
+that raises a structured :class:`~repro.errors.BudgetExceededError`
+naming the phase, the iterations completed, the elapsed time, and the
+configured budget.
+
+Time is read through :func:`repro.obs.spans.now`, so an injected
+deterministic clock (the telemetry test fixture) drives budget logic in
+tests without real sleeps.
+
+``BudgetExceededError`` subclasses :class:`~repro.errors.ConvergenceError`,
+so existing callers that map convergence failures to fallbacks keep
+working unchanged; callers that care about the distinction catch the
+subclass first.
+"""
+
+from __future__ import annotations
+
+from ..errors import BudgetExceededError, ConfigurationError
+from ..obs import spans as obs
+
+__all__ = ["WallClockBudget"]
+
+
+class WallClockBudget:
+    """A per-call wall-clock ceiling (``max_seconds=None`` disables it).
+
+    Construct at solver entry, call :meth:`check` once per iteration::
+
+        budget = WallClockBudget(max_seconds, phase="ql_iteration")
+        for sweep in ...:
+            budget.check(iterations=sweep)
+
+    One clock read per check — negligible next to any real iteration.
+    """
+
+    __slots__ = ("max_seconds", "phase", "_t0")
+
+    def __init__(self, max_seconds: "float | None", *, phase: str) -> None:
+        if max_seconds is not None and not max_seconds > 0:
+            raise ConfigurationError(
+                f"max_seconds must be positive (or None), got {max_seconds}"
+            )
+        self.max_seconds = max_seconds
+        self.phase = phase
+        self._t0 = obs.now() if max_seconds is not None else 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.max_seconds is not None
+
+    def elapsed(self) -> float:
+        """Seconds since construction (0.0 when inactive)."""
+        return obs.now() - self._t0 if self.active else 0.0
+
+    def check(self, *, iterations: "int | None" = None,
+              residual: "float | None" = None) -> None:
+        """Raise :class:`BudgetExceededError` once the ceiling is passed."""
+        if self.max_seconds is None:
+            return
+        elapsed = obs.now() - self._t0
+        if elapsed > self.max_seconds:
+            raise BudgetExceededError(
+                f"{self.phase} exceeded its wall-clock budget",
+                phase=self.phase, iterations=iterations, residual=residual,
+                elapsed=elapsed, budget=float(self.max_seconds),
+            )

@@ -45,6 +45,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..ckpt.store import (
+    CheckpointConfig,
+    CheckpointManager,
+    CheckpointReport,
+    resilience_snapshot,
+    restore_resilience,
+)
 from ..errors import ConfigurationError, ConvergenceError, NumericalBreakdownError
 from ..gemm.engine import GemmEngine, make_engine
 from ..obs import spans as obs
@@ -54,7 +61,7 @@ from ..resilience.detectors import DetectorConfig
 from ..resilience.faults import FaultInjector
 from ..resilience.policy import EscalationLadder, ResilienceReport
 from ..sbr.panel import PanelStrategy
-from ..sbr.types import SbrResult
+from ..sbr.types import SbrResult, pack_wy_blocks, unpack_wy_blocks
 from ..sbr.wy import sbr_wy
 from ..sbr.zy import sbr_zy
 from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
@@ -89,6 +96,10 @@ class EvdResult:
         What the resilience layer detected/escalated during the run
         (``None`` when the layer was disabled with ``on_breakdown=None``;
         ``.empty`` is True for a healthy run).
+    checkpoint_report : CheckpointReport or None
+        What the checkpoint layer wrote/loaded (``None`` when
+        checkpointing was off; ``.resumed_from`` names the restart point
+        of a resumed run).
     """
 
     eigenvalues: np.ndarray
@@ -97,6 +108,7 @@ class EvdResult:
     tridiagonal: tuple[np.ndarray, np.ndarray]
     engine: GemmEngine | None = None
     resilience_report: ResilienceReport | None = None
+    checkpoint_report: CheckpointReport | None = None
 
 
 def _solve_tridiagonal(
@@ -173,6 +185,50 @@ def _stage_check(ctx, phase, arr, site):
             ctx.report.best_effort.append(phase)
 
 
+def _make_ckpt_manager(checkpoint) -> "CheckpointManager | None":
+    """Resolve the ``checkpoint=`` argument (config, manager, dir, or None)."""
+    if checkpoint is None:
+        return None
+    if isinstance(checkpoint, CheckpointManager):
+        return checkpoint
+    if isinstance(checkpoint, CheckpointConfig):
+        return CheckpointManager(checkpoint)
+    if isinstance(checkpoint, str):
+        return CheckpointManager(CheckpointConfig(run_dir=checkpoint))
+    raise ConfigurationError(
+        f"checkpoint must be a CheckpointConfig, CheckpointManager, or "
+        f"run-directory path, got {type(checkpoint).__name__}"
+    )
+
+
+def _sbr_from_checkpoint(ck_band, b: int) -> SbrResult:
+    """Rebuild the stage-1 result from a verified ``"band"`` checkpoint."""
+    return SbrResult(
+        band=ck_band.arrays["band"],
+        bandwidth=int(ck_band.scalars.get("bandwidth", b)),
+        q=ck_band.arrays.get("q"),
+        blocks=unpack_wy_blocks(
+            ck_band.arrays, ck_band.scalars.get("block_offsets", [])
+        ),
+    )
+
+
+def _resumed_result(ck, result_ck, b, eng, sbr_eng, ctx) -> "EvdResult":
+    """Reassemble a finished run straight from its ``"result"`` checkpoint."""
+    band_ck = ck.phase("band")
+    restore_resilience(ctx, sbr_eng, result_ck.scalars.get("resilience"))
+    ck.mark_resumed(result_ck)
+    return EvdResult(
+        eigenvalues=result_ck.arrays["eigenvalues"],
+        eigenvectors=result_ck.arrays.get("eigenvectors"),
+        sbr=_sbr_from_checkpoint(band_ck, b) if band_ck is not None else None,
+        tridiagonal=(result_ck.arrays["d"], result_ck.arrays["e"]),
+        engine=eng,
+        resilience_report=ctx.report if ctx is not None else None,
+        checkpoint_report=ck.report,
+    )
+
+
 def _resilient_bulge(ctx, band64, b, want_q):
     """Bulge chasing as a retryable unit.
 
@@ -224,6 +280,7 @@ def syevd_2stage(
     ladder: "EscalationLadder | None" = None,
     detectors: "DetectorConfig | None" = None,
     faults: "FaultInjector | None" = None,
+    checkpoint: "CheckpointConfig | CheckpointManager | str | None" = None,
     check_finite: bool = True,
 ) -> EvdResult:
     """Two-stage symmetric eigendecomposition ``A = X diag(lam) X^T``.
@@ -265,6 +322,16 @@ def syevd_2stage(
         Which invariant monitors run and how strict they are.
     faults : FaultInjector, optional
         Deterministic fault injection (test harness).
+    checkpoint : CheckpointConfig, CheckpointManager, or str, optional
+        Durable checkpoint/restart (a bare string is taken as the run
+        directory).  The run commits restart state after every SBR panel
+        and at each phase boundary (``band``, ``tridiag``, ``trieig``,
+        ``result``); re-running against a directory holding an earlier
+        interrupted run — or calling :func:`repro.ckpt.resume` — skips
+        every completed phase and continues from the furthest verified
+        checkpoint to a bitwise-identical result.  Checkpoints are
+        CRC- and ABFT-checksummed; a torn or corrupted one raises
+        :class:`~repro.errors.CheckpointCorruptionError` at load.
     check_finite : bool
         Reject NaN/Inf inputs up front with a clear error (cheap
         ``np.isfinite`` gate; skippable for pre-validated inputs).
@@ -287,28 +354,86 @@ def syevd_2stage(
     ctx = _make_context(on_breakdown, resilience, ladder, detectors, faults)
     eng = engine if engine is not None else make_engine(precision, record=record_trace)
     sbr_eng = ctx.wrap_engine(eng) if ctx is not None else eng
+
+    ck = _make_ckpt_manager(checkpoint)
+    band_ck = tridiag_ck = trieig_ck = None
+    if ck is not None:
+        ck.begin(a, {
+            "driver": "syevd_2stage", "n": n, "b": b, "nb": nb,
+            "method": method, "precision": eng.precision.value,
+            "panel": panel if isinstance(panel, str) else None,
+            "want_vectors": want_vectors, "tridiag_solver": tridiag_solver,
+            "on_breakdown": on_breakdown,
+        })
+        result_ck = ck.phase("result")
+        if result_ck is not None:
+            return _resumed_result(ck, result_ck, b, eng, sbr_eng, ctx)
+        trieig_ck = ck.phase("trieig")
+        tridiag_ck = ck.phase("tridiag")
+        band_ck = ck.phase("band")
+        furthest = trieig_ck or tridiag_ck or band_ck
+        if furthest is not None:
+            # Phase-boundary restart: skip completed phases below.  A
+            # mid-SBR restart (only sbr_panel checkpoints) is handled
+            # inside the SBR driver itself.
+            restore_resilience(ctx, sbr_eng, furthest.scalars.get("resilience"))
+            ck.mark_resumed(furthest)
+
     with obs.span("syevd", n=n, b=b, nb=nb, method=method, solver=tridiag_solver):
         with obs.span("sbr"):
-            if method == "wy":
+            if band_ck is not None:
+                sbr = _sbr_from_checkpoint(band_ck, b)
+            elif method == "wy":
                 sbr = sbr_wy(
                     a, b, nb, engine=sbr_eng, panel=panel or "tsqr",
-                    want_q=want_vectors, resilience=ctx, check_finite=False,
+                    want_q=want_vectors, resilience=ctx, checkpoint=ck,
+                    check_finite=False,
                 )
             else:
                 sbr = sbr_zy(
                     a, b, engine=sbr_eng, panel=panel or "blocked_qr",
-                    want_q=want_vectors, resilience=ctx, check_finite=False,
+                    want_q=want_vectors, resilience=ctx, checkpoint=ck,
+                    check_finite=False,
                 )
+            if ck is not None and band_ck is None:
+                arrays, offsets = pack_wy_blocks(sbr.blocks)
+                arrays["band"] = sbr.band
+                if sbr.q is not None:
+                    arrays["q"] = sbr.q
+                ck.save("band", arrays, {
+                    "bandwidth": sbr.bandwidth,
+                    "block_offsets": offsets,
+                    "resilience": resilience_snapshot(ctx, sbr_eng),
+                })
+                # Every sbr_panel checkpoint is subsumed by the band.
+                ck.prune("sbr_panel", keep=0)
 
         # Stage 2 onward in float64 (host-side MAGMA stages in the paper).
         with obs.span("bulge"):
-            band64 = np.asarray(sbr.band, dtype=np.float64)
-            d, e, q2 = _resilient_bulge(ctx, band64, b, want_vectors)
+            if tridiag_ck is not None:
+                d = tridiag_ck.arrays["d"]
+                e = tridiag_ck.arrays["e"]
+                q2 = tridiag_ck.arrays.get("q2")
+            else:
+                band64 = np.asarray(sbr.band, dtype=np.float64)
+                d, e, q2 = _resilient_bulge(ctx, band64, b, want_vectors)
+                if ck is not None:
+                    ck.save("tridiag", {"d": d, "e": e, "q2": q2}, {
+                        "resilience": resilience_snapshot(ctx, sbr_eng),
+                    })
         with obs.span("tridiag_solve", solver=tridiag_solver):
-            lam, v_tri = _solve_tridiagonal_with_context(
-                d, e, tridiag_solver, want_vectors
-            )
-            _stage_check(ctx, "tridiag_solve", lam, "tridiag_eigenvalues")
+            if trieig_ck is not None:
+                lam = trieig_ck.arrays["lam"]
+                v_tri = trieig_ck.arrays.get("v_tri")
+            else:
+                lam, v_tri = _solve_tridiagonal_with_context(
+                    d, e, tridiag_solver, want_vectors
+                )
+                _stage_check(ctx, "tridiag_solve", lam, "tridiag_eigenvalues")
+                if ck is not None:
+                    ck.save("trieig", {"lam": lam, "v_tri": v_tri}, {
+                        "resilience": resilience_snapshot(ctx, sbr_eng),
+                    })
 
         x = None
         if want_vectors:
@@ -316,6 +441,10 @@ def syevd_2stage(
                 # X = Q_sbr @ Q_bulge @ V_tri.
                 x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
             _stage_check(ctx, "back_transform", x, "eigenvectors")
+        if ck is not None:
+            ck.save("result", {
+                "eigenvalues": lam, "eigenvectors": x, "d": d, "e": e,
+            }, {"resilience": resilience_snapshot(ctx, sbr_eng)})
     return EvdResult(
         eigenvalues=lam,
         eigenvectors=x,
@@ -323,6 +452,7 @@ def syevd_2stage(
         tridiagonal=(d, e),
         engine=eng,
         resilience_report=ctx.report if ctx is not None else None,
+        checkpoint_report=ck.report if ck is not None else None,
     )
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConvergenceError, ShapeError
+from .budget import WallClockBudget
 
 __all__ = ["tridiag_inverse_iteration"]
 
@@ -59,6 +60,7 @@ def tridiag_inverse_iteration(
     *,
     cluster_tol: float | None = None,
     rng: np.random.Generator | None = None,
+    max_seconds: float | None = None,
 ) -> np.ndarray:
     """Eigenvectors of tridiag(d, e) for precomputed eigenvalues.
 
@@ -77,6 +79,10 @@ def tridiag_inverse_iteration(
         explicit reorthogonalization keeps the basis orthonormal.
     rng : numpy.random.Generator, optional
         Source of the random start vectors.
+    max_seconds : float, optional
+        Wall-clock budget; exceeding it raises a structured
+        :class:`~repro.errors.BudgetExceededError` (phase
+        ``"inverse_iteration"``).
 
     Returns
     -------
@@ -98,6 +104,7 @@ def tridiag_inverse_iteration(
     if cluster_tol is None:
         cluster_tol = 1e-3 * max(norm_t, 1e-300)
 
+    budget = WallClockBudget(max_seconds, phase="inverse_iteration")
     k = lam.size
     v = np.zeros((n, k))
     cluster_start = 0
@@ -107,7 +114,8 @@ def tridiag_inverse_iteration(
         vec = rng.standard_normal(n)
         vec /= np.linalg.norm(vec)
         converged = False
-        for _ in range(_MAX_ITER):
+        for it in range(_MAX_ITER):
+            budget.check(iterations=j * _MAX_ITER + it)
             vec = _solve_shifted_tridiag(d, e, lam[j], vec)
             # Reorthogonalize within the current cluster (twice is enough).
             for _pass in range(2):

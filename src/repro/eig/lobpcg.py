@@ -27,6 +27,7 @@ import numpy as np
 from ..errors import ConfigurationError, ConvergenceError, ShapeError
 from ..gemm.engine import GemmEngine, PlainEngine
 from ..validation import as_symmetric_matrix
+from .budget import WallClockBudget
 
 __all__ = ["lobpcg"]
 
@@ -49,6 +50,7 @@ def lobpcg(
     engine: GemmEngine | None = None,
     tol: float = 1e-8,
     max_iter: int = 200,
+    max_seconds: float | None = None,
     rng: np.random.Generator | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Extremal eigenpairs of a symmetric matrix by LOBPCG.
@@ -70,6 +72,9 @@ def lobpcg(
         Engine for the block products (tagged ``lobpcg_*``).
     tol : float
         Relative residual tolerance ``||A x - lam x|| <= tol * ||A||``.
+    max_seconds : float, optional
+        Wall-clock budget; exceeding it raises a structured
+        :class:`~repro.errors.BudgetExceededError` (phase ``"lobpcg"``).
 
     Returns
     -------
@@ -104,9 +109,11 @@ def lobpcg(
     if x.shape[1] < k:
         raise ShapeError("initial block is numerically rank deficient")
 
+    budget = WallClockBudget(max_seconds, phase="lobpcg")
     p: np.ndarray | None = None
     its = 0
     for its in range(1, max_iter + 1):
+        budget.check(iterations=its - 1)
         ax = np.asarray(eng.gemm(a_work, x, tag="lobpcg_ax"), dtype=np.float64)
         lam = np.einsum("ij,ij->j", x, ax)
         r = ax - x * lam

@@ -30,6 +30,7 @@ from scipy.linalg import qr as scipy_qr
 
 from ..errors import ConvergenceError, ShapeError
 from ..validation import as_square_matrix, as_symmetric_matrix
+from .budget import WallClockBudget
 
 __all__ = ["qdwh_polar", "qdwh_eig"]
 
@@ -41,6 +42,8 @@ def qdwh_polar(
     *,
     tol: float = 1e-14,
     max_iter: int = _MAX_QDWH_ITER,
+    max_seconds: float | None = None,
+    _budget: "WallClockBudget | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Polar decomposition ``A = U H`` by the QDWH iteration.
 
@@ -50,6 +53,10 @@ def qdwh_polar(
         Matrix to decompose.
     tol : float
         Convergence tolerance on ``||X_{k+1} - X_k||_F / ||X_k||_F``.
+    max_seconds : float, optional
+        Wall-clock budget; exceeding it raises a structured
+        :class:`~repro.errors.BudgetExceededError` (phase
+        ``"qdwh_polar"``).
 
     Returns
     -------
@@ -76,9 +83,13 @@ def qdwh_polar(
     x = a / alpha
     l = max(smin / alpha, np.finfo(np.float64).tiny)
 
+    budget = _budget if _budget is not None else WallClockBudget(
+        max_seconds, phase="qdwh_polar"
+    )
     eye_n = np.eye(n)
     its = 0
     for its in range(1, max_iter + 1):
+        budget.check(iterations=its - 1)
         l2 = l * l
         dd = (4.0 * (1.0 - l2) / (l2 * l2)) ** (1.0 / 3.0)
         sqd = np.sqrt(1.0 + dd)
@@ -121,7 +132,9 @@ def qdwh_eig(
     *,
     min_size: int = 24,
     tol: float = 1e-14,
+    max_seconds: float | None = None,
     _depth: int = 0,
+    _budget: "WallClockBudget | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Full symmetric eigendecomposition by QDWH spectral divide & conquer.
 
@@ -132,6 +145,12 @@ def qdwh_eig(
     min_size : int
         Subproblem size below which the library's one-stage Householder
         solver finishes directly.
+    max_seconds : float, optional
+        Wall-clock budget over the *whole* divide & conquer (one shared
+        clock threads through the recursion and the inner polar
+        iterations); exceeding it raises a structured
+        :class:`~repro.errors.BudgetExceededError` (phase
+        ``"qdwh_eig"``).
 
     Returns
     -------
@@ -142,6 +161,10 @@ def qdwh_eig(
     """
     a = as_symmetric_matrix(a, dtype=np.float64)
     n = a.shape[0]
+    budget = _budget if _budget is not None else WallClockBudget(
+        max_seconds, phase="qdwh_eig"
+    )
+    budget.check(iterations=_depth)
     if n <= max(min_size, 2) or _depth > 60:
         from .driver import syevd_1stage
 
@@ -159,7 +182,7 @@ def qdwh_eig(
     for attempt in range(8):
         shifted = a - sigma * np.eye(n)
         try:
-            u, _, _ = qdwh_polar(shifted, tol=tol)
+            u, _, _ = qdwh_polar(shifted, tol=tol, _budget=budget)
         except ShapeError:
             # sigma is (numerically) an eigenvalue: perturb and retry.
             sigma += (lam_hi - lam_lo) * 1e-3 * (attempt + 1)
@@ -181,8 +204,10 @@ def qdwh_eig(
     a1 = v1.T @ a @ v1
     a2 = v2.T @ a @ v2
 
-    lam1, w1 = qdwh_eig((a1 + a1.T) / 2.0, min_size=min_size, tol=tol, _depth=_depth + 1)
-    lam2, w2 = qdwh_eig((a2 + a2.T) / 2.0, min_size=min_size, tol=tol, _depth=_depth + 1)
+    lam1, w1 = qdwh_eig((a1 + a1.T) / 2.0, min_size=min_size, tol=tol,
+                        _depth=_depth + 1, _budget=budget)
+    lam2, w2 = qdwh_eig((a2 + a2.T) / 2.0, min_size=min_size, tol=tol,
+                        _depth=_depth + 1, _budget=budget)
 
     lam = np.concatenate([lam1, lam2])
     v = np.hstack([v1 @ w1, v2 @ w2])

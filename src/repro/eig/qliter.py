@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConvergenceError, ShapeError
+from .budget import WallClockBudget
 
 __all__ = ["tridiag_eig_ql"]
 
@@ -26,6 +27,7 @@ def tridiag_eig_ql(
     *,
     want_vectors: bool = True,
     z0: np.ndarray | None = None,
+    max_seconds: float | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Eigendecomposition of the symmetric tridiagonal (d, e).
 
@@ -41,6 +43,10 @@ def tridiag_eig_ql(
         Initial transformation the rotations are accumulated into
         (default: identity).  Pass the stage-1/2 back-transform to fuse
         the final product.
+    max_seconds : float, optional
+        Wall-clock budget; exceeding it raises a structured
+        :class:`~repro.errors.BudgetExceededError` (phase
+        ``"ql_iteration"``).
 
     Returns
     -------
@@ -69,8 +75,10 @@ def tridiag_eig_ql(
         else:
             z = np.eye(n, dtype=np.float64)
 
+    budget = WallClockBudget(max_seconds, phase="ql_iteration")
     for l in range(n):
         for sweep in range(_MAX_SWEEPS + 1):
+            budget.check(iterations=l * _MAX_SWEEPS + sweep)
             # Find the first deflation point m >= l.
             m = l
             while m < n - 1:

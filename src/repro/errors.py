@@ -17,8 +17,12 @@ __all__ = [
     "NotSymmetricError",
     "SingularMatrixError",
     "ConvergenceError",
+    "BudgetExceededError",
     "ConfigurationError",
     "NumericalBreakdownError",
+    "CheckpointCorruptionError",
+    "CheckpointSchemaError",
+    "SimulatedCrashError",
 ]
 
 
@@ -94,6 +98,46 @@ class ConvergenceError(ReproError, RuntimeError):
             parts.append(f"iterations={self.iterations}")
         if self.residual is not None:
             parts.append(f"residual={self.residual:.3e}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
+
+
+class BudgetExceededError(ConvergenceError):
+    """An iterative solver exhausted its wall-clock or iteration budget.
+
+    Distinct from plain :class:`ConvergenceError`: the iteration was still
+    making (or might still have made) progress, but the caller bounded how
+    long it may run — the guard against adversarial inputs that would
+    otherwise spin a serving worker indefinitely.
+
+    Attributes
+    ----------
+    elapsed : float or None
+        Wall-clock seconds spent when the budget tripped.
+    budget : float or None
+        The configured limit that was exceeded (seconds for wall-clock
+        budgets, iterations for iteration budgets).
+    (plus the :class:`ConvergenceError` attributes
+    ``iterations``/``residual``/``phase``)
+    """
+
+    def __init__(self, message: str = "", *, iterations: int | None = None,
+                 residual: float | None = None, phase: str | None = None,
+                 elapsed: float | None = None,
+                 budget: float | None = None) -> None:
+        super().__init__(message, iterations=iterations, residual=residual,
+                         phase=phase)
+        self.elapsed = elapsed
+        self.budget = budget
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.elapsed is not None:
+            parts.append(f"elapsed={self.elapsed:.3f}s")
+        if self.budget is not None:
+            parts.append(f"budget={self.budget:g}")
         if parts:
             return f"{msg} [{', '.join(parts)}]"
         return msg
@@ -180,3 +224,101 @@ class NumericalBreakdownError(ReproError, ArithmeticError):
             "threshold": self.threshold,
             "precision": self.precision,
         }
+
+
+class CheckpointCorruptionError(ReproError, RuntimeError):
+    """A persisted checkpoint failed an integrity check at load time.
+
+    Raised by :mod:`repro.ckpt` when a checkpoint file is torn (truncated
+    mid-write), fails its CRC32 payload checksum, or fails the
+    Huang–Abraham ABFT row/column checksums of a stored matrix — anything
+    that would otherwise silently feed wrong numbers into a resumed run.
+
+    Attributes
+    ----------
+    path : str or None
+        The offending file.
+    field : str or None
+        The array or metadata field that failed (e.g. ``"A"``,
+        ``"abft:W.row"``, ``"crc"``).
+    reason : str or None
+        Check that failed: ``"torn"``, ``"crc"``, ``"abft"``,
+        ``"missing"``, ``"schema"``, ``"parse"``.
+    """
+
+    def __init__(self, message: str = "", *, path: str | None = None,
+                 field: str | None = None, reason: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.field = field
+        self.reason = reason
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.path is not None:
+            parts.append(f"path={self.path}")
+        if self.field is not None:
+            parts.append(f"field={self.field}")
+        if self.reason is not None:
+            parts.append(f"reason={self.reason}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
+
+    def to_dict(self) -> dict:
+        """JSON-serializable context (for reports and logs)."""
+        return {
+            "message": Exception.__str__(self),
+            "path": self.path,
+            "field": self.field,
+            "reason": self.reason,
+        }
+
+
+class CheckpointSchemaError(CheckpointCorruptionError):
+    """A checkpoint was written under an incompatible schema version.
+
+    A stale or future schema is handled like corruption (the bytes cannot
+    be trusted to mean what the current code assumes), but kept as its
+    own type so callers can distinguish "re-record the run" from "the
+    disk lied".  ``field`` carries ``"schema"``; the offending version is
+    in the message.
+    """
+
+
+class SimulatedCrashError(ReproError, RuntimeError):
+    """A crash-fault injection site fired (test harness only).
+
+    Raised by :class:`repro.resilience.crash.CrashInjector` to model a
+    process kill / power loss at a named site.  Deliberately *not* a
+    :class:`NumericalBreakdownError`: the resilience retry paths must not
+    absorb it — it propagates out of the driver exactly like a real crash
+    would terminate the process, leaving the checkpoint directory behind
+    for a resume.
+
+    Attributes
+    ----------
+    site : str or None
+        The crash site that fired (e.g. ``"ckpt.save.sbr_panel.post"``).
+    kind : str or None
+        The crash-fault kind (``"kill"``, ``"torn_write"``,
+        ``"stale_schema"``).
+    """
+
+    def __init__(self, message: str = "", *, site: str | None = None,
+                 kind: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+        self.kind = kind
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.site is not None:
+            parts.append(f"site={self.site}")
+        if self.kind is not None:
+            parts.append(f"kind={self.kind}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg

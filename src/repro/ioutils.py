@@ -1,0 +1,113 @@
+"""Crash-safe file persistence primitives shared across the library.
+
+Every durable artifact the library writes — checkpoints, run manifests,
+bench sessions — goes through the same commit protocol: write the full
+payload to a temporary file *in the destination directory*, flush and
+``fsync`` it, then ``os.replace`` it over the final name.  ``os.replace``
+is atomic on POSIX and Windows, so a reader (or a restarted run) sees
+either the old complete file or the new complete file — never a torn
+prefix of the new one.  A crash before the replace leaves at most a
+``*.tmp-*`` orphan, which :func:`sweep_orphans` removes.
+
+This module depends only on the standard library so :mod:`repro.obs` and
+:mod:`repro.ckpt` can both import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "file_crc32",
+    "sweep_orphans",
+]
+
+#: Suffix marker of in-flight temporary files (see :func:`sweep_orphans`).
+TMP_MARKER = ".tmp-"
+
+
+def atomic_write_bytes(path: str, data: bytes, *, fsync: bool = True) -> str:
+    """Atomically replace ``path`` with ``data`` (returns ``path``).
+
+    The payload lands in a same-directory temp file first so the final
+    ``os.replace`` never crosses a filesystem boundary.  ``fsync=False``
+    skips the durability flush for artifacts where torn-write protection
+    matters but power-loss durability does not (e.g. report files a CI
+    job immediately re-reads).
+    """
+    parent = os.path.dirname(path) or "."
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=parent, prefix=os.path.basename(path) + TMP_MARKER
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str, text: str, *, fsync: bool = True) -> str:
+    """Atomically replace ``path`` with UTF-8 ``text`` (returns ``path``)."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(path: str, obj, *, indent: int | None = None,
+                      fsync: bool = True) -> str:
+    """Atomically serialize ``obj`` as JSON to ``path`` (returns ``path``).
+
+    Serialization happens fully in memory before any byte reaches disk,
+    so a ``TypeError`` from an unserializable object can never leave a
+    half-written file behind.
+    """
+    payload = json.dumps(obj, indent=indent, sort_keys=False)
+    if not payload.endswith("\n"):
+        payload += "\n"
+    return atomic_write_text(path, payload, fsync=fsync)
+
+
+def file_crc32(path: str, *, chunk: int = 1 << 20) -> int:
+    """CRC32 of a file's bytes (the checkpoint payload checksum)."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                return crc & 0xFFFFFFFF
+            crc = zlib.crc32(block, crc)
+
+
+def sweep_orphans(directory: str) -> list[str]:
+    """Remove in-flight temp files a crashed writer left behind.
+
+    Returns the paths removed.  Only files carrying the
+    :data:`TMP_MARKER` infix are touched — committed artifacts are never
+    candidates.
+    """
+    removed: list[str] = []
+    if not os.path.isdir(directory):
+        return removed
+    for name in os.listdir(directory):
+        if TMP_MARKER in name:
+            path = os.path.join(directory, name)
+            try:
+                os.unlink(path)
+                removed.append(path)
+            except OSError:
+                pass
+    return removed

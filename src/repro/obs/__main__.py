@@ -50,6 +50,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         path=args.out,
         run_dir=args.dir,
         probes=not args.no_probes,
+        checkpoint=args.checkpoint_dir,
     )
     print(f"manifest written: {run.path}")
     print()
@@ -169,6 +170,11 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--no-probes", action="store_true", help="skip accuracy probes")
     p_run.add_argument("--out", default=None, metavar="FILE", help="manifest path")
     p_run.add_argument("--dir", default=DEFAULT_RUN_DIR, help="manifest directory")
+    p_run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write durable checkpoints under DIR (resume with "
+             "python -m repro.ckpt resume DIR)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_rep = sub.add_parser("report", help="per-phase breakdown or A/B comparison")

@@ -24,6 +24,7 @@ import os
 import time
 from dataclasses import asdict, dataclass
 
+from ...ioutils import atomic_write_json
 from ..spans import collect
 
 __all__ = [
@@ -187,16 +188,15 @@ def default_session_path(suite: str, run_dir: str = "runs") -> str:
 
 
 def write_session(session: dict, path: str | None = None, *, run_dir: str = "runs") -> str:
-    """Persist a session as ``BENCH_<suite>.json`` (returns the path)."""
+    """Persist a session as ``BENCH_<suite>.json`` (returns the path).
+
+    The write is crash-safe: the session is serialized in memory and
+    committed with one atomic rename, so a concurrent reader (or the
+    regression gate after a killed bench run) never sees a torn file.
+    """
     if path is None:
         path = default_session_path(session.get("suite", "suite"), run_dir)
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(session, fh, indent=1, sort_keys=False)
-        fh.write("\n")
-    return path
+    return atomic_write_json(path, session, indent=1)
 
 
 def load_session(path: str) -> dict:

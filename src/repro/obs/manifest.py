@@ -18,6 +18,8 @@ Line kinds (each line carries a ``"kind"`` discriminator):
 ``accuracy``    accuracy probes sampled at stage boundaries (optional)
 ``resilience``  resilience-report summary: detections, escalations,
                 injected faults, final precisions (optional)
+``checkpoint``  checkpoint-report summary: run directory, saves, bytes,
+                resume provenance (optional)
 ==============  ========================================================
 
 Schema version: ``SCHEMA_VERSION`` (bump on incompatible change; the
@@ -30,7 +32,13 @@ field access).  History:
 - **2** — ``gemm`` lines gain an optional ``start`` timestamp (relative
   to the collector epoch) so trace exporters can place events on the
   span timeline.  Backward compatible: v1 manifests still load, their
-  events just carry no position.
+  events just carry no position.  The optional ``checkpoint`` line (PR 4)
+  rides within this version: older loaders skip unknown kinds.
+
+Manifests are written crash-safely: the whole JSONL body is serialized
+in memory and committed with one atomic rename
+(:func:`repro.ioutils.atomic_write_text`), so a reader never observes a
+truncated manifest.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from ..ioutils import atomic_write_text
 from .spans import Collector, Span
 
 __all__ = [
@@ -70,6 +79,7 @@ class RunManifest:
     trace: dict | None = None
     accuracy: dict | None = None
     resilience: dict | None = None
+    checkpoint: dict | None = None
     path: str | None = None
 
     # -- derived queries ---------------------------------------------------
@@ -161,6 +171,7 @@ def write_manifest(
     trace=None,
     accuracy: dict | None = None,
     resilience: dict | None = None,
+    checkpoint: dict | None = None,
     events: str = "full",
 ) -> str:
     """Serialize one telemetry session to a JSONL manifest.
@@ -189,6 +200,9 @@ def write_manifest(
     resilience : dict, optional
         Resilience-report summary (``ResilienceReport.to_dict()``):
         detections, escalations, injected faults, final precisions.
+    checkpoint : dict, optional
+        Checkpoint-report summary (``CheckpointReport.to_dict()``):
+        run directory, saves, bytes written, resume provenance.
     events : {"full", "none"}
         Whether to persist the per-call GEMM event stream.
 
@@ -224,21 +238,25 @@ def write_manifest(
     def dump(obj: dict) -> str:
         return json.dumps(obj, separators=(",", ":"), sort_keys=False)
 
-    with open(path, "w") as fh:
-        fh.write(dump(meta) + "\n")
-        for s in collector.spans:
-            fh.write(dump({"kind": "span", **s.to_dict()}) + "\n")
-        if events == "full":
-            for ev in collector.gemm_events:
-                fh.write(dump({"kind": "gemm", **ev.to_dict()}) + "\n")
-        fh.write(dump({"kind": "gemm_summary", **collector.gemm_summary()}) + "\n")
-        if trace is not None:
-            tr = trace.to_dict() if hasattr(trace, "to_dict") else dict(trace)
-            fh.write(dump({"kind": "trace", **tr}) + "\n")
-        if accuracy is not None:
-            fh.write(dump({"kind": "accuracy", "probes": dict(accuracy)}) + "\n")
-        if resilience is not None:
-            fh.write(dump({"kind": "resilience", **dict(resilience)}) + "\n")
+    # Serialize the full JSONL body in memory, then commit with a single
+    # atomic rename: a crash mid-write can never leave a torn manifest.
+    lines = [dump(meta)]
+    for s in collector.spans:
+        lines.append(dump({"kind": "span", **s.to_dict()}))
+    if events == "full":
+        for ev in collector.gemm_events:
+            lines.append(dump({"kind": "gemm", **ev.to_dict()}))
+    lines.append(dump({"kind": "gemm_summary", **collector.gemm_summary()}))
+    if trace is not None:
+        tr = trace.to_dict() if hasattr(trace, "to_dict") else dict(trace)
+        lines.append(dump({"kind": "trace", **tr}))
+    if accuracy is not None:
+        lines.append(dump({"kind": "accuracy", "probes": dict(accuracy)}))
+    if resilience is not None:
+        lines.append(dump({"kind": "resilience", **dict(resilience)}))
+    if checkpoint is not None:
+        lines.append(dump({"kind": "checkpoint", **dict(checkpoint)}))
+    atomic_write_text(path, "\n".join(lines) + "\n")
     return path
 
 
@@ -293,5 +311,7 @@ def load_manifest(path: str) -> RunManifest:
                 man.accuracy = obj.get("probes", obj)
             elif kind == "resilience":
                 man.resilience = obj
+            elif kind == "checkpoint":
+                man.checkpoint = obj
             # Unknown kinds are skipped: forward compatibility within a major.
     return man

@@ -98,6 +98,7 @@ def record_syevd(
     events: str = "full",
     on_breakdown: "str | None" = "escalate",
     faults=None,
+    checkpoint=None,
 ) -> RecordedRun:
     """Run an instrumented ``syevd_2stage`` and write its manifest.
 
@@ -108,7 +109,10 @@ def record_syevd(
     :class:`repro.resilience.FaultInjector`) pass through to the driver;
     the run's resilience report lands in the manifest as a
     ``"resilience"`` line — this is how fault-injection campaigns are
-    archived and diffed.
+    archived and diffed.  ``checkpoint`` (a run-directory string or a
+    :class:`repro.ckpt.CheckpointConfig`) likewise passes through; the
+    run's :class:`~repro.ckpt.CheckpointReport` is archived as a
+    ``"checkpoint"`` manifest line.
 
     Returns
     -------
@@ -138,6 +142,7 @@ def record_syevd(
             a, b=b, nb=nb, method=method, precision=precision,
             want_vectors=want_vectors, tridiag_solver=tridiag_solver,
             record_trace=True, on_breakdown=on_breakdown, faults=faults,
+            checkpoint=checkpoint,
         )
 
     probe_values = evd_accuracy_probes(a, result) if probes else None
@@ -158,6 +163,11 @@ def record_syevd(
         trace=trace,
         accuracy=probe_values,
         resilience=report.to_dict() if report is not None else None,
+        checkpoint=(
+            result.checkpoint_report.to_dict()
+            if getattr(result, "checkpoint_report", None) is not None
+            else None
+        ),
         events=events,
     )
     return RecordedRun(path=out_path, result=result, collector=session)

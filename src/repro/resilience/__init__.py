@@ -20,6 +20,9 @@ degrade gracefully instead of returning silently-wrong eigenpairs:
 - :mod:`repro.resilience.faults` — the deterministic fault-injection
   harness tests use to prove every detector fires and every fallback
   path recovers.
+- :mod:`repro.resilience.crash` — crash-fault injection for the durable
+  checkpoint/restart subsystem (:mod:`repro.ckpt`): kill-at-site,
+  torn-write, and stale-schema faults that drive the recovery tests.
 
 Driver-level use::
 
@@ -33,6 +36,7 @@ and the fault-injection cookbook.
 """
 
 from .context import BREAKDOWN_MODES, ResilienceContext, ResilientEngine
+from .crash import CRASH_KINDS, CrashFaultSpec, CrashInjector, parse_kill_site
 from .detectors import (
     DetectorBank,
     DetectorConfig,
@@ -54,6 +58,10 @@ __all__ = [
     "BREAKDOWN_MODES",
     "ResilienceContext",
     "ResilientEngine",
+    "CRASH_KINDS",
+    "CrashFaultSpec",
+    "CrashInjector",
+    "parse_kill_site",
     "DetectorBank",
     "DetectorConfig",
     "has_nonfinite",

@@ -1,0 +1,212 @@
+"""Crash-fault injection: process death and storage faults, on schedule.
+
+The PR 2 :class:`~repro.resilience.faults.FaultInjector` corrupts *data
+in flight* (GEMM outputs) to exercise the numerical detectors.  This
+module extends the same deterministic site/call-index idiom to the
+*durability* failure modes a checkpointed run must survive:
+
+``kill``          raise :class:`~repro.errors.SimulatedCrashError` at the
+                  site (or hard-exit the process in ``hard`` mode) —
+                  models preemption / OOM-kill / power loss.
+``torn_write``    truncate the just-committed payload file to a prefix,
+                  then crash — models a non-atomic filesystem tearing a
+                  write.  The resulting checkpoint must be *detected* at
+                  load time (file CRC mismatch), never silently used.
+``stale_schema``  rewrite the checkpoint's metadata schema version to an
+                  unsupported value, then crash — models a run directory
+                  left behind by an incompatible library version.
+
+Sites are fired by the checkpoint manager around every save:
+``ckpt.save.<step>.pre`` (before any byte is written — a kill here leaves
+the previous checkpoint as the restart point) and
+``ckpt.save.<step>.post`` (after the checkpoint is durable — a kill here
+restarts from the brand-new checkpoint; the corruption kinds damage the
+files it just committed).  Specs match sites by ``fnmatch`` glob, fire at
+a chosen per-site call index, and at most ``count`` times, exactly like
+:class:`FaultSpec`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+from ..errors import SimulatedCrashError
+
+__all__ = ["CRASH_KINDS", "CrashFaultSpec", "CrashInjector", "parse_kill_site"]
+
+CRASH_KINDS = ("kill", "torn_write", "stale_schema")
+
+
+@dataclass(frozen=True)
+class CrashFaultSpec:
+    """One planned crash: *where*, *when*, *what*.
+
+    Parameters
+    ----------
+    site : str
+        Site pattern (``fnmatch`` glob) matched against crash sites, e.g.
+        ``"ckpt.save.sbr_panel.post"``, ``"ckpt.save.*.pre"``.
+    kind : str
+        One of :data:`CRASH_KINDS`.
+    call_index : int
+        Which matching firing opportunity to take (0-based, counted per
+        exact site name).
+    count : int
+        Maximum number of firings (default 1 — one crash, then the
+        injector stays quiet so the resumed run can finish).
+    truncate_fraction : float
+        For ``torn_write``: fraction of the payload retained.
+    schema : int
+        For ``stale_schema``: the bogus schema version written.
+    """
+
+    site: str
+    kind: str = "kill"
+    call_index: int = 0
+    count: int = 1
+    truncate_fraction: float = 0.5
+    schema: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in CRASH_KINDS:
+            raise ValueError(
+                f"unknown crash kind {self.kind!r}; expected one of {CRASH_KINDS}"
+            )
+        if not 0.0 <= self.truncate_fraction < 1.0:
+            raise ValueError(
+                f"truncate_fraction must be in [0, 1), got {self.truncate_fraction}"
+            )
+
+
+def parse_kill_site(text: str) -> CrashFaultSpec:
+    """Parse a CLI crash spec ``SITE[:CALL_INDEX[:KIND]]``.
+
+    Examples: ``ckpt.save.sbr_panel.post:2``,
+    ``ckpt.save.band.post:0:torn_write``.
+    """
+    parts = text.split(":")
+    site = parts[0]
+    index = int(parts[1]) if len(parts) > 1 and parts[1] else 0
+    kind = parts[2] if len(parts) > 2 and parts[2] else "kill"
+    return CrashFaultSpec(site=site, kind=kind, call_index=index)
+
+
+class CrashInjector:
+    """Fires :class:`CrashFaultSpec` crashes at named durability sites.
+
+    Parameters
+    ----------
+    specs : CrashFaultSpec or list thereof
+        The planned crashes.
+    hard : bool
+        When True, a ``kill`` terminates the process with ``os._exit``
+        (exit code 137, mimicking SIGKILL) instead of raising — the CI
+        crash-recovery job uses this so the interpreter gets no chance to
+        run cleanup, exactly like real preemption.  Corruption kinds
+        still damage the files first.
+
+    Thread-safe; reusable across runs via :meth:`reset`.
+    """
+
+    #: Exit code used in ``hard`` mode (128 + SIGKILL).
+    HARD_EXIT_CODE = 137
+
+    def __init__(self, specs: "list[CrashFaultSpec] | CrashFaultSpec | None" = None,
+                 *, hard: bool = False) -> None:
+        if specs is None:
+            specs = []
+        if isinstance(specs, CrashFaultSpec):
+            specs = [specs]
+        self.specs = list(specs)
+        self.hard = hard
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._firings: dict[int, int] = {}
+        self.fired: list[dict] = []
+
+    def reset(self) -> None:
+        """Forget all call counters and firing history."""
+        with self._lock:
+            self._counters.clear()
+            self._firings.clear()
+            self.fired = []
+
+    # -- corruption payloads -------------------------------------------------
+    @staticmethod
+    def _tear_file(path: str, fraction: float) -> None:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return
+        keep = int(size * fraction)
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+
+    @staticmethod
+    def _stale_schema(path: str, schema: int) -> None:
+        try:
+            with open(path) as fh:
+                meta = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return
+        meta["schema"] = schema
+        # Plain rewrite on purpose: the fault models an *old writer*, not
+        # this library's atomic committer.
+        with open(path, "w") as fh:
+            json.dump(meta, fh)
+            fh.write("\n")
+
+    # -- the site hook -------------------------------------------------------
+    def fire(self, site: str, *, paths: "dict[str, str] | None" = None) -> None:
+        """Pass a durability site; crash here if a spec is due.
+
+        Parameters
+        ----------
+        site : str
+            Site name (``ckpt.save.<step>.pre`` / ``.post``).
+        paths : dict, optional
+            Files the site just committed (``{"arrays": ..., "meta": ...}``)
+            — the corruption kinds' targets.  A corruption kind at a site
+            with no usable path degrades to a plain ``kill``.
+        """
+        if not self.specs:
+            return
+        with self._lock:
+            index = self._counters.get(site, 0)
+            self._counters[site] = index + 1
+            due: "CrashFaultSpec | None" = None
+            for sid, spec in enumerate(self.specs):
+                if not fnmatch.fnmatchcase(site, spec.site):
+                    continue
+                if self._firings.get(sid, 0) >= spec.count:
+                    continue
+                if index < spec.call_index:
+                    continue
+                if index != spec.call_index and self._firings.get(sid, 0) == 0:
+                    continue
+                self._firings[sid] = self._firings.get(sid, 0) + 1
+                due = spec
+                break
+            if due is not None:
+                self.fired.append(
+                    {"site": site, "call_index": index, "kind": due.kind}
+                )
+        if due is None:
+            return
+        paths = paths or {}
+        if due.kind == "torn_write" and paths.get("arrays"):
+            self._tear_file(paths["arrays"], due.truncate_fraction)
+        elif due.kind == "stale_schema" and paths.get("meta"):
+            self._stale_schema(paths["meta"], due.schema)
+        if self.hard:  # pragma: no cover - terminates the interpreter
+            os._exit(self.HARD_EXIT_CODE)
+        raise SimulatedCrashError(
+            f"injected crash at {site} (call {index})", site=site, kind=due.kind
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CrashInjector {len(self.specs)} specs, {len(self.fired)} fired>"

@@ -155,6 +155,40 @@ class ResilienceReport:
             "best_effort": list(self.best_effort),
         }
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "ResilienceReport":
+        """Rebuild a report from its :meth:`to_dict` form.
+
+        Used by the checkpoint layer (:mod:`repro.ckpt`) so a resumed run
+        continues accumulating into the history the interrupted run
+        already built, instead of reporting a spuriously clean run.
+        """
+        return cls(
+            detections=[
+                DetectionRecord(
+                    phase=r.get("phase", ""), detector=r.get("detector", ""),
+                    site=r.get("site", ""), panel=r.get("panel"),
+                    value=r.get("value"), threshold=r.get("threshold"),
+                    precision=r.get("precision", ""),
+                )
+                for r in d.get("detections", [])
+            ],
+            escalations=[
+                EscalationRecord(
+                    phase=r.get("phase", ""),
+                    from_precision=r.get("from", ""),
+                    to_precision=r.get("to", ""),
+                    attempt=int(r.get("attempt", 0)),
+                    panel=r.get("panel"), reason=r.get("reason", ""),
+                )
+                for r in d.get("escalations", [])
+            ],
+            faults_injected=list(d.get("faults_injected", [])),
+            final_precision=dict(d.get("final_precision", {})),
+            retries=int(d.get("retries", 0)),
+            best_effort=list(d.get("best_effort", [])),
+        )
+
     def summary(self) -> str:
         """One-line human summary for logs and reports."""
         if self.empty:

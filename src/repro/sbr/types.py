@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["WYBlock", "SbrResult"]
+__all__ = ["WYBlock", "SbrResult", "pack_wy_blocks", "unpack_wy_blocks"]
 
 
 @dataclass
@@ -63,3 +63,27 @@ class SbrResult:
     def n(self) -> int:
         """Matrix size."""
         return self.band.shape[0]
+
+
+def pack_wy_blocks(blocks: "list[WYBlock]") -> tuple[dict, list[int]]:
+    """Flatten a WY block list for checkpointing.
+
+    Returns an array dict (``block<i>_w`` / ``block<i>_y`` entries, ready
+    for an ``npz`` payload) and the parallel offset list (JSON scalars).
+    :func:`unpack_wy_blocks` inverts it.
+    """
+    arrays: dict = {}
+    offsets: list[int] = []
+    for idx, blk in enumerate(blocks):
+        arrays[f"block{idx}_w"] = blk.w
+        arrays[f"block{idx}_y"] = blk.y
+        offsets.append(int(blk.offset))
+    return arrays, offsets
+
+
+def unpack_wy_blocks(arrays: dict, offsets: "list[int]") -> "list[WYBlock]":
+    """Rebuild a WY block list from checkpointed arrays + offsets."""
+    return [
+        WYBlock(offset=int(off), w=arrays[f"block{idx}_w"], y=arrays[f"block{idx}_y"])
+        for idx, off in enumerate(offsets)
+    ]

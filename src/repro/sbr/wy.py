@@ -58,9 +58,10 @@ from ..gemm.engine import GemmEngine, SgemmEngine
 from ..obs import spans as obs
 from ..resilience.context import ResilienceContext
 from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
+from .ckptio import restore_resilience_state, save_wy_panel
 from .formw import form_q_from_blocks
 from .panel import PanelStrategy, make_panel_strategy
-from .types import SbrResult, WYBlock
+from .types import SbrResult, WYBlock, unpack_wy_blocks
 
 __all__ = ["sbr_wy"]
 
@@ -75,6 +76,7 @@ def sbr_wy(
     want_q: bool = True,
     q_method: str = "tree",
     resilience: ResilienceContext | None = None,
+    checkpoint=None,
     check_finite: bool = True,
 ) -> SbrResult:
     """Reduce a symmetric matrix to band form with the WY-based Algorithm 1.
@@ -100,6 +102,13 @@ def sbr_wy(
         ``"tree"`` uses the recursive FormW merge (paper Algorithm 2).
     resilience : ResilienceContext, optional
         Per-run failure detection + per-panel precision-escalation retry.
+    checkpoint : repro.ckpt.CheckpointManager, optional
+        Durable checkpoint/restart: after each panel iteration the full
+        loop state (``A``, the block's ``OA``/``W``/``Y``/``OAW``,
+        completed blocks, loop indices, the resilience-ladder position)
+        is committed as a ``"sbr_panel"`` checkpoint, and a previously
+        interrupted reduction resumes from its newest verified one —
+        possibly mid-big-block — to a bitwise-identical band.
     check_finite : bool
         Reject NaN/Inf inputs up front (cheap gate; disable only when the
         caller already validated).
@@ -130,16 +139,44 @@ def sbr_wy(
 
     panel_index = 0
     j0 = 0
+    pending = None  # mid-big-block resume state: (OA, W, Y, OAW, r_start)
+    ck = checkpoint
+    if ck is not None:
+        rck = ck.latest(steps=("sbr_panel",))
+        if rck is not None:
+            s = rck.scalars
+            A = np.ascontiguousarray(rck.arrays["A"]).astype(dtype, copy=False)
+            blocks = unpack_wy_blocks(rck.arrays, s.get("block_offsets", []))
+            j0 = int(s["j0"])
+            panel_index = int(s["panel_index"])
+            if ctx is not None:
+                norm_baseline = float(s.get("norm_baseline", norm_baseline))
+            if s.get("mid_block"):
+                pending = (
+                    np.ascontiguousarray(rck.arrays["OA"]),
+                    np.ascontiguousarray(rck.arrays["W"]),
+                    np.ascontiguousarray(rck.arrays["Y"]),
+                    np.ascontiguousarray(rck.arrays["OAW"]),
+                    int(s["r_next"]),
+                )
+            restore_resilience_state(ctx, eng, s.get("resilience"))
+            ck.mark_resumed(rck)
+
     while n - j0 - b >= 2:
         M = n - j0 - b  # size of the block's trailing row/col space S = [j0+b, n)
-        # Original trailing matrix for this big block (paper: OA / oriA).
-        OA = A[j0 + b :, j0 + b :].copy()
-        W: np.ndarray | None = None
-        Y: np.ndarray | None = None
-        OAW = np.empty((M, 0), dtype=dtype)
+        if pending is not None:
+            OA, W, Y, OAW, r_start = pending
+            pending = None
+        else:
+            # Original trailing matrix for this big block (paper: OA / oriA).
+            OA = A[j0 + b :, j0 + b :].copy()
+            W = None
+            Y = None
+            OAW = np.empty((M, 0), dtype=dtype)
+            r_start = 0
         status = "advance"
 
-        for r in range(0, nb, b):
+        for r in range(r_start, nb, b):
             i = j0 + r
             m = n - i - b  # panel rows
             if m < 2:
@@ -150,6 +187,14 @@ def sbr_wy(
                 panel_index=panel_index, norm_baseline=norm_baseline,
             )
             panel_index += 1
+            if ck is not None and status == "advance" \
+                    and ck.should_save_panel(panel_index):
+                save_wy_panel(
+                    ck, A=A, blocks=blocks, ctx=ctx, eng=eng,
+                    j0=j0, r_next=r + b, panel_index=panel_index,
+                    norm_baseline=norm_baseline,
+                    OA=OA, W=W, Y=Y, OAW=OAW,
+                )
             if status != "advance":
                 break
 
@@ -158,6 +203,14 @@ def sbr_wy(
         if status != "block_end":
             break
         j0 += nb
+        if ck is not None and ck.should_save_panel(panel_index):
+            # Block boundary: the next panel opens a fresh big block, so
+            # only A, the completed blocks, and the indices are live.
+            save_wy_panel(
+                ck, A=A, blocks=blocks, ctx=ctx, eng=eng,
+                j0=j0, r_next=0, panel_index=panel_index,
+                norm_baseline=norm_baseline,
+            )
 
     A = (A + A.T) * dtype.type(0.5)
     q = None

@@ -40,8 +40,9 @@ from ..gemm.engine import GemmEngine, SgemmEngine
 from ..obs import spans as obs
 from ..resilience.context import ResilienceContext
 from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
+from .ckptio import restore_resilience_state, save_zy_panel
 from .panel import PanelStrategy, make_panel_strategy
-from .types import SbrResult, WYBlock
+from .types import SbrResult, WYBlock, unpack_wy_blocks
 
 __all__ = ["sbr_zy"]
 
@@ -55,6 +56,7 @@ def sbr_zy(
     want_q: bool = True,
     use_syr2k: bool = False,
     resilience: ResilienceContext | None = None,
+    checkpoint=None,
     check_finite: bool = True,
 ) -> SbrResult:
     """Reduce a symmetric matrix to band form with the ZY-based algorithm.
@@ -79,6 +81,12 @@ def sbr_zy(
         ablation of the paper's future-work section.
     resilience : ResilienceContext, optional
         Per-run failure detection + per-panel precision-escalation retry.
+    checkpoint : repro.ckpt.CheckpointManager, optional
+        Durable checkpoint/restart: after each panel the loop state
+        (``A``, the accumulated ``Q``, the WY blocks, indices, the
+        resilience-ladder position) is committed as a ``"sbr_panel"``
+        checkpoint, and an interrupted reduction resumes from its newest
+        verified one to a bitwise-identical band.
     check_finite : bool
         Reject NaN/Inf inputs up front (cheap gate; disable only when the
         caller already validated).
@@ -110,6 +118,22 @@ def sbr_zy(
 
     panel_index = 0
     i = 0
+    ck = checkpoint
+    if ck is not None:
+        rck = ck.latest(steps=("sbr_panel",))
+        if rck is not None:
+            s = rck.scalars
+            A = np.ascontiguousarray(rck.arrays["A"]).astype(dtype, copy=False)
+            if want_q:
+                q = np.ascontiguousarray(rck.arrays["q"]).astype(dtype, copy=False)
+            blocks = unpack_wy_blocks(rck.arrays, s.get("block_offsets", []))
+            i = int(s["i"])
+            panel_index = int(s["panel_index"])
+            if ctx is not None:
+                norm_baseline = float(s.get("norm_baseline", norm_baseline))
+            restore_resilience_state(ctx, eng, s.get("resilience"))
+            ck.mark_resumed(rck)
+
     while n - i - b >= 2:
         w, y = _resilient_zy_panel(
             A, q, eng, strategy, ctx,
@@ -119,6 +143,14 @@ def sbr_zy(
         blocks.append(WYBlock(offset=i + b, w=w, y=y))
         panel_index += 1
         i += b
+        if ck is not None and n - i - b >= 2 \
+                and ck.should_save_panel(panel_index):
+            # The final panel's checkpoint is skipped: the caller's
+            # "band" phase checkpoint lands immediately after.
+            save_zy_panel(
+                ck, A=A, q=q, blocks=blocks, ctx=ctx, eng=eng,
+                i=i, panel_index=panel_index, norm_baseline=norm_baseline,
+            )
 
     # Exact symmetry of the band output (two independent outer products
     # leave rounding-level asymmetry in the trailing block).

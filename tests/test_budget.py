@@ -1,0 +1,114 @@
+"""Wall-clock budget guards: structured BudgetExceededError from solvers.
+
+Time is injected through the telemetry clock (``collect(clock=...)``), so
+every test is deterministic — no real sleeps, no flaky timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eig.budget import WallClockBudget
+from repro.eig.inverse_iteration import tridiag_inverse_iteration
+from repro.eig.lobpcg import lobpcg
+from repro.eig.qdwh import qdwh_eig, qdwh_polar
+from repro.eig.qliter import tridiag_eig_ql
+from repro.errors import BudgetExceededError, ConfigurationError, ConvergenceError
+from repro.obs import spans as obs
+
+from conftest import random_symmetric
+
+
+class FakeClock:
+    """Each read advances one second: any budget < 1 s trips immediately."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+@pytest.fixture
+def tridiag(rng):
+    d = rng.standard_normal(24)
+    e = rng.standard_normal(23)
+    return d, e
+
+
+class TestWallClockBudget:
+    def test_none_budget_is_inert(self):
+        budget = WallClockBudget(None, phase="x")
+        assert not budget.active
+        assert budget.elapsed() == 0.0
+        budget.check(iterations=10**9)  # never raises
+
+    def test_rejects_nonpositive_budget(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ConfigurationError, match="max_seconds"):
+                WallClockBudget(bad, phase="x")
+
+    def test_error_carries_full_context(self):
+        with obs.collect(clock=FakeClock()):
+            budget = WallClockBudget(0.5, phase="test_phase")
+            with pytest.raises(BudgetExceededError) as ei:
+                budget.check(iterations=3, residual=1e-2)
+        err = ei.value
+        assert isinstance(err, ConvergenceError)  # existing handlers still work
+        assert err.phase == "test_phase"
+        assert err.iterations == 3
+        assert err.residual == 1e-2
+        assert err.budget == 0.5 and err.elapsed > 0.5
+        assert "wall-clock budget" in str(err)
+
+    def test_generous_budget_never_trips(self, tridiag):
+        d, e = tridiag
+        with obs.collect(clock=FakeClock(step=1e-9)):
+            lam, _ = tridiag_eig_ql(d, e, max_seconds=60.0)
+        t = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+        np.testing.assert_allclose(lam, np.linalg.eigvalsh(t), atol=1e-10)
+
+
+class TestSolverBudgets:
+    def expect_trip(self, phase, fn, *args, **kw):
+        with obs.collect(clock=FakeClock()):
+            with pytest.raises(BudgetExceededError) as ei:
+                fn(*args, **kw)
+        assert ei.value.phase == phase
+        assert ei.value.budget == kw["max_seconds"]
+        assert ei.value.elapsed > kw["max_seconds"]
+
+    def test_ql_iteration(self, tridiag):
+        d, e = tridiag
+        self.expect_trip("ql_iteration", tridiag_eig_ql, d, e, max_seconds=0.5)
+
+    def test_inverse_iteration(self, tridiag):
+        d, e = tridiag
+        t = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+        lam = np.linalg.eigvalsh(t)
+        self.expect_trip("inverse_iteration", tridiag_inverse_iteration,
+                         d, e, lam, max_seconds=0.5)
+
+    def test_qdwh_polar(self, rng):
+        a = random_symmetric(16, rng) + 20.0 * np.eye(16)
+        self.expect_trip("qdwh_polar", qdwh_polar, a, max_seconds=0.5)
+
+    def test_qdwh_eig_shares_one_clock_through_recursion(self, rng):
+        a = random_symmetric(40, rng)
+        # The budget trips inside the recursion/polar iterations, but the
+        # phase names the entry point the caller budgeted.
+        self.expect_trip("qdwh_eig", qdwh_eig, a, max_seconds=0.5)
+
+    def test_lobpcg(self, rng):
+        a = random_symmetric(30, rng)
+        self.expect_trip("lobpcg", lobpcg, a, 3, max_seconds=0.5)
+
+    def test_solvers_unaffected_without_budget(self, tridiag):
+        d, e = tridiag
+        lam, z = tridiag_eig_ql(d, e)
+        t = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+        np.testing.assert_allclose(lam, np.linalg.eigvalsh(t), atol=1e-10)
+        np.testing.assert_allclose(z @ np.diag(lam) @ z.T, t, atol=1e-10)
