@@ -147,9 +147,13 @@ class PerfModel:
         return self.spec.kernel_launch + max(2.0 * m * m * k / rate, nbytes / self.spec.hbm_bandwidth)
 
     def record_time(self, rec: GemmRecord, engine: str = "tc") -> float:
-        """Model time of one trace record (GEMM or syr2k)."""
+        """Model time of one trace record (GEMM, batched GEMM, or syr2k)."""
         if rec.op == "syr2k":
             return self.syr2k_time(rec.m, rec.k, engine)
+        if rec.op == "gemm_batched":
+            # One kernel launch amortized across the whole product stack.
+            one = self.gemm_time(rec.m, rec.n, rec.k, engine) - self.spec.kernel_launch
+            return self.spec.kernel_launch + rec.batch * one
         return self.gemm_time(rec.m, rec.n, rec.k, engine)
 
     def trace_time(self, trace: GemmTrace, engine: str = "tc") -> float:

@@ -40,20 +40,34 @@ def _givens(f: float, g: float) -> tuple[float, float]:
     return f / r, g / r
 
 
-def _rot_rows(A: np.ndarray, i: int, k: int, c: float, s: float, lo: int, hi: int) -> None:
+def _rot_pair(vi: np.ndarray, vk: np.ndarray, c: float, s: float, scratch: np.ndarray) -> None:
+    """Rotate the vector pair ``(vi, vk) <- (c vi + s vk, -s vi + c vk)``.
+
+    Allocation-free: both results are formed in place through the two
+    preallocated ``scratch`` rows (the saved copy of ``vi`` and one
+    product), bitwise identical to the temporary-allocating expression
+    ``c*vi + s*vk`` / ``-s*vi + c*vk``.
+    """
+    w = vi.shape[0]
+    sav = scratch[0, :w]
+    tmp = scratch[1, :w]
+    np.copyto(sav, vi)
+    np.multiply(vk, s, out=tmp)
+    np.multiply(sav, c, out=vi)
+    vi += tmp
+    np.multiply(vk, c, out=vk)
+    np.multiply(sav, -s, out=tmp)
+    vk += tmp
+
+
+def _rot_rows(A, i, k, c, s, lo, hi, scratch) -> None:
     """Apply G^T from the left to rows (i, k), columns [lo, hi)."""
-    ai = A[i, lo:hi].copy()
-    ak = A[k, lo:hi]
-    A[i, lo:hi] = c * ai + s * ak
-    A[k, lo:hi] = -s * ai + c * ak
+    _rot_pair(A[i, lo:hi], A[k, lo:hi], c, s, scratch)
 
 
-def _rot_cols(A: np.ndarray, i: int, k: int, c: float, s: float, lo: int, hi: int) -> None:
+def _rot_cols(A, i, k, c, s, lo, hi, scratch) -> None:
     """Apply G from the right to columns (i, k), rows [lo, hi)."""
-    ai = A[lo:hi, i].copy()
-    ak = A[lo:hi, k]
-    A[lo:hi, i] = c * ai + s * ak
-    A[lo:hi, k] = -s * ai + c * ak
+    _rot_pair(A[lo:hi, i], A[lo:hi, k], c, s, scratch)
 
 
 def bulge_chase(
@@ -135,6 +149,10 @@ def reduce_bandwidth(
     dtype = a.dtype
     A = np.array(a, copy=True)
     q = np.eye(n, dtype=dtype) if want_q else None
+    # One scratch pair reused by every rotation (Θ(n² b) of them): the
+    # per-rotation ``.copy()`` temporaries were the hot loop's only
+    # allocations.
+    scratch = np.empty((2, n), dtype=dtype)
 
     # Peel the bandwidth one diagonal at a time: cur = current bandwidth.
     for cur in range(min(b, n - 1), target, -1):
@@ -156,10 +174,10 @@ def reduce_bandwidth(
                     # Window: all columns where rows (i, k) may be nonzero.
                     lo = max(col, 0)
                     hi = min(k + cur + 1, n)
-                    _rot_rows(A, i, k, c, s, lo, hi)
-                    _rot_cols(A, i, k, c, s, lo, hi)
+                    _rot_rows(A, i, k, c, s, lo, hi, scratch)
+                    _rot_cols(A, i, k, c, s, lo, hi, scratch)
                     if q is not None:
-                        _rot_cols(q, i, k, c, s, 0, n)
+                        _rot_cols(q, i, k, c, s, 0, n, scratch)
                     # The rotation spawned one fill element at (r + cur, r - 1)
                     # (both triangles); chase it: it is the next entry to kill,
                     # in column r - 1, `cur` rows below the one just zeroed.

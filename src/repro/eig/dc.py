@@ -196,15 +196,35 @@ def _basis_ops(order, rotations, q1, q2) -> np.ndarray:
     u[:m, :m] = q1
     u[m:, m:] = q2
     u = u[:, order]
+    if rotations:
+        # One scratch pair for all deflation rotations (clustered spectra
+        # deflate almost entirely, so this loop can run Θ(n) times).
+        sav = np.empty(n)
+        tmp = np.empty(n)
     for i, j, c, s in rotations:
-        ui = u[:, i].copy()
+        ui = u[:, i]
         uj = u[:, j]
-        # Column update matching z <- G^T z with G = [[c, s], [-s, c]].
-        u[:, i] = c * ui - s * uj
-        u[:, j] = s * ui + c * uj
+        # Column update matching z <- G^T z with G = [[c, s], [-s, c]],
+        # allocation-free and bitwise identical to c*ui - s*uj / s*ui + c*uj.
+        np.copyto(sav, ui)
+        np.multiply(uj, s, out=tmp)
+        np.multiply(sav, c, out=ui)
+        ui -= tmp
+        np.multiply(uj, c, out=uj)
+        np.multiply(sav, s, out=tmp)
+        np.add(tmp, uj, out=uj)
     return u
 
 
 def _assemble(q1, q2, u_cols: np.ndarray, v_inner: np.ndarray) -> np.ndarray:
-    """Final eigenvectors: the deflation basis times the inner vectors."""
+    """Final eigenvectors: the deflation basis times the inner vectors.
+
+    When the tear splits the problem evenly, the product is issued as one
+    batched matmul over the two half-height row blocks — the shape a
+    device back-transform maps onto ``gemm_batched``.
+    """
+    m = q1.shape[0]
+    n = u_cols.shape[0]
+    if 2 * m == n and u_cols.flags.c_contiguous:
+        return np.matmul(u_cols.reshape(2, m, n), v_inner).reshape(n, n)
     return u_cols @ v_inner

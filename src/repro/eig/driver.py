@@ -55,6 +55,7 @@ from ..ckpt.store import (
 from ..errors import ConfigurationError, ConvergenceError, NumericalBreakdownError
 from ..gemm.engine import GemmEngine, make_engine
 from ..obs import spans as obs
+from ..perf import resolve_workspace
 from ..precision.modes import Precision
 from ..resilience.context import ResilienceContext
 from ..resilience.detectors import DetectorConfig
@@ -100,6 +101,10 @@ class EvdResult:
         What the checkpoint layer wrote/loaded (``None`` when
         checkpointing was off; ``.resumed_from`` names the restart point
         of a resumed run).
+    workspace : repro.perf.Workspace or None
+        The scratch arena the run used (``None`` when the driver ran
+        without one, e.g. checkpoint-resumed results or the 1-stage
+        path); its ``stats()`` become the run manifest's ``alloc`` line.
     """
 
     eigenvalues: np.ndarray
@@ -109,6 +114,7 @@ class EvdResult:
     engine: GemmEngine | None = None
     resilience_report: ResilienceReport | None = None
     checkpoint_report: CheckpointReport | None = None
+    workspace: "object | None" = None
 
 
 def _solve_tridiagonal(
@@ -275,6 +281,8 @@ def syevd_2stage(
     want_vectors: bool = True,
     tridiag_solver: str = "dc",
     record_trace: bool = False,
+    workspace=None,
+    lookahead: bool = False,
     on_breakdown: "str | None" = "escalate",
     resilience: "ResilienceContext | None" = None,
     ladder: "EscalationLadder | None" = None,
@@ -309,6 +317,15 @@ def syevd_2stage(
         Tridiagonal eigensolver.
     record_trace : bool
         Record the stage-1 GEMM stream on the engine.
+    workspace : repro.perf.Workspace, bool, or None
+        Stage-1 scratch arena (see :func:`repro.sbr.wy.sbr_wy`).
+        ``None``/``True`` create one, ``False`` disables buffer reuse; the
+        arena's allocation counters are reported on ``EvdResult.workspace``
+        and in the run manifest's ``alloc`` line.
+    lookahead : bool
+        Overlap each big block's trailing update with the next panel's QR
+        (WY stage 1 only; bitwise identical to the serial schedule, and
+        ignored when resilience retry or checkpointing is active).
     on_breakdown : {"escalate", "raise", "best_effort"} or None
         Failure-detector response (see module docstring).  ``None``
         disables the resilience layer.
@@ -354,6 +371,7 @@ def syevd_2stage(
     ctx = _make_context(on_breakdown, resilience, ladder, detectors, faults)
     eng = engine if engine is not None else make_engine(precision, record=record_trace)
     sbr_eng = ctx.wrap_engine(eng) if ctx is not None else eng
+    ws = resolve_workspace(workspace)
 
     ck = _make_ckpt_manager(checkpoint)
     band_ck = tridiag_ck = trieig_ck = None
@@ -386,13 +404,15 @@ def syevd_2stage(
             elif method == "wy":
                 sbr = sbr_wy(
                     a, b, nb, engine=sbr_eng, panel=panel or "tsqr",
-                    want_q=want_vectors, resilience=ctx, checkpoint=ck,
+                    want_q=want_vectors, workspace=ws, lookahead=lookahead,
+                    resilience=ctx, checkpoint=ck,
                     check_finite=False,
                 )
             else:
                 sbr = sbr_zy(
                     a, b, engine=sbr_eng, panel=panel or "blocked_qr",
-                    want_q=want_vectors, resilience=ctx, checkpoint=ck,
+                    want_q=want_vectors, workspace=ws,
+                    resilience=ctx, checkpoint=ck,
                     check_finite=False,
                 )
             if ck is not None and band_ck is None:
@@ -453,6 +473,7 @@ def syevd_2stage(
         engine=eng,
         resilience_report=ctx.report if ctx is not None else None,
         checkpoint_report=ck.report if ck is not None else None,
+        workspace=ws,
     )
 
 

@@ -15,6 +15,22 @@ When a telemetry collector is active (:mod:`repro.obs`), every call is
 additionally timed and reported as a :class:`repro.obs.spans.GemmEvent`
 attributed to the enclosing phase span — the join between the semantic
 GEMM stream (tags) and the wall-clock timeline.
+
+Allocation-free calling convention (PR 5)
+-----------------------------------------
+All entry points accept ``out=`` — a caller-owned buffer the product is
+written into via ``np.matmul(..., out=)`` — plus ``ta``/``tb`` transpose
+flags so call sites pass views instead of materialized transposes, and
+:meth:`~GemmEngine.gemm_batched` multiplies a 3-D stack of operands in
+one call (the cuBLAS ``gemmStridedBatched`` analogue; one call for the
+TSQR leaf fan-out instead of a Python loop).  When ``out`` overlaps an
+operand the engine transparently computes into a temporary and copies,
+so aliasing is safe (at the cost of the allocation being avoided).
+Engines constructed with a :class:`repro.perf.Workspace` reuse their
+kernels' internal scratch (EC split buffers, chunk accumulators) across
+calls, and :meth:`~GemmEngine.prepare_operand` amortizes an engine's
+operand transformation (the EC hi/lo split) across repeated multiplies
+against the same matrix.
 """
 
 from __future__ import annotations
@@ -26,7 +42,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from ..obs import spans as _obs
-from ..precision.ec_tcgemm import ec_tcgemm
+from ..precision.ec_tcgemm import EcOperand, ec_prepare, ec_tcgemm
 from ..precision.modes import Precision
 from ..precision.tcgemm import tcgemm
 from .trace import GemmRecord, GemmTrace
@@ -55,9 +71,12 @@ class GemmEngine(ABC):
     #: The precision policy this engine implements.
     precision: Precision = Precision.FP32
 
-    def __init__(self, *, record: bool = False) -> None:
+    def __init__(self, *, record: bool = False, workspace=None) -> None:
         self.trace: GemmTrace | None = GemmTrace() if record else None
         self._trace_lock = threading.Lock()
+        #: Optional :class:`repro.perf.Workspace` for kernel-internal
+        #: scratch (EC split buffers, chunked-accumulation scratch).
+        self.workspace = workspace
 
     @property
     def working_dtype(self) -> np.dtype:
@@ -65,50 +84,169 @@ class GemmEngine(ABC):
         return self.precision.working_dtype
 
     @abstractmethod
-    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Raw product of validated 2-D operands."""
+    def _matmul(self, a: np.ndarray, b: np.ndarray, out=None) -> np.ndarray:
+        """Raw product of validated operands (2-D, or 3-D batched stacks).
 
-    def gemm(self, a, b, *, tag: str = "") -> np.ndarray:
-        """Compute ``a @ b`` under this engine's precision policy.
-
-        Parameters
-        ----------
-        a, b : array_like
-            2-D operands with matching inner dimension.
-        tag : str
-            Semantic label recorded in the trace (call-site identity).
+        When ``out`` is given it does not alias the operands (the public
+        entry points guarantee that) and has the product's shape; the
+        implementation writes into it and returns it.
         """
-        a = np.asarray(a)
-        b = np.asarray(b)
-        if a.ndim != 2 or b.ndim != 2:
-            raise ShapeError(f"gemm requires 2-D operands, got {a.ndim}-D and {b.ndim}-D")
-        if a.shape[1] != b.shape[0]:
-            raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+
+    # -- shared execution path --------------------------------------------
+    def _run(self, rec: GemmRecord, a, b, out):
+        """Record ``rec``, time the product when telemetry is on, return it.
+
+        ``out`` (if any) is already validated and alias-free here.
+        """
         if self.trace is not None:
-            rec = GemmRecord(
-                m=a.shape[0], n=b.shape[1], k=a.shape[1], tag=tag, engine=self.name
-            )
             with self._trace_lock:
                 self.trace.add(rec)
         if _obs.is_enabled():
             t0 = _obs.now()
-            out = self._matmul(a, b)
+            res = self._matmul(a, b, out=out)
             _obs.gemm_event(
-                a.shape[0], b.shape[1], a.shape[1],
-                tag=tag, engine=self.name, op="gemm",
+                rec.m, rec.n, rec.k,
+                tag=rec.tag, engine=self.name, op=rec.op, batch=rec.batch,
                 seconds=_obs.now() - t0, start=t0,
             )
-            return out
-        return self._matmul(a, b)
+            return res
+        return self._matmul(a, b, out=out)
 
-    def syr2k(self, y, z, *, tag: str = "") -> np.ndarray:
-        """Symmetric rank-2k update ``Y Z^T + Z Y^T`` under this engine.
+    @staticmethod
+    def _resolve_out(out, shape, a, b):
+        """Validate ``out`` and decide whether it can be written directly.
+
+        Returns ``(direct_out, copy_back)``: when ``out`` overlaps an
+        operand the product must go through a temporary (``direct_out is
+        None``) and be copied into ``out`` afterwards.
+        """
+        if out is None:
+            return None, False
+        if not isinstance(out, np.ndarray):
+            raise ShapeError(f"out must be an ndarray, got {type(out).__name__}")
+        if out.shape != shape:
+            raise ShapeError(f"out has shape {out.shape}, expected {shape}")
+        if np.may_share_memory(out, a) or np.may_share_memory(out, b):
+            return None, True
+        return out, False
+
+    def prepare_operand(self, a, *, tag: str = "prep"):
+        """Pre-process an operand for repeated :meth:`gemm` calls.
+
+        Engines whose kernels transform operands before multiplying (the
+        EC engine's hi/lo FP16 split) return an opaque handle that
+        amortizes that transformation; all other engines return the
+        array unchanged.  The handle is valid while the source array's
+        contents are unchanged and may be passed as either ``gemm``
+        operand (not with ``ta``/``tb``).  Results are bitwise identical
+        to passing the array.
+        """
+        return np.asarray(a)
+
+    def gemm(self, a, b, *, tag: str = "", out=None, ta: bool = False,
+             tb: bool = False) -> np.ndarray:
+        """Compute ``op(a) @ op(b)`` under this engine's precision policy.
+
+        Parameters
+        ----------
+        a, b : array_like
+            2-D operands with matching inner dimension (or handles from
+            :meth:`prepare_operand`).
+        tag : str
+            Semantic label recorded in the trace (call-site identity).
+        out : ndarray, optional
+            Caller-owned output buffer of shape ``(m, n)``.  Written via
+            ``np.matmul(..., out=)`` — no product temporary.  May alias an
+            operand (the engine then computes into a temporary and
+            copies).  The *returned* array is always the result; callers
+            must use it rather than assume ``out`` was mutated in place
+            (resilience wrappers may substitute a different array).
+        ta, tb : bool
+            Multiply with the operand transposed (a no-copy view) —
+            ``gemm(a, b, ta=True)`` is ``a.T @ b`` without the caller
+            materializing ``a.T``.  Not supported for prepared operands.
+        """
+        prep_a = isinstance(a, EcOperand)
+        prep_b = isinstance(b, EcOperand)
+        av = a.array if prep_a else np.asarray(a)
+        bv = b.array if prep_b else np.asarray(b)
+        if av.ndim != 2 or bv.ndim != 2:
+            raise ShapeError(
+                f"gemm requires 2-D operands, got {av.ndim}-D and {bv.ndim}-D"
+            )
+        if ta:
+            if prep_a:
+                raise ShapeError("ta=True is not supported for a prepared operand")
+            av = a = av.T
+        if tb:
+            if prep_b:
+                raise ShapeError("tb=True is not supported for a prepared operand")
+            bv = b = bv.T
+        if av.shape[1] != bv.shape[0]:
+            raise ShapeError(f"inner dimensions differ: {av.shape} @ {bv.shape}")
+        m, k = av.shape
+        n = bv.shape[1]
+        direct, copy_back = self._resolve_out(out, (m, n), av, bv)
+        rec = GemmRecord(m=m, n=n, k=k, tag=tag, engine=self.name)
+        res = self._run(rec, a if prep_a else av, b if prep_b else bv, direct)
+        if copy_back:
+            np.copyto(out, res, casting="same_kind")
+            return out
+        return res
+
+    def gemm_batched(self, a, b, *, tag: str = "", out=None, ta: bool = False,
+                     tb: bool = False) -> np.ndarray:
+        """Multiply a stack of independent products in one call.
+
+        ``a`` is ``(batch, m, k)``, ``b`` is ``(batch, k, n)``; the result
+        is ``(batch, m, n)`` with ``result[i] = a[i] @ b[i]``.  One
+        engine call (and one trace record, ``op="gemm_batched"``) covers
+        the whole stack — the cuBLAS ``gemmStridedBatched`` analogue used
+        by the TSQR leaf fan-out and the D&C back-transform.  ``ta``/
+        ``tb`` transpose the matrix dimensions of every stack element.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 3 or b.ndim != 3:
+            raise ShapeError(
+                f"gemm_batched requires 3-D operands, got {a.ndim}-D and {b.ndim}-D"
+            )
+        if ta:
+            a = a.swapaxes(-2, -1)
+        if tb:
+            b = b.swapaxes(-2, -1)
+        if a.shape[0] != b.shape[0]:
+            raise ShapeError(f"batch dimensions differ: {a.shape} @ {b.shape}")
+        if a.shape[2] != b.shape[1]:
+            raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+        batch, m, k = a.shape
+        n = b.shape[2]
+        direct, copy_back = self._resolve_out(out, (batch, m, n), a, b)
+        rec = GemmRecord(
+            m=m, n=n, k=k, tag=tag, engine=self.name, op="gemm_batched", batch=batch
+        )
+        res = self._run(rec, a, b, direct)
+        if copy_back:
+            np.copyto(out, res, casting="same_kind")
+            return out
+        return res
+
+    def syr2k(self, y, z, *, tag: str = "", out=None, alpha: float = 1.0,
+              beta: float = 0.0) -> np.ndarray:
+        """Symmetric rank-2k update ``beta*C + alpha*(Y Z^T + Z Y^T)``.
 
         Numerically computed as one policy GEMM plus its transpose (exactly
         symmetric output).  Recorded as a single ``syr2k`` record with the
         symmetry-exploiting flop count — the device model uses the record
         kind to price a *native* syr2k (the paper's future-work item; real
         Tensor Cores lack one and pay for two full GEMMs instead).
+
+        With ``out`` the update is fused in place (BLAS ``syr2k``
+        semantics): ``out`` is scaled by ``beta`` and accumulates
+        ``alpha * (Y Z^T + Z Y^T)`` — ``syr2k(z, y, out=c, alpha=-1.0,
+        beta=1.0)`` is the trailing update ``C -= Z Y^T + Y Z^T`` without
+        a full-size temporary for the subtraction.  Without ``out`` the
+        scaled update itself is returned (``beta`` must be 0).
         """
         y = np.asarray(y)
         z = np.asarray(z)
@@ -116,25 +254,47 @@ class GemmEngine(ABC):
             raise ShapeError(
                 f"syr2k requires equal-shape 2-D operands, got {y.shape} and {z.shape}"
             )
+        mm = y.shape[0]
+        if out is None and beta != 0.0:
+            raise ShapeError("syr2k with beta != 0 requires an out= buffer to scale")
+        if out is not None:
+            if not isinstance(out, np.ndarray):
+                raise ShapeError(f"out must be an ndarray, got {type(out).__name__}")
+            if out.shape != (mm, mm):
+                raise ShapeError(f"out has shape {out.shape}, expected {(mm, mm)}")
+        rec = GemmRecord(
+            m=mm, n=mm, k=y.shape[1], tag=tag, engine=self.name, op="syr2k"
+        )
         if self.trace is not None:
-            rec = GemmRecord(
-                m=y.shape[0], n=y.shape[0], k=y.shape[1],
-                tag=tag, engine=self.name, op="syr2k",
-            )
             with self._trace_lock:
                 self.trace.add(rec)
+
+        def compute():
+            p = self._matmul(y, z.T)
+            s = p + p.T
+            if alpha != 1.0:
+                s *= s.dtype.type(alpha)
+            if out is None:
+                return s
+            if beta == 0.0:
+                np.copyto(out, s, casting="same_kind")
+            elif beta == 1.0:
+                np.add(out, s, out=out, casting="same_kind")
+            else:
+                np.multiply(out, out.dtype.type(beta), out=out)
+                np.add(out, s, out=out, casting="same_kind")
+            return out
+
         if _obs.is_enabled():
             t0 = _obs.now()
-            p = self._matmul(y, z.T)
-            out = p + p.T
+            res = compute()
             _obs.gemm_event(
-                y.shape[0], y.shape[0], y.shape[1],
+                mm, mm, y.shape[1],
                 tag=tag, engine=self.name, op="syr2k",
                 seconds=_obs.now() - t0, start=t0,
             )
-            return out
-        p = self._matmul(y, z.T)
-        return p + p.T
+            return res
+        return compute()
 
     def reset_trace(self) -> None:
         """Clear the recorded trace (enables recording if it was off)."""
@@ -157,7 +317,9 @@ class PlainEngine(GemmEngine):
     name = "plain"
     precision = Precision.FP32  # working dtype when a driver asks; gemm follows operands
 
-    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def _matmul(self, a: np.ndarray, b: np.ndarray, out=None) -> np.ndarray:
+        if out is not None:
+            return np.matmul(a, b, out=out)
         return a @ b
 
 
@@ -167,11 +329,16 @@ class SgemmEngine(GemmEngine):
     name = "sgemm"
     precision = Precision.FP32
 
-    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return np.asarray(
-            np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32),
-            dtype=np.float32,
-        )
+    def _matmul(self, a: np.ndarray, b: np.ndarray, out=None) -> np.ndarray:
+        # No-copy fast path: operands that are already float32 go straight
+        # into the BLAS call instead of round-tripping through asarray.
+        if a.dtype != np.float32:
+            a = a.astype(np.float32)
+        if b.dtype != np.float32:
+            b = b.astype(np.float32)
+        if out is not None:
+            return np.matmul(a, b, out=out)
+        return np.matmul(a, b)
 
 
 class Fp64Engine(GemmEngine):
@@ -180,8 +347,14 @@ class Fp64Engine(GemmEngine):
     name = "fp64"
     precision = Precision.FP64
 
-    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
+    def _matmul(self, a: np.ndarray, b: np.ndarray, out=None) -> np.ndarray:
+        if a.dtype != np.float64:
+            a = a.astype(np.float64)
+        if b.dtype != np.float64:
+            b = b.astype(np.float64)
+        if out is not None:
+            return np.matmul(a, b, out=out)
+        return np.matmul(a, b)
 
 
 class TensorCoreEngine(GemmEngine):
@@ -193,10 +366,11 @@ class TensorCoreEngine(GemmEngine):
         self,
         *,
         record: bool = False,
+        workspace=None,
         operand_format: str = "fp16",
         chunk_k: int | None = None,
     ) -> None:
-        super().__init__(record=record)
+        super().__init__(record=record, workspace=workspace)
         self.operand_format = operand_format
         self.chunk_k = chunk_k
         self.precision = {
@@ -206,8 +380,11 @@ class TensorCoreEngine(GemmEngine):
             "fp32": Precision.FP32,
         }[operand_format]
 
-    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return tcgemm(a, b, operand_format=self.operand_format, chunk_k=self.chunk_k)
+    def _matmul(self, a: np.ndarray, b: np.ndarray, out=None) -> np.ndarray:
+        return tcgemm(
+            a, b, operand_format=self.operand_format, chunk_k=self.chunk_k,
+            out=out, ws=self.workspace,
+        )
 
 
 class EcTensorCoreEngine(GemmEngine):
@@ -216,15 +393,27 @@ class EcTensorCoreEngine(GemmEngine):
     name = "ectc"
     precision = Precision.FP16_EC_TC
 
-    def __init__(self, *, record: bool = False, chunk_k: int | None = None) -> None:
-        super().__init__(record=record)
+    def __init__(self, *, record: bool = False, workspace=None,
+                 chunk_k: int | None = None) -> None:
+        super().__init__(record=record, workspace=workspace)
         self.chunk_k = chunk_k
 
-    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return ec_tcgemm(a, b, chunk_k=self.chunk_k)
+    def prepare_operand(self, a, *, tag: str = "prep"):
+        """Hi/lo-split ``a`` once for repeated multiplication.
+
+        The SBR drivers prepare the block-constant trailing matrix OA so
+        its FP16 split (several full passes over an M×M array) is paid
+        once per big block instead of once per panel.
+        """
+        return ec_prepare(a, ws=self.workspace, name=tag)
+
+    def _matmul(self, a: np.ndarray, b: np.ndarray, out=None) -> np.ndarray:
+        return ec_tcgemm(a, b, chunk_k=self.chunk_k, out=out, ws=self.workspace)
 
 
-def make_engine(precision: "Precision | str", *, record: bool = False) -> GemmEngine:
+def make_engine(
+    precision: "Precision | str", *, record: bool = False, workspace=None
+) -> GemmEngine:
     """Construct the numeric engine implementing a :class:`Precision` policy.
 
     Parameters
@@ -233,12 +422,18 @@ def make_engine(precision: "Precision | str", *, record: bool = False) -> GemmEn
         The precision policy (enum member or its string value).
     record : bool
         Whether the engine records its calls into a :class:`GemmTrace`.
+    workspace : repro.perf.Workspace, optional
+        Scratch arena for kernel-internal buffers (EC operand splits,
+        chunked accumulation) — reused across calls instead of
+        reallocated per call.
     """
     mode = Precision.from_name(precision)
     if mode is Precision.FP64:
-        return Fp64Engine(record=record)
+        return Fp64Engine(record=record, workspace=workspace)
     if mode is Precision.FP32:
-        return SgemmEngine(record=record)
+        return SgemmEngine(record=record, workspace=workspace)
     if mode is Precision.FP16_EC_TC:
-        return EcTensorCoreEngine(record=record)
-    return TensorCoreEngine(record=record, operand_format=mode.operand_format)
+        return EcTensorCoreEngine(record=record, workspace=workspace)
+    return TensorCoreEngine(
+        record=record, workspace=workspace, operand_format=mode.operand_format
+    )

@@ -32,12 +32,16 @@ class GemmRecord:
         Name of the engine that executed (or would execute) the call,
         e.g. ``"tc"``, ``"sgemm"``, ``"ectc"``, ``"fp64"``.
     op : str
-        ``"gemm"`` (default) or ``"syr2k"`` — the symmetric rank-2k update
+        ``"gemm"`` (default), ``"syr2k"`` — the symmetric rank-2k update
         ``C(m, m) += Y(m, k) Z(k, m)^T + Z Y^T`` that exploits the output's
-        symmetry.  Tensor Cores lack a native syr2k (paper §4.1), so TC
-        engines emulate it with GEMMs; the record kind lets the device
-        model price a hypothetical native implementation (the paper's
-        future-work ablation).
+        symmetry — or ``"gemm_batched"``, a strided-batched multiply of
+        ``batch`` independent ``(m, k) @ (k, n)`` products issued as one
+        call (cuBLAS ``gemmStridedBatched`` analogue).  Tensor Cores lack
+        a native syr2k (paper §4.1), so TC engines emulate it with GEMMs;
+        the record kind lets the device model price a hypothetical native
+        implementation (the paper's future-work ablation).
+    batch : int
+        Number of stacked products for ``"gemm_batched"`` (1 otherwise).
     """
 
     m: int
@@ -46,23 +50,31 @@ class GemmRecord:
     tag: str = ""
     engine: str = ""
     op: str = "gemm"
+    batch: int = 1
 
     def __post_init__(self) -> None:
         if self.m <= 0 or self.n <= 0 or self.k <= 0:
             raise ValueError(f"GEMM dimensions must be positive, got {self!r}")
-        if self.op not in ("gemm", "syr2k"):
-            raise ValueError(f"op must be 'gemm' or 'syr2k', got {self.op!r}")
+        if self.op not in ("gemm", "syr2k", "gemm_batched"):
+            raise ValueError(
+                f"op must be 'gemm', 'syr2k' or 'gemm_batched', got {self.op!r}"
+            )
         if self.op == "syr2k" and self.m != self.n:
             raise ValueError(f"syr2k output must be square, got {self.m}x{self.n}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.op != "gemm_batched" and self.batch != 1:
+            raise ValueError(f"batch > 1 requires op='gemm_batched', got {self.op!r}")
 
     @property
     def flops(self) -> int:
         """Floating-point operations of the call (multiply + add).
 
         For ``syr2k`` this is the symmetry-exploiting count — half of the
-        two explicit outer-product GEMMs it replaces.
+        two explicit outer-product GEMMs it replaces.  Batched calls
+        count every product in the stack.
         """
-        return 2 * self.m * self.n * self.k
+        return 2 * self.m * self.n * self.k * self.batch
 
     @property
     def min_dim(self) -> int:
@@ -83,6 +95,8 @@ class GemmRecord:
             out["engine"] = self.engine
         if self.op != "gemm":
             out["op"] = self.op
+        if self.batch != 1:
+            out["batch"] = self.batch
         return out
 
     @classmethod
@@ -91,7 +105,7 @@ class GemmRecord:
         return cls(
             m=d["m"], n=d["n"], k=d["k"],
             tag=d.get("tag", ""), engine=d.get("engine", ""),
-            op=d.get("op", "gemm"),
+            op=d.get("op", "gemm"), batch=d.get("batch", 1),
         )
 
 

@@ -21,6 +21,8 @@ recovers via non-pivoted LU (Algorithm 3 of the paper).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from ..errors import ShapeError
@@ -56,6 +58,7 @@ def tsqr(
     leaf_rows: int | None = None,
     engine: GemmEngine | None = None,
     tag: str = "tsqr",
+    max_threads: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Tall-skinny QR via a binary reduction tree.
 
@@ -64,10 +67,24 @@ def tsqr(
     a : array_like, shape (m, n) with m >= n
         The tall matrix to factor.
     leaf_rows : int, optional
-        Row count per leaf block (default ``max(4 * n, 64)``).  Each leaf
-        must have at least ``n`` rows; the last leaf absorbs the remainder.
+        Row count per leaf block.  Defaults to ``max(16 * n, 256)``
+        serially and the GPU-style ``max(4 * n, 64)`` when
+        ``max_threads > 1`` (see Notes).  Each leaf must have at least
+        ``n`` rows; the last leaf absorbs the remainder.
     engine : GemmEngine, optional
         Engine used for the Q back-propagation GEMMs (tagged ``tag``).
+    max_threads : int, optional
+        Factor the independent leaf blocks on up to this many threads
+        (default serial).  The leaves are independent and gathered in
+        order, so the result is bitwise identical to the serial path.
+
+    Notes
+    -----
+    The Q back-propagation GEMMs of each tree level are issued as grouped
+    ``gemm_batched`` calls (per operand shape, order-preserving), which
+    cuts the per-call precision-conversion overhead of the emulated
+    Tensor-Core engines; a batched product is computed slice by slice and
+    is bitwise identical to the per-merge GEMM loop.
 
     Returns
     -------
@@ -87,7 +104,16 @@ def tsqr(
     eng = engine if engine is not None else PlainEngine()
 
     if leaf_rows is None:
-        leaf_rows = max(4 * n, 64)
+        # A GPU TSQR wants many small leaves for occupancy (the paper's
+        # 4n); this emulation's serial leaf stage is dominated by
+        # per-leaf interpreter overhead instead, so default to taller
+        # leaves unless the leaves actually run concurrently.  Any
+        # leaf_rows >= n is numerically valid — this only moves work
+        # between the leaf and tree stages.
+        if max_threads is not None and max_threads > 1:
+            leaf_rows = max(4 * n, 64)
+        else:
+            leaf_rows = max(16 * n, 256)
     if leaf_rows < n:
         raise ShapeError(f"leaf_rows={leaf_rows} must be >= n={n}")
 
@@ -98,13 +124,17 @@ def tsqr(
         splits.pop()
     bounds = [(s, (splits[i + 1] if i + 1 < len(splits) else m)) for i, s in enumerate(splits)]
 
-    q_blocks: list[np.ndarray] = []
-    r_blocks: list[np.ndarray] = []
     with obs.span("tsqr.leaf", leaves=len(bounds), cols=n):
-        for lo, hi in bounds:
-            q_leaf, r_leaf = _leaf_qr(a[lo:hi, :])
-            q_blocks.append(q_leaf)
-            r_blocks.append(r_leaf)
+        if max_threads is not None and max_threads > 1 and len(bounds) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(int(max_threads), len(bounds)),
+                thread_name_prefix="tsqr-leaf",
+            ) as pool:
+                leaves = list(pool.map(lambda lh: _leaf_qr(a[lh[0] : lh[1], :]), bounds))
+        else:
+            leaves = [_leaf_qr(a[lo:hi, :]) for lo, hi in bounds]
+    q_blocks = [q for q, _ in leaves]
+    r_blocks = [r for _, r in leaves]
 
     # --- Reduction tree: pairwise QR of stacked R factors. ---------------
     # Each level halves the number of active R factors.  The inner Q of a
@@ -115,19 +145,52 @@ def tsqr(
     # back to original rows.
     with obs.span("tsqr.tree", leaves=len(r_blocks)):
         while len(r_blocks) > 1:
-            next_q: list[np.ndarray] = []
+            pairs = list(range(0, len(r_blocks) - 1, 2))
+            halves: list[tuple[np.ndarray, np.ndarray]] = []
             next_r: list[np.ndarray] = []
-            for i in range(0, len(r_blocks) - 1, 2):
+            jobs: list[tuple[np.ndarray, np.ndarray]] = []
+            for i in pairs:
                 stacked = np.vstack([r_blocks[i], r_blocks[i + 1]])
                 q_inner, r_merged = qr_explicit(stacked, engine=None)
-                top, bot = q_inner[:n, :], q_inner[n:, :]
-                q_upper = eng.gemm(q_blocks[i], top, tag=tag)
-                q_lower = eng.gemm(q_blocks[i + 1], bot, tag=tag)
-                next_q.append(np.vstack([q_upper, q_lower]))
+                halves.append((q_inner[:n, :], q_inner[n:, :]))
                 next_r.append(r_merged)
+            for p, i in enumerate(pairs):
+                top, bot = halves[p]
+                jobs.append((q_blocks[i], top))
+                jobs.append((q_blocks[i + 1], bot))
+            outs = _grouped_gemms(eng, jobs, tag)
+            next_q = [
+                np.vstack([outs[2 * p], outs[2 * p + 1]])
+                for p in range(len(pairs))
+            ]
             if len(r_blocks) % 2 == 1:
                 next_q.append(q_blocks[-1])
                 next_r.append(r_blocks[-1])
             q_blocks, r_blocks = next_q, next_r
 
     return q_blocks[0], r_blocks[0]
+
+
+def _grouped_gemms(eng, jobs, tag):
+    """Run ``[a @ b for a, b in jobs]``, batching same-shape products.
+
+    Groups by left-operand shape (the right operands are all n×n inner-Q
+    halves), issues each group of two or more as one ``gemm_batched``
+    call, and scatters the slices back in order — bitwise identical to
+    the plain loop, one precision-conversion pass per group.
+    """
+    outs: list = [None] * len(jobs)
+    groups: dict = {}
+    for idx, (qa, _) in enumerate(jobs):
+        groups.setdefault(qa.shape, []).append(idx)
+    for idxs in groups.values():
+        if len(idxs) == 1:
+            qa, qb = jobs[idxs[0]]
+            outs[idxs[0]] = eng.gemm(qa, qb, tag=tag)
+        else:
+            sa = np.stack([jobs[i][0] for i in idxs])
+            sb = np.stack([jobs[i][1] for i in idxs])
+            res = eng.gemm_batched(sa, sb, tag=tag)
+            for slot, i in enumerate(idxs):
+                outs[i] = res[slot]
+    return outs

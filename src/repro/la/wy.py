@@ -127,7 +127,7 @@ def extend_wy(
             f"inconsistent WY shapes: W{w.shape} Y{y.shape} Wp{w_p.shape} Yp{y_p.shape}"
         )
     eng = engine if engine is not None else PlainEngine()
-    ytwp = eng.gemm(y.T, w_p, tag=tag)  # (k, b)
+    ytwp = eng.gemm(y, w_p, ta=True, tag=tag)  # (k, b)
     w_new_cols = w_p - eng.gemm(w, ytwp, tag=tag)
     return np.hstack([w, w_new_cols]), np.hstack([y, y_p])
 
@@ -149,7 +149,7 @@ def apply_q_left(
 ) -> np.ndarray:
     """Return ``(I - W Y^T) @ A`` using two GEMMs."""
     eng = engine if engine is not None else PlainEngine()
-    return a - eng.gemm(w, eng.gemm(y.T, a, tag=tag), tag=tag)
+    return a - eng.gemm(w, eng.gemm(y, a, ta=True, tag=tag), tag=tag)
 
 
 def apply_qt_left(
@@ -162,7 +162,7 @@ def apply_qt_left(
 ) -> np.ndarray:
     """Return ``(I - W Y^T)^T @ A = A - Y (W^T A)`` using two GEMMs."""
     eng = engine if engine is not None else PlainEngine()
-    return a - eng.gemm(y, eng.gemm(w.T, a, tag=tag), tag=tag)
+    return a - eng.gemm(y, eng.gemm(w, a, ta=True, tag=tag), tag=tag)
 
 
 def apply_q_right(
@@ -175,7 +175,7 @@ def apply_q_right(
 ) -> np.ndarray:
     """Return ``A @ (I - W Y^T) = A - (A W) Y^T`` using two GEMMs."""
     eng = engine if engine is not None else PlainEngine()
-    return a - eng.gemm(eng.gemm(a, w, tag=tag), y.T, tag=tag)
+    return a - eng.gemm(eng.gemm(a, w, tag=tag), y, tb=True, tag=tag)
 
 
 class WYAccumulator:

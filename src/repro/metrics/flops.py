@@ -83,10 +83,16 @@ def sbr_wy_flops(
     *,
     want_q: bool = False,
     include_panel: bool = True,
+    mirror: bool = False,
 ) -> int:
-    """Total arithmetic operations of the WY-based SBR (Algorithm 1)."""
+    """Total arithmetic operations of the WY-based SBR (Algorithm 1).
+
+    ``mirror=False`` (default) uses the paper's full-update accounting
+    (Table 2); ``mirror=True`` counts the implementation's symmetry-aware
+    block-boundary schedule instead.
+    """
     check_blocksizes(n, b, nb)
-    total = trace_sbr_wy(n, b, nb, want_q=want_q).total_flops
+    total = trace_sbr_wy(n, b, nb, want_q=want_q, mirror=mirror).total_flops
     if include_panel:
         j0 = 0
         while n - j0 - b >= 2:

@@ -91,6 +91,12 @@ def _event_model(ev: dict, model) -> tuple[float, str]:
     if ev.get("op") == "syr2k":
         total = model.syr2k_time(m, k, engine)
         nbytes = in_b * 2.0 * m * k + 2.0 * m * m
+    elif ev.get("op") == "gemm_batched":
+        # One launch amortized over the whole stack of products.
+        batch = ev.get("batch", 1)
+        one = model.gemm_time(m, n, k, engine) - model.spec.kernel_launch
+        total = model.spec.kernel_launch + batch * one
+        nbytes = batch * (in_b * (m * k + k * n) + 4.0 * m * n)
     else:
         total = model.gemm_time(m, n, k, engine)
         nbytes = in_b * (m * k + k * n) + 4.0 * m * n
@@ -194,7 +200,7 @@ def attribute_manifest(
     total = _new_slot()
     for ev in man.gemm_events:
         modeled, bound = _event_model(ev, model)
-        flops = 2 * ev["m"] * ev["n"] * ev["k"]
+        flops = 2 * ev["m"] * ev["n"] * ev["k"] * ev.get("batch", 1)
         seconds = ev["seconds"]
         phase = _phase_of(ev.get("span_path", ""), phase_order)
         for slot in (

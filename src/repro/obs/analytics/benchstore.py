@@ -46,6 +46,14 @@ class BenchScenario:
 
     The ``key`` is the join identity between sessions — never reuse a
     key for a different configuration.
+
+    ``stage`` selects what is timed: ``"evd"`` runs the full two-stage
+    eigensolver, ``"sbr"`` runs only the stage-1 band reduction (the
+    paper's hot loop — large-``n`` scenarios use this, since the
+    pure-Python bulge chase would dwarf the GEMM stream being measured).
+    ``workspace`` (``"on"``/``"off"``) and ``lookahead`` are perf-layer
+    knobs forwarded to the SBR driver *only when its signature supports
+    them*, so a session recorded on an older tree stays comparable.
     """
 
     key: str
@@ -57,6 +65,9 @@ class BenchScenario:
     want_vectors: bool = False
     tridiag_solver: str = "dc"
     seed: int = 1234
+    stage: str = "evd"
+    workspace: str = "on"
+    lookahead: bool = False
 
 
 #: Pinned suites.  ``smoke`` is the CI gate: small sizes, seconds per
@@ -67,6 +78,7 @@ SUITES: dict[str, tuple[BenchScenario, ...]] = {
         BenchScenario("wy-fp32-n256", n=256, b=16, nb=64),
         BenchScenario("zy-fp32-n128", n=128, b=8, method="zy"),
         BenchScenario("wy-fp16-n128", n=128, b=8, nb=32, precision="fp16_tc"),
+        BenchScenario("sbr-wy-fp32-n256", n=256, b=16, nb=64, stage="sbr"),
     ),
     "standard": (
         BenchScenario("wy-fp32-n128", n=128, b=8, nb=32),
@@ -76,6 +88,24 @@ SUITES: dict[str, tuple[BenchScenario, ...]] = {
         BenchScenario("wy-fp16-n256", n=256, b=16, nb=64, precision="fp16_tc"),
         BenchScenario("wy-ec-n256", n=256, b=16, nb=64, precision="fp16_ec_tc"),
         BenchScenario("wy-fp32-n256-vec", n=256, b=16, nb=64, want_vectors=True),
+        # Stage-1-only hot-loop scenarios (PR 5): the paper's target shape
+        # at n=1024, plus a workspace on/off pair isolating the arena.
+        # Look-ahead stays off here: overlap needs a second core to pay
+        # for its thread handoff, and the suite must be comparable on
+        # single-core CI runners (bitwise identity with the serial
+        # schedule is covered by tests, not benchmarks).
+        BenchScenario(
+            "sbr-wy-ec-n1024", n=1024, b=32, nb=256,
+            precision="fp16_ec_tc", stage="sbr",
+        ),
+        BenchScenario(
+            "sbr-wy-ec-n512-ws", n=512, b=32, nb=128,
+            precision="fp16_ec_tc", stage="sbr",
+        ),
+        BenchScenario(
+            "sbr-wy-ec-n512-nows", n=512, b=32, nb=128,
+            precision="fp16_ec_tc", stage="sbr", workspace="off",
+        ),
     ),
 }
 
@@ -112,6 +142,66 @@ def _collector_phases(session) -> dict[str, float]:
         if s.depth == depth:
             out[s.path] = out.get(s.path, 0.0) + s.duration
     return out
+
+
+def _perf_kwargs(sc: BenchScenario, fn) -> dict:
+    """Perf-layer kwargs (workspace/lookahead) the target driver supports.
+
+    Non-default knobs are forwarded only when ``fn``'s signature has the
+    parameter, so a suite definition referencing newer knobs still runs
+    (and stays comparable) against an older driver.
+    """
+    import inspect
+
+    params = inspect.signature(fn).parameters
+    kwargs: dict = {}
+    if sc.workspace == "off" and "workspace" in params:
+        kwargs["workspace"] = False
+    if sc.lookahead and "lookahead" in params:
+        kwargs["lookahead"] = True
+    return kwargs
+
+
+def _scenario_runner(sc: BenchScenario, syevd_2stage):
+    """Bind one scenario to its timed callable (full EVD or SBR-only)."""
+    if sc.stage == "evd":
+        kwargs = _perf_kwargs(sc, syevd_2stage)
+
+        def run(a):
+            syevd_2stage(
+                a, b=sc.b, nb=sc.nb, method=sc.method, precision=sc.precision,
+                want_vectors=sc.want_vectors, tridiag_solver=sc.tridiag_solver,
+                **kwargs,
+            )
+
+        return run
+    if sc.stage != "sbr":
+        raise ValueError(f"unknown bench stage {sc.stage!r}; expected 'evd' or 'sbr'")
+
+    from ...gemm.engine import make_engine
+    from ...sbr.wy import sbr_wy
+    from ...sbr.zy import sbr_zy
+
+    if sc.method == "wy":
+        nb = sc.nb if sc.nb is not None else 4 * sc.b
+        kwargs = _perf_kwargs(sc, sbr_wy)
+
+        def run(a):
+            sbr_wy(
+                a, sc.b, nb, engine=make_engine(sc.precision),
+                want_q=sc.want_vectors, **kwargs,
+            )
+
+        return run
+    kwargs = _perf_kwargs(sc, sbr_zy)
+
+    def run(a):
+        sbr_zy(
+            a, sc.b, engine=make_engine(sc.precision),
+            want_q=sc.want_vectors, **kwargs,
+        )
+
+    return run
 
 
 def run_suite(
@@ -153,20 +243,13 @@ def run_suite(
         a, _ = generate_symmetric(
             sc.n, distribution="geo", cond=1e3, rng=np.random.default_rng(sc.seed)
         )
+        run = _scenario_runner(sc, syevd_2stage)
         wall: list[float] = []
         phases: dict[str, list[float]] = {}
         for _ in range(repeats):
             t0 = clk()
             with collect(clock=clk) as session:
-                syevd_2stage(
-                    a,
-                    b=sc.b,
-                    nb=sc.nb,
-                    method=sc.method,
-                    precision=sc.precision,
-                    want_vectors=sc.want_vectors,
-                    tridiag_solver=sc.tridiag_solver,
-                )
+                run(a)
             wall.append(clk() - t0)
             for path, secs in _collector_phases(session).items():
                 phases.setdefault(path, []).append(secs)

@@ -20,6 +20,8 @@ Line kinds (each line carries a ``"kind"`` discriminator):
                 injected faults, final precisions (optional)
 ``checkpoint``  checkpoint-report summary: run directory, saves, bytes,
                 resume provenance (optional)
+``alloc``       workspace-arena allocation accounting: takes, hits,
+                misses, bytes allocated, per-tag breakdown (optional)
 ==============  ========================================================
 
 Schema version: ``SCHEMA_VERSION`` (bump on incompatible change; the
@@ -33,7 +35,8 @@ field access).  History:
   to the collector epoch) so trace exporters can place events on the
   span timeline.  Backward compatible: v1 manifests still load, their
   events just carry no position.  The optional ``checkpoint`` line (PR 4)
-  rides within this version: older loaders skip unknown kinds.
+  and the optional ``alloc`` line (PR 5, workspace-arena counters) ride
+  within this version: older loaders skip unknown kinds.
 
 Manifests are written crash-safely: the whole JSONL body is serialized
 in memory and committed with one atomic rename
@@ -80,6 +83,7 @@ class RunManifest:
     accuracy: dict | None = None
     resilience: dict | None = None
     checkpoint: dict | None = None
+    alloc: dict | None = None
     path: str | None = None
 
     # -- derived queries ---------------------------------------------------
@@ -147,7 +151,7 @@ class RunManifest:
                 if path == p or path.startswith(p + "/"):
                     slot = out[p]
                     slot["calls"] += 1
-                    slot["flops"] += 2 * ev["m"] * ev["n"] * ev["k"]
+                    slot["flops"] += 2 * ev["m"] * ev["n"] * ev["k"] * ev.get("batch", 1)
                     slot["seconds"] += ev["seconds"]
                     break
         return out
@@ -172,6 +176,7 @@ def write_manifest(
     accuracy: dict | None = None,
     resilience: dict | None = None,
     checkpoint: dict | None = None,
+    alloc: dict | None = None,
     events: str = "full",
 ) -> str:
     """Serialize one telemetry session to a JSONL manifest.
@@ -203,6 +208,10 @@ def write_manifest(
     checkpoint : dict, optional
         Checkpoint-report summary (``CheckpointReport.to_dict()``):
         run directory, saves, bytes written, resume provenance.
+    alloc : dict, optional
+        Workspace-arena allocation accounting
+        (``Workspace.stats()``): takes, hits, misses, bytes allocated,
+        per-tag breakdown.
     events : {"full", "none"}
         Whether to persist the per-call GEMM event stream.
 
@@ -256,6 +265,8 @@ def write_manifest(
         lines.append(dump({"kind": "resilience", **dict(resilience)}))
     if checkpoint is not None:
         lines.append(dump({"kind": "checkpoint", **dict(checkpoint)}))
+    if alloc is not None:
+        lines.append(dump({"kind": "alloc", **dict(alloc)}))
     atomic_write_text(path, "\n".join(lines) + "\n")
     return path
 
@@ -313,5 +324,7 @@ def load_manifest(path: str) -> RunManifest:
                 man.resilience = obj
             elif kind == "checkpoint":
                 man.checkpoint = obj
+            elif kind == "alloc":
+                man.alloc = obj
             # Unknown kinds are skipped: forward compatibility within a major.
     return man

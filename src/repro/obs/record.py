@@ -112,7 +112,8 @@ def record_syevd(
     archived and diffed.  ``checkpoint`` (a run-directory string or a
     :class:`repro.ckpt.CheckpointConfig`) likewise passes through; the
     run's :class:`~repro.ckpt.CheckpointReport` is archived as a
-    ``"checkpoint"`` manifest line.
+    ``"checkpoint"`` manifest line, and the driver's workspace-arena
+    allocation counters as an ``"alloc"`` line.
 
     Returns
     -------
@@ -166,6 +167,11 @@ def record_syevd(
         checkpoint=(
             result.checkpoint_report.to_dict()
             if getattr(result, "checkpoint_report", None) is not None
+            else None
+        ),
+        alloc=(
+            result.workspace.stats()
+            if getattr(result, "workspace", None) is not None
             else None
         ),
         events=events,

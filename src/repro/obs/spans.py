@@ -135,11 +135,12 @@ class GemmEvent:
     seconds: float
     span_path: str
     start: float = -1.0
+    batch: int = 1
 
     @property
     def flops(self) -> int:
         """Flop count, matching :attr:`repro.gemm.trace.GemmRecord.flops`."""
-        return 2 * self.m * self.n * self.k
+        return 2 * self.m * self.n * self.k * self.batch
 
     def to_dict(self) -> dict:
         out = {
@@ -149,6 +150,8 @@ class GemmEvent:
         }
         if self.start >= 0.0:
             out["start"] = self.start
+        if self.batch != 1:
+            out["batch"] = self.batch
         return out
 
 
@@ -385,11 +388,13 @@ def gemm_event(
     op: str,
     seconds: float,
     start: float | None = None,
+    batch: int = 1,
 ) -> None:
     """Report one timed GEMM call to the active collector (engine hook).
 
     ``start`` is the call's entry time as read from :func:`now` (i.e. on
     the collector's clock); it is stored relative to the collector epoch.
+    ``batch`` is the stack depth of a ``gemm_batched`` call (1 otherwise).
     """
     col = _active
     if col is None:
@@ -398,6 +403,7 @@ def gemm_event(
         m=m, n=n, k=k, tag=tag, engine=engine, op=op,
         seconds=seconds, span_path=col.current_path(),
         start=(start - col.epoch) if start is not None else -1.0,
+        batch=batch,
     )
     with col._lock:
         col.gemm_events.append(ev)

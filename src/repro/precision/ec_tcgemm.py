@@ -26,21 +26,84 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeError
-from .rounding import OOTOMO_SCALE, split_fp16
+from .rounding import OOTOMO_SCALE, split_fp16, split_fp16_into
 
-__all__ = ["ec_tcgemm"]
+__all__ = ["EcOperand", "ec_prepare", "ec_tcgemm"]
 
 
-def ec_tcgemm(a, b, *, chunk_k: int | None = None) -> np.ndarray:
+def _split(x, ws, name: str):
+    """Hi/lo FP16 split of one operand, through workspace buffers if given."""
+    if ws is None:
+        return split_fp16(x)
+    hi = ws.take(f"ec_{name}_hi", x.shape, np.float32)
+    lo = ws.take(f"ec_{name}_lo", x.shape, np.float32)
+    f16 = ws.take(f"ec_{name}_f16", x.shape, np.float16)
+    return split_fp16_into(x, hi, lo, f16)
+
+
+class EcOperand:
+    """A pre-split EC operand: the hi/lo FP16 decomposition, computed once.
+
+    The SBR big-block loop multiplies the *same* trailing matrix OA
+    against a fresh panel's W columns many times per block; splitting OA
+    on every call is pure overhead (several full passes over an M×M
+    array, comparable to the GEMM itself at small n).  ``ec_prepare``
+    performs the split once and :func:`ec_tcgemm` accepts the handle in
+    place of the array.  The handle is valid while the source array's
+    contents are unchanged — re-prepare after mutating it.
+    """
+
+    __slots__ = ("array", "hi", "lo")
+
+    def __init__(self, array: np.ndarray, hi: np.ndarray, lo: np.ndarray) -> None:
+        self.array = array
+        self.hi = hi
+        self.lo = lo
+
+    @property
+    def shape(self) -> tuple:
+        return self.array.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.array.ndim
+
+
+def ec_prepare(a, *, ws=None, name: str = "prep") -> EcOperand:
+    """Split ``a`` once for repeated use in :func:`ec_tcgemm`.
+
+    With a workspace the split lives in arena buffers under
+    ``ec_<name>_*`` tags — distinct from the per-call split tags, so
+    later unprepared calls through the same arena do not clobber the
+    handle.  A later ``ec_prepare`` with the same ``name`` reuses (and
+    overwrites) the buffers, invalidating the previous handle.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    hi, lo = _split(a, ws, name)
+    return EcOperand(a, hi, lo)
+
+
+def ec_tcgemm(
+    a, b, *, chunk_k: int | None = None, out: "np.ndarray | None" = None, ws=None
+) -> np.ndarray:
     """FP32-accurate matrix product computed with emulated FP16 Tensor-Core GEMMs.
 
     Parameters
     ----------
     a, b : array_like
-        FP32 (or convertible) matrices with compatible inner dimensions.
+        FP32 (or convertible) matrices with compatible inner dimensions;
+        both 2-D, or both 3-D stacks with an equal batch dimension.
     chunk_k : int, optional
         Chunked-accumulation granularity forwarded to the underlying
         emulated TC GEMMs (see :func:`repro.precision.tcgemm`).
+    out : numpy.ndarray, optional
+        FP32 result buffer to write into (must not alias the operands;
+        the engine layer guards aliasing for callers).
+    ws : repro.perf.Workspace, optional
+        Scratch arena: the hi/lo operand splits and the two correction
+        products reuse arena buffers instead of allocating six full-size
+        temporaries per call — the dominant allocation cost of the SBR
+        hot loop under the EC policy.
 
     Returns
     -------
@@ -49,22 +112,45 @@ def ec_tcgemm(a, b, *, chunk_k: int | None = None) -> np.ndarray:
     """
     from .tcgemm import tcgemm  # local import to avoid cycle at package init
 
-    a = np.asarray(a, dtype=np.float32)
-    b = np.asarray(b, dtype=np.float32)
-    if a.ndim != 2 or b.ndim != 2:
+    if not isinstance(a, EcOperand):
+        a = np.asarray(a, dtype=np.float32)
+    if not isinstance(b, EcOperand):
+        b = np.asarray(b, dtype=np.float32)
+    if a.ndim != b.ndim or a.ndim not in (2, 3):
         raise ShapeError(
-            f"ec_tcgemm requires 2-D operands, got {a.ndim}-D and {b.ndim}-D"
+            f"ec_tcgemm requires both operands 2-D (or both 3-D batched), "
+            f"got {a.ndim}-D and {b.ndim}-D"
         )
-    if a.shape[1] != b.shape[0]:
+    if a.ndim == 3 and a.shape[0] != b.shape[0]:
+        raise ShapeError(f"batch dimensions differ: {a.shape} @ {b.shape}")
+    if a.shape[-1] != b.shape[-2]:
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
 
-    a_hi, a_lo = split_fp16(a)
-    b_hi, b_lo = split_fp16(b)
+    a_hi, a_lo = (a.hi, a.lo) if isinstance(a, EcOperand) else _split(a, ws, "a")
+    b_hi, b_lo = (b.hi, b.lo) if isinstance(b, EcOperand) else _split(b, ws, "b")
 
-    main = tcgemm(a_hi, b_hi, operand_format="fp32", chunk_k=chunk_k)
-    corr_a = tcgemm(a_lo, b_hi, operand_format="fp32", chunk_k=chunk_k)
-    corr_b = tcgemm(a_hi, b_lo, operand_format="fp32", chunk_k=chunk_k)
+    out_shape = a.shape[:-1] + (b.shape[-1],)
+    main = tcgemm(a_hi, b_hi, operand_format="fp32", chunk_k=chunk_k, out=out, ws=ws)
+    if ws is None:
+        corr_a = tcgemm(a_lo, b_hi, operand_format="fp32", chunk_k=chunk_k)
+        corr_b = tcgemm(a_hi, b_lo, operand_format="fp32", chunk_k=chunk_k)
+    else:
+        corr_a = tcgemm(
+            a_lo, b_hi, operand_format="fp32", chunk_k=chunk_k,
+            out=ws.take("ec_corr_a", out_shape, np.float32), ws=ws,
+        )
+        corr_b = tcgemm(
+            a_hi, b_lo, operand_format="fp32", chunk_k=chunk_k,
+            out=ws.take("ec_corr_b", out_shape, np.float32), ws=ws,
+        )
 
     inv_scale = np.float32(1.0 / OOTOMO_SCALE)
-    # FP32 combination outside the (emulated) Tensor Core.
-    return main + (corr_a + corr_b) * inv_scale
+    # FP32 combination outside the (emulated) Tensor Core.  The in-place
+    # form is bitwise identical to ``main + (corr_a + corr_b) * inv_scale``
+    # (same operations in the same association, no extra roundings).
+    if out is None:
+        return main + (corr_a + corr_b) * inv_scale
+    np.add(corr_a, corr_b, out=corr_a)
+    corr_a *= inv_scale
+    main += corr_a
+    return main

@@ -34,6 +34,7 @@ __all__ = [
     "round_tf32",
     "round_to_format",
     "split_fp16",
+    "split_fp16_into",
 ]
 
 #: Unit roundoff of IEEE half precision (10 explicit mantissa bits).
@@ -134,4 +135,26 @@ def split_fp16(x, *, scale: float = OOTOMO_SCALE) -> tuple[np.ndarray, np.ndarra
     arr = np.asarray(x, dtype=np.float32)
     hi = round_fp16(arr)
     lo = round_fp16((arr - hi) * np.float32(scale))
+    return hi, lo
+
+
+def split_fp16_into(
+    x, hi: np.ndarray, lo: np.ndarray, f16: np.ndarray, *, scale: float = OOTOMO_SCALE
+) -> tuple[np.ndarray, np.ndarray]:
+    """Allocation-free :func:`split_fp16` into caller-owned buffers.
+
+    ``hi`` and ``lo`` are float32 buffers of ``x``'s shape, ``f16`` a
+    float16 staging buffer of the same shape (the FP16 rounding runs
+    through it via casting assignment, which is the same round-to-nearest
+    conversion as ``astype``).  Bitwise identical to :func:`split_fp16`;
+    this is what the EC-TCGEMM hot path uses so the operand splits of
+    every panel iteration reuse one set of workspace buffers.
+    """
+    arr = np.asarray(x, dtype=np.float32)
+    np.copyto(f16, arr, casting="same_kind")
+    np.copyto(hi, f16, casting="same_kind")
+    np.subtract(arr, hi, out=lo)
+    lo *= np.float32(scale)
+    np.copyto(f16, lo, casting="same_kind")
+    np.copyto(lo, f16, casting="same_kind")
     return hi, lo

@@ -15,6 +15,11 @@ rounding, ~2^-11, four orders of magnitude above FP32 accumulation error).
 ``chunk_k`` optionally splits the inner dimension into chunks accumulated
 sequentially in FP32, modelling the "one rounding per MMA tile" behaviour
 even when the underlying BLAS uses higher-precision blocked summation.
+
+Operands may be 3-D stacks ``(batch, m, k) @ (batch, k, n)`` — the
+strided-batched form issued by :meth:`~repro.gemm.engine.GemmEngine.
+gemm_batched` — every path (rounding, chunking, ``out=``) is
+dimension-agnostic over the leading batch axis.
 """
 
 from __future__ import annotations
@@ -33,13 +38,16 @@ def tcgemm(
     *,
     operand_format: str = "fp16",
     chunk_k: int | None = None,
+    out: "np.ndarray | None" = None,
+    ws=None,
 ) -> np.ndarray:
     """Emulated Tensor-Core matrix product ``A @ B``.
 
     Parameters
     ----------
     a, b : array_like
-        FP32 (or convertible) matrices with ``a.shape[1] == b.shape[0]``.
+        FP32 (or convertible) matrices with ``a.shape[-1] == b.shape[-2]``;
+        both 2-D, or both 3-D with an equal leading batch dimension.
     operand_format : str
         Low-precision operand format: ``"fp16"`` (default), ``"bf16"``,
         ``"tf32"`` or ``"fp32"`` (no operand rounding, useful for testing).
@@ -48,32 +56,55 @@ def tcgemm(
         with an explicit FP32 accumulator between chunks, modelling MMA-tile
         granularity accumulation.  ``None`` (default) uses a single FP32
         matmul.
+    out : numpy.ndarray, optional
+        FP32 buffer of the result shape to write into (must not alias the
+        operands — the engine layer guards aliasing for callers).
+    ws : repro.perf.Workspace, optional
+        Scratch arena for the chunked path's per-chunk product buffer
+        (reused across calls instead of one temporary per chunk).
 
     Returns
     -------
     numpy.ndarray
-        FP32 result of shape ``(a.shape[0], b.shape[1])``.
+        FP32 result of shape ``a.shape[:-1] + (b.shape[-1],)``.
     """
     a = np.asarray(a)
     b = np.asarray(b)
-    if a.ndim != 2 or b.ndim != 2:
-        raise ShapeError(f"tcgemm requires 2-D operands, got {a.ndim}-D and {b.ndim}-D")
-    if a.shape[1] != b.shape[0]:
+    if a.ndim != b.ndim or a.ndim not in (2, 3):
+        raise ShapeError(
+            f"tcgemm requires both operands 2-D (or both 3-D batched), "
+            f"got {a.ndim}-D and {b.ndim}-D"
+        )
+    if a.ndim == 3 and a.shape[0] != b.shape[0]:
+        raise ShapeError(f"batch dimensions differ: {a.shape} @ {b.shape}")
+    if a.shape[-1] != b.shape[-2]:
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
 
     ar = round_to_format(a, operand_format)
     br = round_to_format(b, operand_format)
+    k = a.shape[-1]
+    out_shape = a.shape[:-1] + (b.shape[-1],)
 
-    if chunk_k is None or chunk_k >= a.shape[1]:
+    if chunk_k is None or chunk_k >= k:
+        if out is not None:
+            return np.matmul(ar, br, out=out)
         return np.asarray(ar @ br, dtype=np.float32)
 
     if chunk_k <= 0:
         raise ValueError(f"chunk_k must be positive, got {chunk_k}")
 
-    k = a.shape[1]
-    acc = np.zeros((a.shape[0], b.shape[1]), dtype=np.float32)
-    for start in range(0, k, chunk_k):
-        stop = min(start + chunk_k, k)
-        # In-place FP32 accumulation: one rounding per chunk, as on hardware.
-        acc += ar[:, start:stop] @ br[start:stop, :]
+    # In-place FP32 accumulation: one rounding per chunk, as on hardware.
+    # The first chunk writes the accumulator directly; later chunks go
+    # through one reused scratch buffer instead of a temporary per chunk.
+    acc = out if out is not None else np.empty(out_shape, dtype=np.float32)
+    np.matmul(ar[..., :, :chunk_k], br[..., :chunk_k, :], out=acc)
+    if k > chunk_k:
+        if ws is not None:
+            scratch = ws.take("tcgemm_chunk", out_shape, np.float32)
+        else:
+            scratch = np.empty(out_shape, dtype=np.float32)
+        for start in range(chunk_k, k, chunk_k):
+            stop = min(start + chunk_k, k)
+            np.matmul(ar[..., :, start:stop], br[..., start:stop, :], out=scratch)
+            acc += scratch
     return acc

@@ -82,21 +82,48 @@ class ResilientEngine:
     def reset_trace(self) -> None:
         self.base.reset_trace()
 
-    def gemm(self, a, b, *, tag: str = "") -> np.ndarray:
+    @property
+    def workspace(self):
+        return self.base.workspace
+
+    def gemm(self, a, b, *, tag: str = "", out=None, ta: bool = False,
+             tb: bool = False) -> np.ndarray:
+        """Policy GEMM with injection + detection.
+
+        Note: even with ``out=`` the *returned* array is authoritative —
+        fault injection may substitute a different array than the buffer
+        the inner engine wrote.  All callers must use the return value.
+        """
         inner = self._inner
-        out = inner.gemm(a, b, tag=tag)
+        res = inner.gemm(a, b, tag=tag, out=out, ta=ta, tb=tb)
         if inner is not self.base and self.base.trace is not None:
             rec = GemmRecord(
-                m=out.shape[0], n=out.shape[1], k=np.asarray(a).shape[1],
+                m=res.shape[0], n=res.shape[1], k=np.asarray(a).shape[0 if ta else 1],
                 tag=tag, engine=inner.name,
             )
             with self.base._trace_lock:
                 self.base.trace.add(rec)
-        return self._ctx.after_gemm(out, site=tag, precision=inner.precision)
+        return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
 
-    def syr2k(self, y, z, *, tag: str = "") -> np.ndarray:
+    def gemm_batched(self, a, b, *, tag: str = "", out=None, ta: bool = False,
+                     tb: bool = False) -> np.ndarray:
+        """Batched policy GEMM with injection + detection (one stack check)."""
         inner = self._inner
-        out = inner.syr2k(y, z, tag=tag)
+        res = inner.gemm_batched(a, b, tag=tag, out=out, ta=ta, tb=tb)
+        if inner is not self.base and self.base.trace is not None:
+            rec = GemmRecord(
+                m=res.shape[1], n=res.shape[2],
+                k=np.asarray(a).shape[1 if ta else 2],
+                tag=tag, engine=inner.name, op="gemm_batched", batch=res.shape[0],
+            )
+            with self.base._trace_lock:
+                self.base.trace.add(rec)
+        return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
+
+    def syr2k(self, y, z, *, tag: str = "", out=None, alpha: float = 1.0,
+              beta: float = 0.0) -> np.ndarray:
+        inner = self._inner
+        res = inner.syr2k(y, z, tag=tag, out=out, alpha=alpha, beta=beta)
         if inner is not self.base and self.base.trace is not None:
             yy = np.asarray(y)
             rec = GemmRecord(
@@ -105,7 +132,7 @@ class ResilientEngine:
             )
             with self.base._trace_lock:
                 self.base.trace.add(rec)
-        return self._ctx.after_gemm(out, site=tag, precision=inner.precision)
+        return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
 
     # -- escalation ---------------------------------------------------------
     def escalate_to(self, precision: Precision) -> None:

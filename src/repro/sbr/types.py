@@ -52,12 +52,17 @@ class SbrResult:
     blocks : list of WYBlock
         The per-block WY factors, enough to (re)build ``Q`` lazily via
         :func:`repro.sbr.formw.form_q_from_blocks`.
+    workspace : repro.perf.Workspace or None
+        The scratch arena the reduction ran with (when the driver is
+        arena-aware); its ``stats()`` feed the run manifest's ``alloc``
+        line.
     """
 
     band: np.ndarray
     bandwidth: int
     q: np.ndarray | None = None
     blocks: list[WYBlock] = field(default_factory=list)
+    workspace: "object | None" = None
 
     @property
     def n(self) -> int:

@@ -32,17 +32,50 @@ Implementation notes
 - The recursion of Algorithm 1 is expressed iteratively: ``j0`` advances
   by ``nb`` per big block over the same storage.
 
+Allocation-free hot path
+------------------------
+All per-iteration temporaries live in a :class:`repro.perf.Workspace`
+arena (``workspace=``).  ``W``/``Y``/``OAW`` grow *in place* inside
+preallocated ``(M, nb)`` buffers (leading dimension ``nb``, so the
+``[:, :k]`` views are BLAS-ready without packing copies), ``OA`` and the
+update scratch reuse arena buffers, and the engine-level workspace lets
+the EC Tensor-Core GEMMs reuse their operand-split buffers.  The arena is
+attached to the engine when the engine has none, so one arena serves both
+layers; pass ``workspace=False`` to disable reuse (every take allocates —
+the control arm the benchmarks and tests compare against).
+
+The block-boundary full update exploits symmetry: only the lower
+trapezoid of each column block of ``GA`` is computed and mirrored (first
+block ``b`` wide, then ``nb``-wide blocks; see
+:func:`repro.gemm.symbolic.full_update_col_blocks`), saving ~35% of the
+dominant third-GEMM flops.  The diagonal sub-blocks are exactly
+symmetrized; off-diagonal blocks are mirrored rather than averaged, an
+O(eps) difference from the previous both-triangles formulation.
+
+Look-ahead
+----------
+With ``lookahead=True`` (and no resilience context or checkpoint), the
+block-boundary update is split: the first ``b`` columns — exactly what
+the next big block's first panel reads — are updated synchronously, the
+remaining column blocks run on a single background thread while the main
+thread QR-factors the next panel.  The background job writes only columns
+(and mirror rows) at offsets ``>= b`` of the update region, disjoint from
+everything the panel touches, and is joined before ``OA`` capture.  The
+serial path executes the identical column-block sequence, so
+``lookahead=True`` and ``False`` produce bitwise-identical bands.
+
 Resilience
 ----------
 When a :class:`repro.resilience.ResilienceContext` is passed, each panel
 iteration — panel QR, (W, Y) extension, and its deferred trailing update
 — is a *retryable unit*: the affected region ``A[i:, i:]`` is
-checkpointed before the step (``W``/``Y``/``OAW`` are rebuilt by
-``hstack`` and need no copy), detectors run on every GEMM output and on
-the panel's Q factor, and a detected breakdown restores the checkpoint
-and re-runs the panel at the ladder's next-safer precision.  This is the
-per-panel recovery granularity the look-ahead band-reduction literature
-uses for checkpointing, and it avoids restarting the whole ``sy2sb``.
+checkpointed before the step (the arena-backed ``W``/``Y``/``OAW`` are
+rolled back by resetting the column counter — a failed step only wrote
+columns past it), detectors run on every GEMM output and on the panel's
+Q factor, and a detected breakdown restores the checkpoint and re-runs
+the panel at the ladder's next-safer precision.  Look-ahead is disabled
+under a resilience context or checkpoint manager (the retry and
+commit-point semantics are defined on the serial schedule).
 
 GEMM tags: ``form_w``, ``wy_oaw``, ``wy_right``, ``wy_left``,
 ``wy_full_right``, ``wy_full_left``, plus the panel strategy's tags and
@@ -51,11 +84,15 @@ GEMM tags: ``form_w``, ``wy_oaw``, ``wy_right``, ``wy_left``,
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from ..errors import NumericalBreakdownError, SingularMatrixError
 from ..gemm.engine import GemmEngine, SgemmEngine
+from ..gemm.symbolic import full_update_col_blocks
 from ..obs import spans as obs
+from ..perf import Workspace, resolve_workspace
 from ..resilience.context import ResilienceContext
 from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
 from .ckptio import restore_resilience_state, save_wy_panel
@@ -64,6 +101,48 @@ from .panel import PanelStrategy, make_panel_strategy
 from .types import SbrResult, WYBlock, unpack_wy_blocks
 
 __all__ = ["sbr_wy"]
+
+
+class _BlockState:
+    """Arena-backed accumulated state of one big block.
+
+    ``w``/``y``/``oaw`` are ``(M, nb)`` buffers with the first ``k``
+    columns live; extensions write columns ``k:k+w`` in place instead of
+    re-``hstack``-ing ever-larger copies each panel.
+    """
+
+    __slots__ = ("w", "y", "oaw", "k")
+
+    def __init__(self, ws: Workspace, M: int, nb: int, dtype) -> None:
+        self.w = ws.take("sbr_W", (M, nb), dtype)
+        self.y = ws.take("sbr_Y", (M, nb), dtype)
+        self.oaw = ws.take("sbr_OAW", (M, nb), dtype)
+        self.k = 0
+
+    @property
+    def W(self) -> np.ndarray:
+        return self.w[:, : self.k]
+
+    @property
+    def Y(self) -> np.ndarray:
+        return self.y[:, : self.k]
+
+    @property
+    def OAW(self) -> np.ndarray:
+        return self.oaw[:, : self.k]
+
+
+def _gemm_into(eng, a, b, view, *, tag, ta=False, tb=False):
+    """GEMM into a preallocated view, honoring engine substitution.
+
+    A wrapping engine (fault injection, escalation) may return an array
+    other than ``out`` — the returned value is authoritative, so copy it
+    back into the view in that case.
+    """
+    res = eng.gemm(a, b, tag=tag, out=view, ta=ta, tb=tb)
+    if res is not view:
+        view[...] = res
+    return view
 
 
 def sbr_wy(
@@ -75,6 +154,8 @@ def sbr_wy(
     panel: "str | PanelStrategy" = "tsqr",
     want_q: bool = True,
     q_method: str = "tree",
+    workspace=None,
+    lookahead: bool = False,
     resilience: ResilienceContext | None = None,
     checkpoint=None,
     check_finite: bool = True,
@@ -100,6 +181,16 @@ def sbr_wy(
     q_method : {"tree", "forward"}
         How to assemble Q from the per-block WY factors when ``want_q``:
         ``"tree"`` uses the recursive FormW merge (paper Algorithm 2).
+    workspace : repro.perf.Workspace, bool, or None
+        Scratch arena for the hot-loop temporaries (module docstring).
+        ``None``/``True`` create a fresh arena, ``False`` disables reuse
+        (a :class:`repro.perf.NullWorkspace` that allocates every take),
+        or pass an existing arena to share and inspect its counters.
+    lookahead : bool
+        Overlap the block-boundary trailing update with the next panel's
+        QR on a background thread (module docstring).  Bitwise-identical
+        to the serial schedule; ignored when a resilience context or
+        checkpoint manager is active.
     resilience : ResilienceContext, optional
         Per-run failure detection + per-panel precision-escalation retry.
     checkpoint : repro.ckpt.CheckpointManager, optional
@@ -116,9 +207,16 @@ def sbr_wy(
     Returns
     -------
     SbrResult
-        Band matrix, bandwidth, optional ``Q``, and per-big-block WY blocks.
+        Band matrix, bandwidth, optional ``Q``, per-big-block WY blocks,
+        and the workspace arena (``result.workspace``) whose ``stats()``
+        feed the run manifest's ``alloc`` line.
     """
     eng: "GemmEngine" = engine if engine is not None else SgemmEngine()
+    ws = resolve_workspace(workspace)
+    if isinstance(eng, GemmEngine) and eng.workspace is None:
+        # One arena serves both layers: SBR temporaries and the engine's
+        # precision-conversion scratch (EC operand splits, chunk buffers).
+        eng.workspace = ws
     ctx = resilience
     if ctx is not None:
         eng = ctx.wrap_engine(eng)
@@ -162,55 +260,96 @@ def sbr_wy(
             restore_resilience_state(ctx, eng, s.get("resilience"))
             ck.mark_resumed(rck)
 
-    while n - j0 - b >= 2:
-        M = n - j0 - b  # size of the block's trailing row/col space S = [j0+b, n)
-        if pending is not None:
-            OA, W, Y, OAW, r_start = pending
-            pending = None
-        else:
-            # Original trailing matrix for this big block (paper: OA / oriA).
-            OA = A[j0 + b :, j0 + b :].copy()
-            W = None
-            Y = None
-            OAW = np.empty((M, 0), dtype=dtype)
-            r_start = 0
-        status = "advance"
+    la_pool = (
+        ThreadPoolExecutor(max_workers=1, thread_name_prefix="sbr-la")
+        if (lookahead and ctx is None and ck is None)
+        else None
+    )
+    pre_pf = None
+    try:
+        while n - j0 - b >= 2:
+            M = n - j0 - b  # size of the block's trailing row/col space S
+            st = _BlockState(ws, M, min(nb, M), dtype)
+            OA = ws.take("sbr_OA", (M, M), dtype)
+            if pending is not None:
+                oa_r, w_r, y_r, oaw_r, r_start = pending
+                pending = None
+                np.copyto(OA, oa_r)
+                k = w_r.shape[1]
+                st.w[:, :k] = w_r
+                st.y[:, :k] = y_r
+                st.oaw[:, :k] = oaw_r
+                st.k = k
+            else:
+                # Original trailing matrix for this big block (paper: OA).
+                np.copyto(OA, A[j0 + b :, j0 + b :])
+                r_start = 0
+            # OA is constant for the whole big block: let the engine
+            # amortize its operand transformation (the EC hi/lo FP16
+            # split — several full M×M passes) across the block's
+            # panels.  Bitwise identical to passing OA itself.  Under a
+            # resilience context the wrapped engine re-runs steps at
+            # other precisions, so the raw array is used there.
+            oa_op = eng.prepare_operand(OA, tag="sbr_OA") if ctx is None else OA
+            status = "advance"
+            la_fut = None
 
-        for r in range(r_start, nb, b):
-            i = j0 + r
-            m = n - i - b  # panel rows
-            if m < 2:
+            for r in range(r_start, nb, b):
+                i = j0 + r
+                m = n - i - b  # panel rows
+                if m < 2:
+                    break
+                status, la_fut = _resilient_panel_step(
+                    A, OA, st, eng, strategy, ctx, ws,
+                    b=b, nb=nb, j0=j0, r=r, n=n,
+                    panel_index=panel_index, norm_baseline=norm_baseline,
+                    la_pool=la_pool, pre_pf=pre_pf, oa_op=oa_op,
+                )
+                pre_pf = None
+                panel_index += 1
+                if ck is not None and status == "advance" \
+                        and ck.should_save_panel(panel_index):
+                    save_wy_panel(
+                        ck, A=A, blocks=blocks, ctx=ctx, eng=eng,
+                        j0=j0, r_next=r + b, panel_index=panel_index,
+                        norm_baseline=norm_baseline,
+                        OA=OA, W=st.W, Y=st.Y, OAW=st.OAW,
+                    )
+                if status != "advance":
+                    break
+
+            if st.k > 0:
+                # Copy out of the arena: the buffers are reused next block.
+                blocks.append(
+                    WYBlock(offset=j0 + b, w=st.W.copy(), y=st.Y.copy())
+                )
+            if status != "block_end":
                 break
-            W, Y, OAW, status = _resilient_panel_step(
-                A, OA, OAW, W, Y, eng, strategy, ctx,
-                b=b, nb=nb, j0=j0, r=r, n=n,
-                panel_index=panel_index, norm_baseline=norm_baseline,
-            )
-            panel_index += 1
-            if ck is not None and status == "advance" \
-                    and ck.should_save_panel(panel_index):
+            j0 += nb
+            if la_fut is not None:
+                # Overlap window: QR-factor the next big block's first
+                # panel (it reads only the already-written priority
+                # columns) while the background thread finishes the rest
+                # of the trailing update, then join before OA capture.
+                m_next = n - j0 - b
+                if m_next >= 2:
+                    w_next = min(b, m_next)
+                    with obs.span("sbr.panel", rows=m_next, cols=w_next):
+                        pre_pf = strategy.factor(
+                            A[j0 + b :, j0 : j0 + w_next], engine=eng
+                        )
+                la_fut.result()
+            if ck is not None and ck.should_save_panel(panel_index):
+                # Block boundary: the next panel opens a fresh big block,
+                # so only A, the completed blocks, and the indices are live.
                 save_wy_panel(
                     ck, A=A, blocks=blocks, ctx=ctx, eng=eng,
-                    j0=j0, r_next=r + b, panel_index=panel_index,
+                    j0=j0, r_next=0, panel_index=panel_index,
                     norm_baseline=norm_baseline,
-                    OA=OA, W=W, Y=Y, OAW=OAW,
                 )
-            if status != "advance":
-                break
-
-        if W is not None:
-            blocks.append(WYBlock(offset=j0 + b, w=W, y=Y))
-        if status != "block_end":
-            break
-        j0 += nb
-        if ck is not None and ck.should_save_panel(panel_index):
-            # Block boundary: the next panel opens a fresh big block, so
-            # only A, the completed blocks, and the indices are live.
-            save_wy_panel(
-                ck, A=A, blocks=blocks, ctx=ctx, eng=eng,
-                j0=j0, r_next=0, panel_index=panel_index,
-                norm_baseline=norm_baseline,
-            )
+    finally:
+        if la_pool is not None:
+            la_pool.shutdown(wait=True)
 
     A = (A + A.T) * dtype.type(0.5)
     q = None
@@ -222,36 +361,39 @@ def sbr_wy(
         if q is not None:
             with ctx.unit("sbr"):
                 ctx.check_residual(a, q, A, precision=eng.precision)
-    return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks)
+    return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks, workspace=ws)
 
 
 def _resilient_panel_step(
-    A, OA, OAW, W, Y, eng, strategy, ctx,
-    *, b, nb, j0, r, n, panel_index, norm_baseline,
+    A, OA, st, eng, strategy, ctx, ws,
+    *, b, nb, j0, r, n, panel_index, norm_baseline, la_pool, pre_pf,
+    oa_op=None,
 ):
     """Run one panel step, retrying from a checkpoint on breakdown.
 
     The checkpoint is the region the step may write — ``A[i:, i:]`` —
-    plus the pre-step ``(W, Y, OAW)`` references (immutable between
-    steps: extensions allocate new arrays).
+    plus the pre-step column counter of the arena state (a failed step
+    only wrote columns past it, which resetting the counter discards).
     """
     if ctx is None:
         return _panel_step(
-            A, OA, OAW, W, Y, eng, strategy, None,
+            A, OA, st, eng, strategy, None, ws,
             b=b, nb=nb, j0=j0, r=r, n=n,
             panel_index=panel_index, norm_baseline=norm_baseline,
+            la_pool=la_pool, pre_pf=pre_pf, oa_op=oa_op,
         )
     i = j0 + r
     snapshot = A[i:, i:].copy() if ctx.can_retry else None
-    state = (W, Y, OAW)
+    k_before = st.k
     attempt = 0
     while True:
         try:
             with ctx.unit("sbr.panel", panel=panel_index):
                 return _panel_step(
-                    A, OA, OAW, W, Y, eng, strategy, ctx,
+                    A, OA, st, eng, strategy, ctx, ws,
                     b=b, nb=nb, j0=j0, r=r, n=n,
                     panel_index=panel_index, norm_baseline=norm_baseline,
+                    la_pool=None, pre_pf=None,
                 )
         except (NumericalBreakdownError, SingularMatrixError) as exc:
             if not ctx.handle_breakdown(
@@ -260,7 +402,7 @@ def _resilient_panel_step(
             ):
                 raise
             A[i:, i:] = snapshot
-            W, Y, OAW = state
+            st.k = k_before
             attempt += 1
 
 
@@ -288,14 +430,17 @@ def _resilient_form_q(blocks, n, eng, ctx, q_method, dtype):
 
 
 def _panel_step(
-    A, OA, OAW, W, Y, eng, strategy, ctx,
-    *, b, nb, j0, r, n, panel_index, norm_baseline,
+    A, OA, st, eng, strategy, ctx, ws,
+    *, b, nb, j0, r, n, panel_index, norm_baseline, la_pool, pre_pf,
+    oa_op=None,
 ):
     """One panel iteration: QR, (W, Y) extension, deferred update.
 
-    Returns the extended ``(W, Y, OAW)`` and a status: ``"advance"``
-    (next panel in this big block), ``"tail"`` (matrix exhausted), or
-    ``"block_end"`` (full trailing update done; start the next block).
+    Returns ``(status, la_future)`` — status ``"advance"`` (next panel in
+    this big block), ``"tail"`` (matrix exhausted), or ``"block_end"``
+    (full trailing update done; start the next block).  ``la_future`` is
+    the in-flight background remainder of a look-ahead full update (only
+    ever non-None with status ``"block_end"``).
     """
     dtype = A.dtype
     M = n - j0 - b
@@ -304,13 +449,16 @@ def _panel_step(
     w_cols = min(b, m)
 
     # --- 1. Panel QR (columns freshened by the previous step). ---
-    with obs.span("sbr.panel", rows=m, cols=w_cols):
-        try:
-            pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
-        except SingularMatrixError as exc:
-            if exc.panel is None:
-                exc.panel = panel_index
-            raise
+    if pre_pf is not None and r == 0:
+        pf = pre_pf  # look-ahead prefactored this panel at the boundary
+    else:
+        with obs.span("sbr.panel", rows=m, cols=w_cols):
+            try:
+                pf = strategy.factor(A[i + b :, i : i + w_cols], engine=eng)
+            except SingularMatrixError as exc:
+                if exc.panel is None:
+                    exc.panel = panel_index
+                raise
     if ctx is not None:
         ctx.check_panel(
             pf.w.astype(dtype, copy=False), pf.y.astype(dtype, copy=False),
@@ -332,43 +480,57 @@ def _panel_step(
         strip -= eng.gemm(py, wts, tag="sbr_strip")
         A[i + w_cols : i + b, i + b :] = strip.T
 
-    # --- 2. Extend (W, Y) over the block row space S (leading zeros). -
+    # --- 2. Extend (W, Y) over the block row space S (leading zeros),
+    #     in place inside the arena buffers. --------------------------
     with obs.span("sbr.form_w", rows=M):
-        wp = np.zeros((M, w_cols), dtype=dtype)
-        yp = np.zeros((M, w_cols), dtype=dtype)
-        wp[r:] = pf.w.astype(dtype, copy=False)
-        yp[r:] = pf.y.astype(dtype, copy=False)
-        if W is None:
-            W, Y = wp, yp
+        K = st.k
+        y_new = st.y[:, K : K + w_cols]
+        y_new[:r] = 0
+        y_new[r:] = pf.y.astype(dtype, copy=False)
+        if K == 0:
+            w_dst = st.w[:, :w_cols]
+            w_dst[:r] = 0
+            w_dst[r:] = pf.w.astype(dtype, copy=False)
         else:
-            ytwp = eng.gemm(Y.T, wp, tag="form_w")
-            w_new = wp - eng.gemm(W, ytwp, tag="form_w")
-            W = np.hstack([W, w_new])
-            Y = np.hstack([Y, yp])
+            wp = ws.take("sbr_wp", (M, w_cols), dtype)
+            wp[:r] = 0
+            wp[r:] = pf.w.astype(dtype, copy=False)
+            ytwp = ws.take("sbr_ytwp", (K, w_cols), dtype)
+            _gemm_into(eng, st.Y, wp, ytwp, ta=True, tag="form_w")
+            tmp = ws.take("sbr_wtmp", (M, w_cols), dtype)
+            _gemm_into(eng, st.W, ytwp, tmp, tag="form_w")
+            np.subtract(wp, tmp, out=st.w[:, K : K + w_cols])
+        st.k = K + w_cols
 
     # --- Incremental OA @ W cache (the 'reuse the original matrix'
     #     cost of Algorithm 1's inner loop). -------------------------
     with obs.span("sbr.oaw"):
-        OAW = np.hstack([OAW, eng.gemm(OA, W[:, -w_cols:], tag="wy_oaw")])
+        _gemm_into(
+            eng, OA if oa_op is None else oa_op,
+            st.w[:, K : st.k], st.oaw[:, K : st.k], tag="wy_oaw",
+        )
 
     if m <= b + 1:
         # Tail: no further panel will run (the next would have
         # m' = m - b < 2 rows), so the partial update must finalize
         # all m remaining columns, not just the next panel's b.
         with obs.span("sbr.partial_update", cols=m):
-            _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=m)
+            _partial_update(A, OA, st, eng, ws, b=b, j0=j0, r=r, cn=m)
         if ctx is not None:
             lo = j0 + b + r
             ctx.check_norm_growth(
                 A[lo:, lo : lo + m], norm_baseline,
                 precision=eng.precision, site="wy_right",
             )
-        return W, Y, OAW, "tail"
+        return "tail", None
     if r + b >= nb:
         # Big block exhausted with panels remaining: full trailing
         # update from OA, then start the next big block (recursion).
         with obs.span("sbr.full_update", rows=M - r):
-            _full_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r_end=r)
+            la_fut = _full_update(
+                A, OA, st, eng, ws, b=b, nb=nb, j0=j0, r_end=r,
+                la_pool=la_pool,
+            )
         if ctx is not None:
             lo = j0 + b + r
             ctx.check_norm_growth(
@@ -377,27 +539,26 @@ def _panel_step(
             )
             ctx.check_symmetry(A[lo:, lo:], precision=eng.precision,
                                norm=norm_baseline)
-        return W, Y, OAW, "block_end"
+        return "block_end", la_fut
 
     # --- 3. Partial update: only the next panel's columns. ----------
     with obs.span("sbr.partial_update", cols=b):
-        _partial_update(A, OA, OAW, W, Y, eng, b=b, j0=j0, r=r, cn=b)
+        _partial_update(A, OA, st, eng, ws, b=b, j0=j0, r=r, cn=b)
     if ctx is not None:
         lo = j0 + b + r
         ctx.check_norm_growth(
             A[lo:, lo : lo + b], norm_baseline,
             precision=eng.precision, site="wy_right",
         )
-    return W, Y, OAW, "advance"
+    return "advance", None
 
 
 def _partial_update(
     A: np.ndarray,
     OA: np.ndarray,
-    OAW: np.ndarray,
-    W: np.ndarray,
-    Y: np.ndarray,
+    st: _BlockState,
     eng: GemmEngine,
+    ws: Workspace,
     *,
     b: int,
     j0: int,
@@ -412,13 +573,21 @@ def _partial_update(
     symmetric mirror into ``A``.  S-index ``r`` is absolute ``j0 + b + r``.
     """
     dtype = A.dtype
+    M = OA.shape[0]
+    K = st.k
+    W, Y, OAW = st.W, st.Y, st.OAW
     yc = Y[r : r + cn, :]
     # Right update: X = OA[:, r:r+cn] - (OA W) Y_c^T  (full column block —
     # the left update's W^T X needs every row of X).
-    x = OA[:, r : r + cn] - eng.gemm(OAW, yc.T, tag="wy_right")
+    x = ws.take("sbr_x", (M, cn), dtype)
+    _gemm_into(eng, OAW, yc, x, tb=True, tag="wy_right")
+    np.subtract(OA[:, r : r + cn], x, out=x)
     # Left update restricted to the needed rows r..M.
-    wtx = eng.gemm(W.T, x, tag="wy_left")
-    ga = x[r:] - eng.gemm(Y[r:], wtx, tag="wy_left")
+    wtx = ws.take("sbr_wtx", (K, cn), dtype)
+    _gemm_into(eng, W, x, wtx, ta=True, tag="wy_left")
+    ga = ws.take("sbr_ga", (M - r, cn), dtype)
+    _gemm_into(eng, Y[r:], wtx, ga, tag="wy_left")
+    np.subtract(x[r:], ga, out=ga)
 
     # Exactly symmetrize the diagonal cn×cn block before writing.
     ga[:cn] = (ga[:cn] + ga[:cn].T) * dtype.type(0.5)
@@ -430,27 +599,79 @@ def _partial_update(
 def _full_update(
     A: np.ndarray,
     OA: np.ndarray,
-    OAW: np.ndarray,
-    W: np.ndarray,
-    Y: np.ndarray,
+    st: _BlockState,
     eng: GemmEngine,
+    ws: Workspace,
     *,
     b: int,
+    nb: int,
     j0: int,
     r_end: int,
-) -> None:
+    la_pool=None,
+) -> "object | None":
     """Block-boundary full trailing update: ``S[r_end:, r_end:]`` from ``OA``.
 
     This is Algorithm 1 lines 12–13: the entire remaining trailing matrix
     is rebuilt two-sidedly from the block's original ``OA`` with the
     complete accumulated ``(W, Y)`` — the near-square GEMMs with inner
     dimension ``nb`` that make the algorithm Tensor-Core friendly.
+
+    Symmetry-aware: only the lower trapezoid of each column block of the
+    result is computed and mirrored (the old path computed the full
+    square and averaged both triangles).  With a look-ahead pool the
+    first (``b``-wide) column block is applied synchronously and the rest
+    run as one background job; the returned future must be joined before
+    anything reads or re-captures the region past those columns.
     """
     dtype = A.dtype
+    M = OA.shape[0]
+    K = st.k
+    W, Y, OAW = st.W, st.Y, st.OAW
+    T = M - r_end
     yc = Y[r_end:, :]
-    x = OA[:, r_end:] - eng.gemm(OAW, yc.T, tag="wy_full_right")
-    wtx = eng.gemm(W.T, x, tag="wy_full_left")
-    ga = x[r_end:] - eng.gemm(yc, wtx, tag="wy_full_left")
-    ga = (ga + ga.T) * dtype.type(0.5)
+    x = ws.take("sbr_fx", (M, T), dtype)
+    _gemm_into(eng, OAW, yc, x, tb=True, tag="wy_full_right")
+    np.subtract(OA[:, r_end:], x, out=x)
+    wtx = ws.take("sbr_fwtx", (K, T), dtype)
+    _gemm_into(eng, W, x, wtx, ta=True, tag="wy_full_left")
+
     lo = j0 + b + r_end
-    A[lo:, lo:] = ga
+    col_blocks = full_update_col_blocks(T, b, nb)
+    if la_pool is not None and len(col_blocks) > 1:
+        c0, c1 = col_blocks[0]
+        _apply_full_col_block(
+            A, x, Y, wtx, eng, ws, lo=lo, r_end=r_end, c0=c0, c1=c1
+        )
+        return la_pool.submit(
+            _apply_full_col_blocks,
+            A, x, Y, wtx, eng, ws,
+            lo=lo, r_end=r_end, col_blocks=col_blocks[1:],
+        )
+    _apply_full_col_blocks(
+        A, x, Y, wtx, eng, ws, lo=lo, r_end=r_end, col_blocks=col_blocks
+    )
+    return None
+
+
+def _apply_full_col_blocks(A, x, Y, wtx, eng, ws, *, lo, r_end, col_blocks):
+    for c0, c1 in col_blocks:
+        _apply_full_col_block(
+            A, x, Y, wtx, eng, ws, lo=lo, r_end=r_end, c0=c0, c1=c1
+        )
+
+
+def _apply_full_col_block(A, x, Y, wtx, eng, ws, *, lo, r_end, c0, c1):
+    """Lower trapezoid of one column block of ``GA``, written + mirrored.
+
+    ``GA[c0:, c0:c1] = X[r_end+c0:, c0:c1] - Y[r_end+c0:, :] (W^T X)[:, c0:c1]``
+    with the diagonal ``(c1-c0)``-square exactly symmetrized.
+    """
+    dtype = A.dtype
+    rows = x.shape[0] - r_end - c0  # = T - c0
+    gb = ws.take("sbr_fga", (rows, c1 - c0), dtype)
+    _gemm_into(eng, Y[r_end + c0 :], wtx[:, c0:c1], gb, tag="wy_full_left")
+    np.subtract(x[r_end + c0 :, c0:c1], gb, out=gb)
+    d = gb[: c1 - c0]
+    d[...] = (d + d.T) * dtype.type(0.5)
+    A[lo + c0 :, lo + c0 : lo + c1] = gb
+    A[lo + c0 : lo + c1, lo + c0 :] = gb.T

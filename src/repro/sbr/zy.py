@@ -38,6 +38,7 @@ import numpy as np
 from ..errors import NumericalBreakdownError, SingularMatrixError
 from ..gemm.engine import GemmEngine, SgemmEngine
 from ..obs import spans as obs
+from ..perf import resolve_workspace
 from ..resilience.context import ResilienceContext
 from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
 from .ckptio import restore_resilience_state, save_zy_panel
@@ -55,6 +56,7 @@ def sbr_zy(
     panel: "str | PanelStrategy" = "blocked_qr",
     want_q: bool = True,
     use_syr2k: bool = False,
+    workspace=None,
     resilience: ResilienceContext | None = None,
     checkpoint=None,
     check_finite: bool = True,
@@ -78,7 +80,12 @@ def sbr_zy(
         Perform the rank-2b update as a single symmetric ``syr2k`` call
         instead of two explicit GEMMs.  Real Tensor Cores have no native
         syr2k (paper §4.1) — this switch exists for the "what if they did"
-        ablation of the paper's future-work section.
+        ablation of the paper's future-work section.  The fused form
+        accumulates in place into the trailing view (no n² temporary).
+    workspace : repro.perf.Workspace, bool, or None
+        Scratch arena attached to the engine so the precision-conversion
+        buffers (EC operand splits, chunk scratch) are reused across
+        panels.  ``None``/``True`` create one, ``False`` disables reuse.
     resilience : ResilienceContext, optional
         Per-run failure detection + per-panel precision-escalation retry.
     checkpoint : repro.ckpt.CheckpointManager, optional
@@ -97,6 +104,9 @@ def sbr_zy(
         Band matrix, bandwidth, optional ``Q``, and the per-panel WY blocks.
     """
     eng: "GemmEngine" = engine if engine is not None else SgemmEngine()
+    ws = resolve_workspace(workspace)
+    if isinstance(eng, GemmEngine) and eng.workspace is None:
+        eng.workspace = ws
     ctx = resilience
     if ctx is not None:
         eng = ctx.wrap_engine(eng)
@@ -160,7 +170,7 @@ def sbr_zy(
         if q is not None:
             with ctx.unit("sbr"):
                 ctx.check_residual(a, q, A, precision=eng.precision)
-    return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks)
+    return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks, workspace=ws)
 
 
 def _resilient_zy_panel(
@@ -237,7 +247,13 @@ def _zy_panel_step(
         wtaw = eng.gemm(w.T, aw, tag="zy_wtaw")
         z = aw - dtype.type(0.5) * eng.gemm(y, wtaw, tag="zy_z")
         if use_syr2k:
-            trailing -= eng.syr2k(z, y, tag="zy_syr2k")
+            # True fused in-place rank-2b update: C <- C - (Z Y^T + Y Z^T)
+            # accumulated directly into the trailing view (bitwise equal
+            # to the subtract-a-temporary form, without the n² temporary).
+            res = eng.syr2k(z, y, tag="zy_syr2k", out=trailing,
+                            alpha=-1.0, beta=1.0)
+            if res is not trailing:
+                trailing[...] = res
         else:
             trailing -= eng.gemm(z, y.T, tag="zy_zyt")
             trailing -= eng.gemm(y, z.T, tag="zy_yzt")

@@ -133,7 +133,7 @@ class TestTraceToModelPipeline:
         eng = make_engine("fp32", record=True)
         sbr_wy(a, b, nb, engine=eng, want_q=False, panel="blocked_qr")
         rec = eng.trace.filter(lambda r: is_algorithm_tag(r.tag))
-        sym = trace_sbr_wy(n, b, nb, want_q=False)
+        sym = trace_sbr_wy(n, b, nb, want_q=False, mirror=True)
         pm = PerfModel()
         assert pm.trace_time(rec, "tc") == pytest.approx(pm.trace_time(sym, "tc"))
 

@@ -65,7 +65,7 @@ class TestWyTraceFidelity:
         eng = Fp64Engine(record=True)
         sbr_wy(a, b, nb, engine=eng, want_q=want_q, panel="blocked_qr")
         rec = _recorded_algorithm_trace(eng)
-        sym = trace_sbr_wy(n, b, nb, want_q=want_q)
+        sym = trace_sbr_wy(n, b, nb, want_q=want_q, mirror=True)
         assert rec.shape_multiset_by_tag() == sym.shape_multiset_by_tag()
 
     def test_forward_q_method(self, rng):
@@ -74,7 +74,7 @@ class TestWyTraceFidelity:
         eng = Fp64Engine(record=True)
         sbr_wy(a, b, nb, engine=eng, want_q=True, q_method="forward", panel="blocked_qr")
         rec = _recorded_algorithm_trace(eng)
-        sym = trace_sbr_wy(n, b, nb, want_q=True, q_method="forward")
+        sym = trace_sbr_wy(n, b, nb, want_q=True, q_method="forward", mirror=True)
         assert rec.shape_multiset_by_tag() == sym.shape_multiset_by_tag()
 
 
