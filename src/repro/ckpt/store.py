@@ -52,6 +52,7 @@ from ..errors import (
 )
 from ..ioutils import atomic_write_bytes, atomic_write_json, file_crc32, sweep_orphans
 from ..obs import spans as obs
+from ..obs.live import registry as _live
 from .abft import abft_signature, verify_abft
 
 __all__ = [
@@ -320,6 +321,8 @@ class CheckpointManager:
             self.report.saves += 1
             self.report.bytes_written += len(payload)
             obs.counter("bytes", len(payload))
+            _live.inc("repro_ckpt_saves_total", step=step)
+            _live.inc("repro_ckpt_bytes_total", float(len(payload)))
         if step == "sbr_panel":
             self.prune("sbr_panel", keep=self.config.keep_panels)
         if crash is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..errors import BudgetExceededError, ConfigurationError
 from ..obs import spans as obs
+from ..obs.live import registry as _live
 
 __all__ = ["WallClockBudget"]
 
@@ -60,7 +61,20 @@ class WallClockBudget:
 
     def check(self, *, iterations: "int | None" = None,
               residual: "float | None" = None) -> None:
-        """Raise :class:`BudgetExceededError` once the ceiling is passed."""
+        """Raise :class:`BudgetExceededError` once the ceiling is passed.
+
+        Also feeds the live metrics registry (one iteration tick and,
+        when the solver reports one, the current residual gauge), since
+        this is the one hook every iterative solver already calls once
+        per iteration.  Both are no-ops without an installed registry,
+        and run even when the budget itself is disabled.
+        """
+        reg = _live.active_registry()
+        if reg is not None:
+            reg.inc("repro_solver_iterations_total", phase=self.phase)
+            if residual is not None:
+                reg.set("repro_solver_residual", residual, phase=self.phase)
+            reg.mark_progress()
         if self.max_seconds is None:
             return
         elapsed = obs.now() - self._t0

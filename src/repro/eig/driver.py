@@ -55,6 +55,7 @@ from ..ckpt.store import (
 from ..errors import ConfigurationError, ConvergenceError, NumericalBreakdownError
 from ..gemm.engine import GemmEngine, make_engine
 from ..obs import spans as obs
+from ..obs.live import phase_plan, resolve_live, use_registry
 from ..perf import resolve_workspace
 from ..precision.modes import Precision
 from ..resilience.context import ResilienceContext
@@ -105,6 +106,11 @@ class EvdResult:
         The scratch arena the run used (``None`` when the driver ran
         without one, e.g. checkpoint-resumed results or the 1-stage
         path); its ``stats()`` become the run manifest's ``alloc`` line.
+    metrics : dict or None
+        Final live-metrics registry dump when the run was launched with
+        ``live=`` (counters, gauges, GEMM latency quantiles, alerts,
+        progress); becomes the run manifest's ``metrics`` line.  ``None``
+        otherwise.
     """
 
     eigenvalues: np.ndarray
@@ -115,6 +121,7 @@ class EvdResult:
     resilience_report: ResilienceReport | None = None
     checkpoint_report: CheckpointReport | None = None
     workspace: "object | None" = None
+    metrics: "dict | None" = None
 
 
 def _solve_tridiagonal(
@@ -290,6 +297,8 @@ def syevd_2stage(
     faults: "FaultInjector | None" = None,
     checkpoint: "CheckpointConfig | CheckpointManager | str | None" = None,
     check_finite: bool = True,
+    live=None,
+    metrics=None,
 ) -> EvdResult:
     """Two-stage symmetric eigendecomposition ``A = X diag(lam) X^T``.
 
@@ -352,6 +361,17 @@ def syevd_2stage(
     check_finite : bool
         Reject NaN/Inf inputs up front with a clear error (cheap
         ``np.isfinite`` gate; skippable for pre-validated inputs).
+    live : bool, str, LiveConfig, MetricsRegistry, or LiveSession, optional
+        Live monitoring for this run (:mod:`repro.obs.live`).  ``True``
+        or a directory path starts the full stack — metrics registry,
+        progress/ETA estimator seeded from the flop model, background
+        reporter writing Prometheus/JSONL snapshots and a heartbeat file
+        under the directory.  The final registry dump is returned on
+        :attr:`EvdResult.metrics`.
+    metrics : MetricsRegistry, optional
+        Registry-only aggregation: install an existing registry for the
+        duration of the call (no reporter thread, no files).  Ignored
+        when ``live=`` is given.
 
     Returns
     -------
@@ -397,7 +417,22 @@ def syevd_2stage(
             restore_resilience(ctx, sbr_eng, furthest.scalars.get("resilience"))
             ck.mark_resumed(furthest)
 
-    with obs.span("syevd", n=n, b=b, nb=nb, method=method, solver=tridiag_solver):
+    # Live monitoring: `live=` starts the full registry/reporter stack
+    # with a progress plan from the flop model; `metrics=` installs a
+    # bare registry.  Off by default — both contexts are no-ops then.
+    if live is not None and live is not False:
+        live_sess = resolve_live(live, plan=phase_plan(
+            n, b, nb, method=method, want_vectors=want_vectors,
+            tridiag_solver=tridiag_solver,
+        ))
+        metrics_reg = None
+    else:
+        live_sess = resolve_live(None)
+        metrics_reg = metrics
+
+    with live_sess, use_registry(metrics_reg), obs.span(
+        "syevd", n=n, b=b, nb=nb, method=method, solver=tridiag_solver
+    ):
         with obs.span("sbr"):
             if band_ck is not None:
                 sbr = _sbr_from_checkpoint(band_ck, b)
@@ -474,6 +509,7 @@ def syevd_2stage(
         resilience_report=ctx.report if ctx is not None else None,
         checkpoint_report=ck.report if ck is not None else None,
         workspace=ws,
+        metrics=live_sess.dump,
     )
 
 

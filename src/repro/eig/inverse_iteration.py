@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConvergenceError, ShapeError
+from ..obs.live import use_registry
 from .budget import WallClockBudget
 
 __all__ = ["tridiag_inverse_iteration"]
@@ -61,6 +62,7 @@ def tridiag_inverse_iteration(
     cluster_tol: float | None = None,
     rng: np.random.Generator | None = None,
     max_seconds: float | None = None,
+    metrics=None,
 ) -> np.ndarray:
     """Eigenvectors of tridiag(d, e) for precomputed eigenvalues.
 
@@ -83,12 +85,21 @@ def tridiag_inverse_iteration(
         Wall-clock budget; exceeding it raises a structured
         :class:`~repro.errors.BudgetExceededError` (phase
         ``"inverse_iteration"``).
+    metrics : repro.obs.live.MetricsRegistry, optional
+        Install a live metrics registry for this call (iteration ticks
+        land under ``phase="inverse_iteration"``).
 
     Returns
     -------
     v : ndarray, shape (n, k)
         Orthonormal eigenvector columns aligned with ``eigenvalues``.
     """
+    if metrics is not None:
+        with use_registry(metrics):
+            return tridiag_inverse_iteration(
+                d, e, eigenvalues, cluster_tol=cluster_tol, rng=rng,
+                max_seconds=max_seconds,
+            )
     d = np.asarray(d, dtype=np.float64)
     e = np.asarray(e, dtype=np.float64)
     lam = np.asarray(eigenvalues, dtype=np.float64)

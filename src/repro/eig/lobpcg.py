@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, ConvergenceError, ShapeError
 from ..gemm.engine import GemmEngine, PlainEngine
+from ..obs.live import use_registry
 from ..validation import as_symmetric_matrix
 from .budget import WallClockBudget
 
@@ -52,6 +53,7 @@ def lobpcg(
     max_iter: int = 200,
     max_seconds: float | None = None,
     rng: np.random.Generator | None = None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Extremal eigenpairs of a symmetric matrix by LOBPCG.
 
@@ -75,6 +77,10 @@ def lobpcg(
     max_seconds : float, optional
         Wall-clock budget; exceeding it raises a structured
         :class:`~repro.errors.BudgetExceededError` (phase ``"lobpcg"``).
+    metrics : repro.obs.live.MetricsRegistry, optional
+        Install a live metrics registry for this call: per-iteration
+        ticks and the residual gauge land under ``phase="lobpcg"``, and
+        the block products feed the GEMM latency histograms.
 
     Returns
     -------
@@ -85,6 +91,13 @@ def lobpcg(
     iterations : int
         Iterations performed.
     """
+    if metrics is not None:
+        with use_registry(metrics):
+            return lobpcg(
+                a, k, x0=x0, largest=largest,
+                preconditioner=preconditioner, engine=engine, tol=tol,
+                max_iter=max_iter, max_seconds=max_seconds, rng=rng,
+            )
     a = as_symmetric_matrix(a, dtype=np.float64)
     n = a.shape[0]
     if not isinstance(k, (int, np.integer)) or k < 1 or 3 * k > n:
@@ -112,12 +125,14 @@ def lobpcg(
     budget = WallClockBudget(max_seconds, phase="lobpcg")
     p: np.ndarray | None = None
     its = 0
+    last_resid: float | None = None
     for its in range(1, max_iter + 1):
-        budget.check(iterations=its - 1)
+        budget.check(iterations=its - 1, residual=last_resid)
         ax = np.asarray(eng.gemm(a_work, x, tag="lobpcg_ax"), dtype=np.float64)
         lam = np.einsum("ij,ij->j", x, ax)
         r = ax - x * lam
         resid = np.linalg.norm(r, axis=0)
+        last_resid = float(resid.max(initial=0.0))
         if np.all(resid <= tol * max(norm_a, 1e-300)):
             break
         if preconditioner is not None:

@@ -29,6 +29,7 @@ import numpy as np
 from scipy.linalg import qr as scipy_qr
 
 from ..errors import ConvergenceError, ShapeError
+from ..obs.live import use_registry
 from ..validation import as_square_matrix, as_symmetric_matrix
 from .budget import WallClockBudget
 
@@ -133,6 +134,7 @@ def qdwh_eig(
     min_size: int = 24,
     tol: float = 1e-14,
     max_seconds: float | None = None,
+    metrics=None,
     _depth: int = 0,
     _budget: "WallClockBudget | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -151,6 +153,10 @@ def qdwh_eig(
         iterations); exceeding it raises a structured
         :class:`~repro.errors.BudgetExceededError` (phase
         ``"qdwh_eig"``).
+    metrics : repro.obs.live.MetricsRegistry, optional
+        Install a live metrics registry for the whole divide & conquer
+        (recursion ticks land under ``phase="qdwh_eig"``, the inner
+        polar iterations under ``phase="qdwh_polar"``).
 
     Returns
     -------
@@ -159,6 +165,12 @@ def qdwh_eig(
     v : ndarray (n, n)
         Orthonormal eigenvectors.
     """
+    if metrics is not None:
+        with use_registry(metrics):
+            return qdwh_eig(
+                a, min_size=min_size, tol=tol, max_seconds=max_seconds,
+                _depth=_depth, _budget=_budget,
+            )
     a = as_symmetric_matrix(a, dtype=np.float64)
     n = a.shape[0]
     budget = _budget if _budget is not None else WallClockBudget(

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConvergenceError, ShapeError
+from ..obs.live import use_registry
 from .budget import WallClockBudget
 
 __all__ = ["tridiag_eig_ql"]
@@ -28,6 +29,7 @@ def tridiag_eig_ql(
     want_vectors: bool = True,
     z0: np.ndarray | None = None,
     max_seconds: float | None = None,
+    metrics=None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Eigendecomposition of the symmetric tridiagonal (d, e).
 
@@ -47,6 +49,10 @@ def tridiag_eig_ql(
         Wall-clock budget; exceeding it raises a structured
         :class:`~repro.errors.BudgetExceededError` (phase
         ``"ql_iteration"``).
+    metrics : repro.obs.live.MetricsRegistry, optional
+        Install a live metrics registry for this call (iteration ticks
+        land on the ``repro_solver_iterations_total{phase="ql_iteration"}``
+        counter).
 
     Returns
     -------
@@ -55,6 +61,12 @@ def tridiag_eig_ql(
     z : ndarray (m, n) or None
         Eigenvectors (columns), premultiplied by ``z0`` if given.
     """
+    if metrics is not None:
+        with use_registry(metrics):
+            return tridiag_eig_ql(
+                d, e, want_vectors=want_vectors, z0=z0,
+                max_seconds=max_seconds,
+            )
     d = np.array(d, dtype=np.float64, copy=True)
     e_in = np.asarray(e, dtype=np.float64)
     n = d.size

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from ..obs import spans as _obs
+from ..obs.live import registry as _live
 from ..precision.ec_tcgemm import EcOperand, ec_prepare, ec_tcgemm
 from ..precision.modes import Precision
 from ..precision.tcgemm import tcgemm
@@ -101,14 +102,25 @@ class GemmEngine(ABC):
         if self.trace is not None:
             with self._trace_lock:
                 self.trace.add(rec)
-        if _obs.is_enabled():
+        # One timing covers both consumers (collector event + live
+        # registry); with neither installed the call costs two module
+        # reads and no allocation (the zero-overhead-off contract).
+        reg = _live.active_registry()
+        if _obs.is_enabled() or reg is not None:
             t0 = _obs.now()
             res = self._matmul(a, b, out=out)
+            dt = _obs.now() - t0
             _obs.gemm_event(
                 rec.m, rec.n, rec.k,
                 tag=rec.tag, engine=self.name, op=rec.op, batch=rec.batch,
-                seconds=_obs.now() - t0, start=t0,
+                seconds=dt, start=t0,
             )
+            if reg is not None:
+                reg.record_gemm(
+                    rec.m, rec.n, rec.k,
+                    tag=rec.tag, engine=self.name, op=rec.op,
+                    batch=rec.batch, seconds=dt,
+                )
             return res
         return self._matmul(a, b, out=out)
 
@@ -285,14 +297,21 @@ class GemmEngine(ABC):
                 np.add(out, s, out=out, casting="same_kind")
             return out
 
-        if _obs.is_enabled():
+        reg = _live.active_registry()
+        if _obs.is_enabled() or reg is not None:
             t0 = _obs.now()
             res = compute()
+            dt = _obs.now() - t0
             _obs.gemm_event(
                 mm, mm, y.shape[1],
                 tag=tag, engine=self.name, op="syr2k",
-                seconds=_obs.now() - t0, start=t0,
+                seconds=dt, start=t0,
             )
+            if reg is not None:
+                reg.record_gemm(
+                    mm, mm, y.shape[1],
+                    tag=tag, engine=self.name, op="syr2k", seconds=dt,
+                )
             return res
         return compute()
 

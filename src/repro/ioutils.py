@@ -24,6 +24,7 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",
+    "append_jsonl",
     "file_crc32",
     "sweep_orphans",
 ]
@@ -79,6 +80,29 @@ def atomic_write_json(path: str, obj, *, indent: int | None = None,
     if not payload.endswith("\n"):
         payload += "\n"
     return atomic_write_text(path, payload, fsync=fsync)
+
+
+def append_jsonl(path: str, obj, *, fsync: bool = False) -> str:
+    """Append one JSON object as a complete line to a stream file.
+
+    The line is serialized fully in memory, then written in a single
+    ``write`` call ending in ``\\n`` and flushed, so concurrent readers
+    of the stream see only whole lines plus at most one torn *final*
+    line after a crash mid-write.  Stream consumers (the metrics JSONL
+    validator, the manifest loader) must therefore tolerate a torn last
+    line — that is the whole crash-safety contract for append-only
+    streams, as opposed to the replace-based protocol above for
+    single-object artifacts.
+    """
+    payload = json.dumps(obj, sort_keys=False) + "\n"
+    parent = os.path.dirname(path) or "."
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(payload)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    return path
 
 
 def file_crc32(path: str, *, chunk: int = 1 << 20) -> int:

@@ -130,7 +130,12 @@ def tsqr(
                 max_workers=min(int(max_threads), len(bounds)),
                 thread_name_prefix="tsqr-leaf",
             ) as pool:
-                leaves = list(pool.map(lambda lh: _leaf_qr(a[lh[0] : lh[1], :]), bounds))
+                # wrap_context: worker threads inherit the caller's span
+                # path, so leaf GEMMs attribute to the right phase.
+                leaves = list(pool.map(
+                    obs.wrap_context(lambda lh: _leaf_qr(a[lh[0] : lh[1], :])),
+                    bounds,
+                ))
         else:
             leaves = [_leaf_qr(a[lo:hi, :]) for lo, hi in bounds]
     q_blocks = [q for q, _ in leaves]

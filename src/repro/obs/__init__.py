@@ -16,13 +16,19 @@ narrative, made measurable between PRs):
   measured attribution against the Table-1 rate model, Chrome-trace and
   flamegraph exporters, the continuous-benchmark store, and the
   statistical regression gate.
+- :mod:`repro.obs.live` — in-flight monitoring: thread-safe metrics
+  registry (counters/gauges/quantile sketches), progress + ETA from the
+  flop model, background reporter (Prometheus / JSONL / TTY sinks),
+  heartbeat health file, and alert rules.
 
 CLI::
 
     python -m repro.obs run --n 256            # instrumented run → runs/
+    python -m repro.obs run --n 256 --live runs/live   # + live monitoring
     python -m repro.obs report runs/X.jsonl    # per-phase breakdown
     python -m repro.obs report --compare A B   # phase delta + regressions
     python -m repro.obs list                   # manifests under runs/
+    python -m repro.obs live runs/live         # render live metrics dir
     python -m repro.obs attribution runs/X.jsonl   # model-vs-measured
     python -m repro.obs export --chrome runs/X.jsonl -o trace.json
     python -m repro.obs bench --suite smoke    # pinned suite → BENCH_smoke.json
@@ -46,12 +52,28 @@ from .spans import (
     GemmEvent,
     Span,
     active_collector,
+    capture_context,
     collect,
     counter,
     gemm_event,
     is_enabled,
     now,
     span,
+    span_context,
+    wrap_context,
+)
+from .live import (
+    AlertRule,
+    LiveConfig,
+    LiveSession,
+    MetricsRegistry,
+    NoProgressWatchdog,
+    ProgressEstimator,
+    QuantileSketch,
+    Reporter,
+    phase_plan,
+    resolve_live,
+    use_registry,
 )
 from .manifest import (
     MIN_SCHEMA_VERSION,
@@ -88,6 +110,20 @@ __all__ = [
     "is_enabled",
     "active_collector",
     "now",
+    "capture_context",
+    "span_context",
+    "wrap_context",
+    "MetricsRegistry",
+    "QuantileSketch",
+    "ProgressEstimator",
+    "phase_plan",
+    "Reporter",
+    "AlertRule",
+    "NoProgressWatchdog",
+    "LiveConfig",
+    "LiveSession",
+    "resolve_live",
+    "use_registry",
     "SCHEMA_VERSION",
     "MIN_SCHEMA_VERSION",
     "RunManifest",

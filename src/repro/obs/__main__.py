@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.obs run [--n 256 --b 16 --nb 64 --precision fp32]
+    python -m repro.obs run --live runs/live [--live-interval 1.0]
+    python -m repro.obs live [DIR]
     python -m repro.obs report MANIFEST
     python -m repro.obs report --compare BASELINE CANDIDATE
     python -m repro.obs list [--dir runs]
@@ -39,6 +41,11 @@ from .report import REGRESSION_THRESHOLD, compare_phases, render_compare, render
 def _cmd_run(args: argparse.Namespace) -> int:
     from .record import record_syevd
 
+    live = None
+    if args.live is not None:
+        from .live import LiveConfig
+
+        live = LiveConfig(dir=args.live, interval=args.live_interval)
     run = record_syevd(
         n=args.n,
         b=args.b,
@@ -51,7 +58,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_dir=args.dir,
         probes=not args.no_probes,
         checkpoint=args.checkpoint_dir,
+        live=live,
     )
+    if live is not None:
+        print(f"live metrics written under: {args.live}")
     print(f"manifest written: {run.path}")
     print()
     print(render_report(load_manifest(run.path)))
@@ -126,6 +136,13 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return 2 if has_regressions(entries) else 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    from .live import DEFAULT_LIVE_DIR, render_live_dir
+
+    print(render_live_dir(args.dir or DEFAULT_LIVE_DIR))
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     if not os.path.isdir(args.dir):
         print(f"no manifests: directory {args.dir!r} does not exist")
@@ -175,7 +192,26 @@ def main(argv: list[str] | None = None) -> int:
         help="write durable checkpoints under DIR (resume with "
              "python -m repro.ckpt resume DIR)",
     )
+    p_run.add_argument(
+        "--live", default=None, metavar="DIR",
+        help="stream live metrics (Prometheus snapshot, JSONL, heartbeat) "
+             "under DIR while the run executes; inspect with "
+             "python -m repro.obs live DIR",
+    )
+    p_run.add_argument(
+        "--live-interval", type=float, default=1.0, metavar="SECONDS",
+        help="reporter flush interval for --live (default 1.0)",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_live = sub.add_parser(
+        "live", help="render the current state of a live-metrics directory"
+    )
+    p_live.add_argument(
+        "dir", nargs="?", default=None,
+        help="live-metrics directory (default runs/live)",
+    )
+    p_live.set_defaults(func=_cmd_live)
 
     p_rep = sub.add_parser("report", help="per-phase breakdown or A/B comparison")
     p_rep.add_argument("manifest", nargs="?", help="manifest to report on")

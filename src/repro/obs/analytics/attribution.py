@@ -208,7 +208,9 @@ def attribute_manifest(
             by_tag.setdefault(ev.get("tag", "") or "<untagged>", _new_slot()),
             total,
         ):
-            slot["calls"] += 1
+            # A batched launch counts as batch-many products, matching
+            # gemm_summary / gemm_by_phase and the live registry.
+            slot["calls"] += ev.get("batch", 1)
             slot["flops"] += flops
             slot["measured"] += seconds
             slot["modeled"] += modeled

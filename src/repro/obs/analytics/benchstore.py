@@ -25,6 +25,7 @@ import time
 from dataclasses import asdict, dataclass
 
 from ...ioutils import atomic_write_json
+from ..live import MetricsRegistry, use_registry
 from ..spans import collect
 
 __all__ = [
@@ -246,14 +247,21 @@ def run_suite(
         run = _scenario_runner(sc, syevd_2stage)
         wall: list[float] = []
         phases: dict[str, list[float]] = {}
+        # One live registry per scenario: the merged GEMM latency sketch
+        # over all repeats lands in the row as quantiles (p50/p90/p99).
+        reg = MetricsRegistry(clock=clk)
         for _ in range(repeats):
             t0 = clk()
-            with collect(clock=clk) as session:
+            with use_registry(reg), collect(clock=clk) as session:
                 run(a)
             wall.append(clk() - t0)
             for path, secs in _collector_phases(session).items():
                 phases.setdefault(path, []).append(secs)
-        rows.append({"key": sc.key, "config": asdict(sc), "wall": wall, "phases": phases})
+        latency = reg.histogram_merged("repro_gemm_latency_seconds")
+        rows.append({
+            "key": sc.key, "config": asdict(sc), "wall": wall, "phases": phases,
+            "gemm_latency": latency.summary() if len(latency) else None,
+        })
 
     return {
         "kind": "bench_session",

@@ -1,0 +1,125 @@
+"""Alert rules: metric thresholds and the no-progress watchdog.
+
+Rules are evaluated by the :class:`~repro.obs.live.reporter.Reporter`
+on every tick.  A rule fires *once* per run (its ``count`` keeps
+incrementing while the condition holds, so the final manifest records
+how persistent the condition was, but the alerts list does not grow
+unboundedly).  Fired alerts are structured dicts appended to
+``registry.alerts`` and therefore land in the manifest ``metrics`` line,
+the heartbeat file, and every snapshot sink.
+
+The :class:`NoProgressWatchdog` is the *liveness* complement of the
+wall-clock budgets in :mod:`repro.eig.budget`: a budget bounds total
+elapsed time from the inside of the iteration loop, while the watchdog
+detects a run that has stopped doing work at all (deadlocked pool, hung
+I/O) from the outside, using the registry's last-progress timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AlertRule", "NoProgressWatchdog", "evaluate_alerts"]
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass
+class AlertRule:
+    """Fire when a counter/gauge crosses a threshold.
+
+    ``metric`` names a counter (summed across label sets) or a gauge
+    (matched with ``labels``).  ``op`` compares the observed value to
+    ``threshold``.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    message: str = ""
+    labels: dict = field(default_factory=dict)
+
+    def check(self, registry) -> "float | None":
+        """Current metric value if the rule condition holds, else None."""
+        value = registry.gauge_value(self.metric, **self.labels)
+        if value is None:
+            if self.labels:
+                value = registry.counter_value(self.metric, **self.labels)
+            else:
+                value = registry.counter_total(self.metric)
+        if value is None:
+            return None
+        cmp = _OPS.get(self.op)
+        if cmp is None:
+            raise ValueError(f"unknown alert op {self.op!r}")
+        return value if cmp(value, self.threshold) else None
+
+
+@dataclass
+class NoProgressWatchdog:
+    """Fire when no forward progress was observed for ``stall_seconds``.
+
+    Progress means any GEMM event or phase completion (the registry's
+    ``last_progress`` timestamp).  Distinct from the wall-clock budgets:
+    a slow-but-moving run never trips the watchdog, and a hung run trips
+    it long before any budget expires.
+    """
+
+    stall_seconds: float = 30.0
+    name: str = "no_progress"
+
+    def check(self, registry) -> "float | None":
+        age = registry.clock() - registry.last_progress
+        return age if age > self.stall_seconds else None
+
+
+def evaluate_alerts(registry, rules=(), watchdog=None) -> list:
+    """Evaluate rules against ``registry``; returns newly fired alerts.
+
+    Already-fired rules only have their ``count``/``value`` refreshed.
+    """
+    now = registry.clock()
+    fired_names = {a["rule"] for a in registry.alerts}
+    new = []
+
+    def _fire(name, value, threshold, message):
+        if name in fired_names:
+            for a in registry.alerts:
+                if a["rule"] == name:
+                    a["count"] += 1
+                    a["value"] = value
+            return
+        alert = {
+            "rule": name,
+            "value": value,
+            "threshold": threshold,
+            "message": message,
+            "time": now - registry.epoch,
+            "count": 1,
+        }
+        registry.fire_alert(alert)
+        new.append(alert)
+
+    for rule in rules:
+        value = rule.check(registry)
+        if value is not None:
+            msg = rule.message or (
+                f"{rule.metric} {rule.op} {rule.threshold} (observed {value:g})"
+            )
+            _fire(rule.name, value, rule.threshold, msg)
+    if watchdog is not None:
+        age = watchdog.check(registry)
+        if age is not None:
+            _fire(
+                watchdog.name, age, watchdog.stall_seconds,
+                f"no progress for {age:.1f}s "
+                f"(threshold {watchdog.stall_seconds:.1f}s, "
+                f"phase {registry.phase or '?'})",
+            )
+    return new

@@ -1,0 +1,114 @@
+"""Background reporter: periodic snapshot → sinks, heartbeat, alerts.
+
+One daemon thread, one registry snapshot per tick, fanned out to every
+sink plus the heartbeat file, after evaluating alert rules.  The solver
+never blocks on the reporter: sinks write files, the hot path only
+mutates the registry.
+
+``tick()`` is public and synchronous so tests (and the final flush on
+``stop()``) drive reporting deterministically without sleeping; the
+thread is just ``tick`` on an interval behind a stop event.  Sink
+exceptions are swallowed per-tick (a full disk must degrade monitoring,
+not kill the solve) but remembered in ``errors`` for post-run
+inspection.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .alerts import evaluate_alerts
+
+__all__ = ["Reporter"]
+
+
+class Reporter:
+    """Periodic metrics publisher.
+
+    Parameters
+    ----------
+    registry : MetricsRegistry
+        Source of snapshots.
+    interval : float
+        Seconds between ticks of the background thread.
+    sinks : sequence
+        Objects with ``emit(snapshot)`` (and optional ``close()``).
+    heartbeat : Heartbeat, optional
+        Health file writer, beaten every tick.
+    rules, watchdog :
+        Alert configuration (see :mod:`repro.obs.live.alerts`).
+    estimator : ProgressEstimator, optional
+        Forwarded to the heartbeat for progress/ETA fields.
+    """
+
+    def __init__(self, registry, *, interval: float = 1.0, sinks=(),
+                 heartbeat=None, rules=(), watchdog=None,
+                 estimator=None) -> None:
+        self.registry = registry
+        self.interval = float(interval)
+        self.sinks = list(sinks)
+        self.heartbeat = heartbeat
+        self.rules = list(rules)
+        self.watchdog = watchdog
+        self.estimator = estimator
+        self.ticks = 0
+        self.errors: list[str] = []
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    def tick(self) -> dict:
+        """One reporting cycle; returns the snapshot it published."""
+        evaluate_alerts(self.registry, self.rules, self.watchdog)
+        snapshot = self.registry.snapshot()
+        if self.estimator is not None:
+            snapshot["progress"] = self.estimator.snapshot()
+        for sink in self.sinks:
+            try:
+                sink.emit(snapshot)
+            except Exception as exc:  # noqa: BLE001 - sinks must not kill runs
+                self.errors.append(f"{type(sink).__name__}: {exc}")
+        if self.heartbeat is not None:
+            try:
+                self.heartbeat.beat(self.registry, self.estimator)
+            except Exception as exc:  # noqa: BLE001
+                self.errors.append(f"Heartbeat: {exc}")
+        self.ticks += 1
+        return snapshot
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.tick()
+
+    def start(self) -> "Reporter":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-reporter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_tick: bool = True) -> None:
+        """Stop the thread; by default publish one last snapshot so the
+        sinks reflect the completed run."""
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=max(5.0, 4 * self.interval))
+            self._thread = None
+        if final_tick:
+            self.tick()
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception as exc:  # noqa: BLE001
+                    self.errors.append(f"{type(sink).__name__}.close: {exc}")
+
+    def __enter__(self) -> "Reporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,254 @@
+"""Reporter sinks: Prometheus snapshot, JSONL stream, TTY progress line.
+
+Each sink consumes the same registry ``snapshot()`` dict, so adding a
+sink never adds work to the hot path — the reporter takes one snapshot
+per tick and fans it out.
+
+* :class:`PrometheusSink` rewrites a text-exposition file atomically on
+  every tick (``os.replace``, so a scraper never reads a torn file).
+  Histograms are exported summary-style: ``{quantile="0.5"}`` series
+  plus ``_count``/``_sum``.
+* :class:`JsonlSink` appends one compact sample per tick via
+  :func:`repro.ioutils.append_jsonl` — whole lines only, torn final
+  line tolerated by :func:`validate_metrics_stream`.
+* :class:`TtySink` renders a single in-place ANSI progress line
+  (opt-in; never enabled by default because it writes to a terminal).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+from ...ioutils import append_jsonl, atomic_write_text
+
+__all__ = [
+    "PrometheusSink",
+    "JsonlSink",
+    "TtySink",
+    "render_prometheus",
+    "parse_prometheus",
+    "validate_metrics_stream",
+]
+
+_EXPORT_QUANTILES = ("0.5", "0.9", "0.99")
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# One sample line: name, optional {labels}, float value.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\.\d+|[Nn]a[Nn]|[+-]?[Ii]nf))$"
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Registry snapshot -> Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", []):
+        name = entry["name"]
+        _type_line(name, "counter")
+        lines.append(f"{name}{_fmt_labels(entry['labels'])} {entry['value']:g}")
+    for entry in snapshot.get("gauges", []):
+        name = entry["name"]
+        _type_line(name, "gauge")
+        lines.append(f"{name}{_fmt_labels(entry['labels'])} {entry['value']:g}")
+    for entry in snapshot.get("histograms", []):
+        name = entry["name"]
+        _type_line(name, "summary")
+        labels = dict(entry["labels"])
+        for q in _EXPORT_QUANTILES:
+            value = entry["quantiles"].get(q, 0.0)
+            q_labels = dict(labels)
+            q_labels["quantile"] = q
+            lines.append(f"{name}{_fmt_labels(q_labels)} {value:g}")
+        lines.append(f"{name}_count{_fmt_labels(labels)} {entry['count']:g}")
+        lines.append(f"{name}_sum{_fmt_labels(labels)} {entry['sum']:g}")
+    # Liveness/meta gauges derived from snapshot scalars.
+    _type_line("repro_uptime_seconds", "gauge")
+    lines.append(f"repro_uptime_seconds {snapshot.get('uptime', 0.0):g}")
+    _type_line("repro_last_progress_age_seconds", "gauge")
+    lines.append(
+        f"repro_last_progress_age_seconds "
+        f"{snapshot.get('last_progress_age', 0.0):g}"
+    )
+    _type_line("repro_workers_seen", "gauge")
+    lines.append(f"repro_workers_seen {len(snapshot.get('workers', {})):g}")
+    _type_line("repro_alerts_fired", "gauge")
+    lines.append(f"repro_alerts_fired {len(snapshot.get('alerts', [])):g}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text exposition back into ``{name{labels}: value}``.
+
+    Strict enough for the CI smoke job: raises ``ValueError`` on any
+    line that is neither a comment nor a well-formed sample.
+    """
+    series: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"malformed exposition line {lineno}: {line!r}")
+        if not _NAME_RE.match(m.group("name")):
+            raise ValueError(f"bad metric name on line {lineno}: {line!r}")
+        series[m.group("name") + (m.group("labels") or "")] = float(
+            m.group("value")
+        )
+    return series
+
+
+class PrometheusSink:
+    """Atomically rewrites a text-exposition snapshot file per tick."""
+
+    def __init__(self, path) -> None:
+        import os
+
+        self.path = os.fspath(path)
+
+    def emit(self, snapshot: dict) -> None:
+        atomic_write_text(self.path, render_prometheus(snapshot), fsync=False)
+
+
+class JsonlSink:
+    """Appends one compact metrics sample per tick to a JSONL stream."""
+
+    def __init__(self, path) -> None:
+        import os
+
+        self.path = os.fspath(path)
+
+    def emit(self, snapshot: dict) -> None:
+        sample = {
+            "uptime": snapshot.get("uptime", 0.0),
+            "phase": snapshot.get("phase", ""),
+            "last_progress_age": snapshot.get("last_progress_age", 0.0),
+            "counters": {
+                _series_key(e): e["value"] for e in snapshot.get("counters", [])
+            },
+            "gauges": {
+                _series_key(e): e["value"] for e in snapshot.get("gauges", [])
+            },
+            "quantiles": {
+                _series_key(e): e["quantiles"]
+                for e in snapshot.get("histograms", [])
+            },
+            "alerts": len(snapshot.get("alerts", [])),
+        }
+        append_jsonl(self.path, sample)
+
+
+def _series_key(entry: dict) -> str:
+    return entry["name"] + _fmt_labels(entry["labels"])
+
+
+def validate_metrics_stream(path) -> list:
+    """Load and schema-check a JSONL metrics stream.
+
+    Returns the parsed samples.  Tolerates a torn final line (the
+    append-only crash contract) but raises ``ValueError`` on any other
+    malformed line, a missing required key, or non-monotone uptime.
+    """
+    import json
+    import os
+
+    samples: list[dict] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            if i == len(lines) - 1:
+                break  # torn final line from a crashed writer
+            raise ValueError(f"malformed metrics sample on line {i + 1}")
+        for req in ("uptime", "phase", "counters", "gauges", "quantiles"):
+            if req not in obj:
+                raise ValueError(
+                    f"metrics sample on line {i + 1} missing {req!r}"
+                )
+        if not isinstance(obj["counters"], dict) or not isinstance(
+            obj["gauges"], dict
+        ):
+            raise ValueError(f"metrics sample on line {i + 1} has bad types")
+        samples.append(obj)
+    for prev, cur in zip(samples, samples[1:]):
+        if cur["uptime"] < prev["uptime"]:
+            raise ValueError("metrics stream uptime is not monotone")
+    return samples
+
+
+class TtySink:
+    """Single in-place ANSI progress line (opt-in).
+
+    Writes ``\\r``-anchored updates to ``stream`` (default stderr) and
+    clears to end-of-line so shrinking text leaves no residue.  Call
+    :meth:`close` (the reporter does on stop) to finish with a newline.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._wrote = False
+
+    def emit(self, snapshot: dict) -> None:
+        phase = snapshot.get("phase") or "-"
+        frac = None
+        eta = None
+        for entry in snapshot.get("gauges", []):
+            if entry["name"] == "repro_progress_fraction" and entry[
+                "labels"
+            ].get("phase") == "total":
+                frac = entry["value"]
+            if entry["name"] == "repro_eta_seconds" and entry["labels"].get(
+                "phase"
+            ) == "total":
+                eta = entry["value"]
+        parts = [f"[{snapshot.get('uptime', 0.0):7.1f}s]", f"phase={phase}"]
+        if frac is not None:
+            parts.append(f"{frac * 100.0:5.1f}%")
+        if eta is not None:
+            parts.append(f"eta={eta:.1f}s")
+        alerts = len(snapshot.get("alerts", []))
+        if alerts:
+            parts.append(f"ALERTS={alerts}")
+        try:
+            self.stream.write("\r\x1b[K" + " ".join(parts))
+            self.stream.flush()
+            self._wrote = True
+        except (OSError, ValueError):
+            pass  # closed/redirected stream must not kill the reporter
+
+    def close(self) -> None:
+        if self._wrote:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass

@@ -22,6 +22,9 @@ Line kinds (each line carries a ``"kind"`` discriminator):
                 resume provenance (optional)
 ``alloc``       workspace-arena allocation accounting: takes, hits,
                 misses, bytes allocated, per-tag breakdown (optional)
+``metrics``     final live-metrics registry dump: counters, gauges,
+                quantile-sketch histogram summaries (GEMM latency
+                p50/p90/p99), fired alerts, worker liveness (optional)
 ==============  ========================================================
 
 Schema version: ``SCHEMA_VERSION`` (bump on incompatible change; the
@@ -34,9 +37,10 @@ field access).  History:
 - **2** — ``gemm`` lines gain an optional ``start`` timestamp (relative
   to the collector epoch) so trace exporters can place events on the
   span timeline.  Backward compatible: v1 manifests still load, their
-  events just carry no position.  The optional ``checkpoint`` line (PR 4)
-  and the optional ``alloc`` line (PR 5, workspace-arena counters) ride
-  within this version: older loaders skip unknown kinds.
+  events just carry no position.  The optional ``checkpoint`` line (PR 4),
+  the optional ``alloc`` line (PR 5, workspace-arena counters), and the
+  optional ``metrics`` line (PR 6, final live-registry dump) ride within
+  this version: older loaders skip unknown kinds.
 
 Manifests are written crash-safely: the whole JSONL body is serialized
 in memory and committed with one atomic rename
@@ -84,6 +88,7 @@ class RunManifest:
     resilience: dict | None = None
     checkpoint: dict | None = None
     alloc: dict | None = None
+    metrics: dict | None = None
     path: str | None = None
 
     # -- derived queries ---------------------------------------------------
@@ -150,7 +155,10 @@ class RunManifest:
             for p in phases:
                 if path == p or path.startswith(p + "/"):
                     slot = out[p]
-                    slot["calls"] += 1
+                    # A batched event is `batch` products behind one
+                    # launch; aggregates count products so batched and
+                    # looped code paths compare like-for-like.
+                    slot["calls"] += ev.get("batch", 1)
                     slot["flops"] += 2 * ev["m"] * ev["n"] * ev["k"] * ev.get("batch", 1)
                     slot["seconds"] += ev["seconds"]
                     break
@@ -177,6 +185,7 @@ def write_manifest(
     resilience: dict | None = None,
     checkpoint: dict | None = None,
     alloc: dict | None = None,
+    metrics: dict | None = None,
     events: str = "full",
 ) -> str:
     """Serialize one telemetry session to a JSONL manifest.
@@ -212,6 +221,10 @@ def write_manifest(
         Workspace-arena allocation accounting
         (``Workspace.stats()``): takes, hits, misses, bytes allocated,
         per-tag breakdown.
+    metrics : dict, optional
+        Final live-metrics registry dump
+        (``MetricsRegistry.dump()``): counters, gauges, histogram
+        quantile summaries, fired alerts, worker liveness.
     events : {"full", "none"}
         Whether to persist the per-call GEMM event stream.
 
@@ -267,6 +280,8 @@ def write_manifest(
         lines.append(dump({"kind": "checkpoint", **dict(checkpoint)}))
     if alloc is not None:
         lines.append(dump({"kind": "alloc", **dict(alloc)}))
+    if metrics is not None:
+        lines.append(dump({"kind": "metrics", **dict(metrics)}))
     atomic_write_text(path, "\n".join(lines) + "\n")
     return path
 
@@ -326,5 +341,7 @@ def load_manifest(path: str) -> RunManifest:
                 man.checkpoint = obj
             elif kind == "alloc":
                 man.alloc = obj
+            elif kind == "metrics":
+                man.metrics = obj
             # Unknown kinds are skipped: forward compatibility within a major.
     return man

@@ -99,6 +99,7 @@ def record_syevd(
     on_breakdown: "str | None" = "escalate",
     faults=None,
     checkpoint=None,
+    live=None,
 ) -> RecordedRun:
     """Run an instrumented ``syevd_2stage`` and write its manifest.
 
@@ -113,7 +114,10 @@ def record_syevd(
     :class:`repro.ckpt.CheckpointConfig`) likewise passes through; the
     run's :class:`~repro.ckpt.CheckpointReport` is archived as a
     ``"checkpoint"`` manifest line, and the driver's workspace-arena
-    allocation counters as an ``"alloc"`` line.
+    allocation counters as an ``"alloc"`` line.  ``live`` (``True``, an
+    output directory, or a :class:`repro.obs.live.LiveConfig`) turns on
+    the live monitoring layer for the run; the final registry dump is
+    archived as the manifest's ``"metrics"`` line.
 
     Returns
     -------
@@ -143,7 +147,7 @@ def record_syevd(
             a, b=b, nb=nb, method=method, precision=precision,
             want_vectors=want_vectors, tridiag_solver=tridiag_solver,
             record_trace=True, on_breakdown=on_breakdown, faults=faults,
-            checkpoint=checkpoint,
+            checkpoint=checkpoint, live=live,
         )
 
     probe_values = evd_accuracy_probes(a, result) if probes else None
@@ -174,6 +178,7 @@ def record_syevd(
             if getattr(result, "workspace", None) is not None
             else None
         ),
+        metrics=getattr(result, "metrics", None),
         events=events,
     )
     return RecordedRun(path=out_path, result=result, collector=session)

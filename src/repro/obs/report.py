@@ -126,7 +126,55 @@ def render_report(manifest: "RunManifest | str") -> str:
         lines.append("accuracy probes:")
         for key, val in man.accuracy.items():
             lines.append(f"  {key}: {val:.3e}" if isinstance(val, float) else f"  {key}: {val}")
+
+    metrics_section = _render_metrics(man.metrics)
+    if metrics_section:
+        lines.append("")
+        lines.extend(metrics_section)
     return "\n".join(lines)
+
+
+def _render_metrics(metrics: "dict | None") -> list[str]:
+    """Live-metrics section of the report (``metrics`` manifest line).
+
+    Shows the GEMM latency quantiles, per-phase progress as archived at
+    run end, and any alerts the live layer fired.
+    """
+    if not metrics:
+        return []
+    lines = ["live metrics:"]
+    hist_rows = []
+    for h in metrics.get("histograms", []):
+        q = h.get("quantiles") or {}
+        labels = h.get("labels") or {}
+        name = h.get("name", "?")
+        if labels:
+            name += "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+        hist_rows.append([
+            name,
+            str(int(h.get("count", 0))),
+            *(f"{q[k] * 1e3:.3f} ms" if k in q else "-"
+              for k in ("0.5", "0.9", "0.99")),
+        ])
+    if hist_rows:
+        lines.append(_table(["series", "count", "p50", "p90", "p99"], hist_rows))
+    progress = metrics.get("progress") or {}
+    phases = progress.get("phases") or {}
+    if phases:
+        lines.append("")
+        lines.append("progress at run end:")
+        for key, slot in phases.items():
+            lines.append(f"  {key}: {slot.get('fraction', 0.0) * 100.0:.1f}%")
+    alerts = metrics.get("alerts") or []
+    if alerts:
+        lines.append("")
+        lines.append(f"alerts fired ({len(alerts)}):")
+        for alert in alerts:
+            lines.append(
+                f"  {alert.get('rule', '?')}: {alert.get('message') or ''} "
+                f"(value={alert.get('value')})".rstrip()
+            )
+    return lines
 
 
 def compare_phases(

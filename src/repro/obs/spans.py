@@ -43,6 +43,8 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from .live import registry as _live
+
 __all__ = [
     "Span",
     "GemmEvent",
@@ -54,6 +56,9 @@ __all__ = [
     "counter",
     "gemm_event",
     "now",
+    "capture_context",
+    "span_context",
+    "wrap_context",
 ]
 
 
@@ -178,10 +183,29 @@ class Collector:
             st = self._tls.stack = []
         return st
 
+    def _base(self) -> "tuple[str, int] | None":
+        """Inherited (path, depth) context for this thread, if installed.
+
+        Worker threads have empty span stacks of their own; without an
+        inherited base, their spans and GEMM events would attribute to
+        the root (``span_path=""``) instead of the phase that spawned
+        them.  :func:`span_context` installs the spawning thread's
+        innermost span as the worker's base.
+        """
+        return getattr(self._tls, "base", None)
+
     def current_path(self) -> str:
-        """Path of the innermost active span on this thread ("" if none)."""
+        """Path of the innermost active span on this thread.
+
+        Falls back to the inherited base context (see :meth:`_base`)
+        when the thread has no spans of its own, so events recorded on
+        pool threads attribute to the spawning phase; "" if neither.
+        """
         st = self._stack()
-        return st[-1].path if st else ""
+        if st:
+            return st[-1].path
+        base = self._base()
+        return base[0] if base is not None else ""
 
     # -- queries ----------------------------------------------------------
     @property
@@ -212,21 +236,31 @@ class Collector:
         return out
 
     def gemm_summary(self) -> dict:
-        """Aggregate of all GEMM events (the manifest's ``gemm_summary``)."""
+        """Aggregate of all GEMM events (the manifest's ``gemm_summary``).
+
+        ``calls`` counts *products*, not engine launches: a
+        ``gemm_batched`` event carrying ``batch=k`` contributes ``k``
+        (its flops and seconds already cover the whole stack), so
+        throughput ratios are comparable between batched and unbatched
+        code paths.  ``launches`` preserves the raw event count.
+        """
         by_tag: dict[str, dict] = {}
         by_engine: Counter = Counter()
         total_flops = 0
         total_seconds = 0.0
+        total_calls = 0
         for ev in self.gemm_events:
             total_flops += ev.flops
             total_seconds += ev.seconds
-            by_engine[ev.engine] += 1
+            total_calls += ev.batch
+            by_engine[ev.engine] += ev.batch
             slot = by_tag.setdefault(ev.tag, {"calls": 0, "flops": 0, "seconds": 0.0})
-            slot["calls"] += 1
+            slot["calls"] += ev.batch
             slot["flops"] += ev.flops
             slot["seconds"] += ev.seconds
         return {
-            "calls": len(self.gemm_events),
+            "calls": total_calls,
+            "launches": len(self.gemm_events),
             "flops": total_flops,
             "seconds": total_seconds,
             "by_tag": by_tag,
@@ -255,9 +289,17 @@ class _LiveSpan:
             parent = st[-1]
             self.path = f"{parent.path}/{self.name}"
             self.depth = parent.depth + 1
+        else:
+            base = self._col._base()
+            if base is not None:
+                self.path = f"{base[0]}/{self.name}"
+                self.depth = base[1] + 1
         st.append(self)
         self._t0 = self._col.clock()
         self._start = self._t0 - self._col.epoch
+        reg = _live.active_registry()
+        if reg is not None:
+            reg.span_started(self.path, self.depth)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -276,11 +318,57 @@ class _LiveSpan:
         )
         with self._col._lock:
             self._col.spans.append(finished)
+        reg = _live.active_registry()
+        if reg is not None:
+            reg.span_finished(self.path, self.depth, t1 - self._t0)
         return False
 
     def count(self, name: str, value: float = 1) -> None:
         """Accumulate a named counter on this span."""
         self.counters[name] = self.counters.get(name, 0) + value
+
+
+class _PhaseSpan:
+    """Registry-only span: phase tracking without a :class:`Collector`.
+
+    Returned by :func:`span` when a live metrics registry is installed
+    but no collector is active, so progress/phase attribution works in
+    ``live=``-only runs without paying for event collection.  Keeps a
+    minimal per-thread (path, depth) stack on the registry itself and
+    reports enter/exit; records nothing else.
+    """
+
+    __slots__ = ("_reg", "name", "path", "depth", "_t0")
+
+    def __init__(self, reg, name: str) -> None:
+        self._reg = reg
+        self.name = name
+        self.path = name
+        self.depth = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseSpan":
+        st = self._reg._stack()
+        if st:
+            parent_path, parent_depth = st[-1]
+            self.path = f"{parent_path}/{self.name}"
+            self.depth = parent_depth + 1
+        st.append((self.path, self.depth))
+        self._t0 = self._reg.clock()
+        self._reg.span_started(self.path, self.depth)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        st = self._reg._stack()
+        if st and st[-1] == (self.path, self.depth):
+            st.pop()
+        self._reg.span_finished(
+            self.path, self.depth, self._reg.clock() - self._t0
+        )
+        return False
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
 
 
 class _NullSpan:
@@ -352,20 +440,29 @@ def span(name: str, **meta):
         Free-form metadata stored on the finished span.
     """
     col = _active
-    if col is None:
-        return NULL_SPAN
-    return _LiveSpan(col, name, meta)
+    if col is not None:
+        return _LiveSpan(col, name, meta)
+    reg = _live.active_registry()
+    if reg is not None:
+        return _PhaseSpan(reg, name)
+    return NULL_SPAN
 
 
 def now() -> float:
     """Current time on the active collector's clock.
 
-    Falls back to ``time.perf_counter`` when telemetry is disabled, so
-    instrumentation points can time unconditionally and stay consistent
-    with an injected fake clock when one is active.
+    Falls back to the live registry's clock when only live metrics are
+    active, then to ``time.perf_counter``, so instrumentation points can
+    time unconditionally and stay consistent with an injected fake clock
+    when one is active.
     """
     col = _active
-    return (col.clock if col is not None else time.perf_counter)()
+    if col is not None:
+        return col.clock()
+    reg = _live.active_registry()
+    if reg is not None:
+        return reg.clock()
+    return time.perf_counter()
 
 
 def counter(name: str, value: float = 1) -> None:
@@ -407,3 +504,83 @@ def gemm_event(
     )
     with col._lock:
         col.gemm_events.append(ev)
+
+
+# ----------------------------------------------------------------------
+# span-context propagation into worker threads
+# ----------------------------------------------------------------------
+#
+# The span stack is thread-local, so a function submitted to a pool runs
+# with an *empty* stack: its spans become roots and its GEMM events get
+# span_path="" — they vanish from phase attribution.  The helpers below
+# capture the submitting thread's innermost span and install it as the
+# worker thread's *base context* for the duration of the call, so
+# look-ahead trailing updates (sbr-la) and TSQR leaf factorizations
+# attribute to the phase that spawned them.
+
+
+def capture_context() -> "tuple[Collector, str, int] | None":
+    """Snapshot the current thread's span context for cross-thread use.
+
+    Returns ``(collector, path, depth)`` of the innermost active span
+    (or inherited base), or None when nothing would need propagating.
+    """
+    col = _active
+    if col is None:
+        return None
+    st = col._stack()
+    if st:
+        return (col, st[-1].path, st[-1].depth)
+    base = col._base()
+    if base is not None:
+        return (col, base[0], base[1])
+    return None
+
+
+class span_context:
+    """Install a captured span context as this thread's base context.
+
+    Nested installs restore the previous base on exit.  A context from a
+    collector that is no longer active is ignored (the worker outlived
+    the session; attributing to a dead collector would be wrong)."""
+
+    def __init__(self, ctx: "tuple[Collector, str, int] | None") -> None:
+        self._ctx = ctx
+        self._col: "Collector | None" = None
+        self._prev: "tuple[str, int] | None" = None
+
+    def __enter__(self) -> "span_context":
+        if self._ctx is not None:
+            col, path, depth = self._ctx
+            if col is _active:
+                self._col = col
+                self._prev = col._base()
+                col._tls.base = (path, depth)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._col is not None:
+            self._col._tls.base = self._prev
+            self._col = None
+        return False
+
+
+def wrap_context(fn):
+    """Bind the *current* span context into ``fn`` for pool submission.
+
+    Usage at a submit site::
+
+        pool.submit(obs.wrap_context(task), *args)
+
+    When telemetry is off this returns ``fn`` unchanged — zero wrapping
+    overhead on the default path.
+    """
+    ctx = capture_context()
+    if ctx is None:
+        return fn
+
+    def _with_context(*args, **kwargs):
+        with span_context(ctx):
+            return fn(*args, **kwargs)
+
+    return _with_context

@@ -31,6 +31,7 @@ from ..errors import ConfigurationError, NumericalBreakdownError
 from ..gemm.engine import GemmEngine, make_engine
 from ..gemm.trace import GemmRecord
 from ..obs import spans as obs
+from ..obs.live import registry as _live
 from ..precision.modes import Precision
 from .detectors import DetectorBank, DetectorConfig
 from .faults import FaultInjector
@@ -252,6 +253,7 @@ class ResilienceContext:
         out = self.injector.apply(site, arr)
         for rec in self.injector.fired[before:]:
             self.report.faults_injected.append(rec.to_dict())
+            _live.inc("repro_resilience_faults_total")
             with obs.span("resilience.fault", **rec.to_dict()):
                 pass
         return out
@@ -402,6 +404,7 @@ class ResilienceContext:
                     reason=getattr(exc, "detector", None) or type(exc).__name__,
                 )
                 self.report.escalations.append(rec)
+                _live.inc("repro_resilience_escalations_total")
                 with obs.span("resilience.escalate", **rec.to_dict()):
                     pass
         return True
@@ -420,6 +423,8 @@ class ResilienceContext:
             precision=exc.precision or "",
         )
         self.report.detections.append(rec)
+        _live.inc("repro_resilience_detections_total",
+                  detector=rec.detector or "unknown")
         with obs.span("resilience.detect", **rec.to_dict()):
             pass
 

@@ -92,6 +92,7 @@ from ..errors import NumericalBreakdownError, SingularMatrixError
 from ..gemm.engine import GemmEngine, SgemmEngine
 from ..gemm.symbolic import full_update_col_blocks
 from ..obs import spans as obs
+from ..obs.live import use_registry
 from ..perf import Workspace, resolve_workspace
 from ..resilience.context import ResilienceContext
 from ..validation import as_symmetric_matrix, check_blocksizes, check_finite_matrix
@@ -159,6 +160,7 @@ def sbr_wy(
     resilience: ResilienceContext | None = None,
     checkpoint=None,
     check_finite: bool = True,
+    metrics=None,
 ) -> SbrResult:
     """Reduce a symmetric matrix to band form with the WY-based Algorithm 1.
 
@@ -203,6 +205,9 @@ def sbr_wy(
     check_finite : bool
         Reject NaN/Inf inputs up front (cheap gate; disable only when the
         caller already validated).
+    metrics : repro.obs.live.MetricsRegistry, optional
+        Install a live metrics registry for the duration of this call
+        (standalone use; the 2-stage driver installs one run-wide).
 
     Returns
     -------
@@ -211,6 +216,14 @@ def sbr_wy(
         and the workspace arena (``result.workspace``) whose ``stats()``
         feed the run manifest's ``alloc`` line.
     """
+    if metrics is not None:
+        with use_registry(metrics):
+            return sbr_wy(
+                a, b, nb, engine=engine, panel=panel, want_q=want_q,
+                q_method=q_method, workspace=workspace, lookahead=lookahead,
+                resilience=resilience, checkpoint=checkpoint,
+                check_finite=check_finite,
+            )
     eng: "GemmEngine" = engine if engine is not None else SgemmEngine()
     ws = resolve_workspace(workspace)
     if isinstance(eng, GemmEngine) and eng.workspace is None:
@@ -642,8 +655,11 @@ def _full_update(
         _apply_full_col_block(
             A, x, Y, wtx, eng, ws, lo=lo, r_end=r_end, c0=c0, c1=c1
         )
+        # Propagate the submitting thread's span context into the pool
+        # worker: the worker's GEMM events and spans attribute to the
+        # enclosing phase (e.g. syevd/sbr) instead of span_path="".
         return la_pool.submit(
-            _apply_full_col_blocks,
+            obs.wrap_context(_apply_full_col_blocks),
             A, x, Y, wtx, eng, ws,
             lo=lo, r_end=r_end, col_blocks=col_blocks[1:],
         )

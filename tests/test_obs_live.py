@@ -1,0 +1,962 @@
+"""Tests of the live monitoring layer (:mod:`repro.obs.live`).
+
+Covers, per the PR-6 acceptance criteria:
+
+- quantile-sketch accuracy against exact numpy percentiles, weighted
+  adds (the ``gemm_batched`` contract), merging, and serialization;
+- registry thread-safety (exact totals under concurrent recorders) and
+  batch-aware GEMM aggregation;
+- ETA monotonicity and convergence of the progress estimator on a fake
+  clock;
+- the zero-overhead-off contract: with no registry installed, the hook
+  helpers retain no allocations and the SBR steady state stays
+  allocation-free (the PR-5 workspace accounting harness);
+- span-context propagation into worker threads (look-ahead, TSQR);
+- sinks (Prometheus render/parse, JSONL stream with torn-final-line
+  tolerance, TTY line), heartbeat, alert rules and the no-progress
+  watchdog, the reporter, and the driver/manifest/CLI integration.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gemm.engine import SgemmEngine, make_engine
+from repro.obs import spans as obs
+from repro.obs.live import (
+    AlertRule,
+    Heartbeat,
+    LiveConfig,
+    LiveSession,
+    MetricsRegistry,
+    NoProgressWatchdog,
+    ProgressEstimator,
+    QuantileSketch,
+    Reporter,
+    evaluate_alerts,
+    parse_prometheus,
+    phase_plan,
+    read_heartbeat,
+    render_prometheus,
+    resolve_live,
+    use_registry,
+    validate_metrics_stream,
+)
+from repro.obs.live import registry as live_registry
+from repro.obs.live.sinks import JsonlSink, PrometheusSink, TtySink
+
+from conftest import random_symmetric
+
+
+class FakeClock:
+    """Deterministic, manually advanced time source."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+
+# ----------------------------------------------------------------------
+# Quantile sketch
+# ----------------------------------------------------------------------
+
+
+class TestQuantileSketch:
+    def test_accuracy_vs_numpy_percentiles(self, rng):
+        samples = rng.lognormal(mean=-8.0, sigma=1.5, size=5000)
+        sk = QuantileSketch(alpha=0.01)
+        for v in samples:
+            sk.add(v)
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.quantile(samples, q))
+            est = sk.quantile(q)
+            # alpha-relative guarantee, plus slack for numpy's
+            # interpolation between adjacent order statistics.
+            assert abs(est - exact) <= 0.03 * exact
+
+    def test_weighted_add_equals_repeated_adds(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in (1e-4, 3e-4, 9e-4):
+            a.add(v, count=5)
+            for _ in range(5):
+                b.add(v)
+        assert a.count == b.count == 15
+        assert a.sum == pytest.approx(b.sum)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert a.quantile(q) == b.quantile(q)
+
+    def test_merge_matches_combined(self, rng):
+        xs = rng.lognormal(size=400)
+        a, b, both = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        for i, v in enumerate(xs):
+            (a if i % 2 else b).add(v)
+            both.add(v)
+        a.merge(b)
+        assert a.count == both.count
+        assert a.sum == pytest.approx(both.sum)
+        for q in (0.1, 0.5, 0.9):
+            assert a.quantile(q) == both.quantile(q)
+
+    def test_merge_alpha_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+
+    def test_serialization_round_trip(self, rng):
+        sk = QuantileSketch()
+        for v in rng.lognormal(size=100):
+            sk.add(v)
+        back = QuantileSketch.from_dict(
+            json.loads(json.dumps(sk.to_dict()))
+        )
+        assert back.count == sk.count
+        for q in (0.5, 0.99):
+            assert back.quantile(q) == sk.quantile(q)
+
+    def test_zero_and_negative_values(self):
+        sk = QuantileSketch(min_value=1e-9)
+        sk.add(0.0)
+        sk.add(-5.0)
+        sk.add(1.0)
+        assert sk.count == 3
+        assert sk.quantile(0.0) == 0.0
+        assert sk.quantile(1.0) == pytest.approx(1.0, rel=0.02)
+
+    def test_empty_sketch(self):
+        sk = QuantileSketch()
+        assert len(sk) == 0
+        assert sk.quantile(0.5) == 0.0
+        assert sk.mean == 0.0
+        assert sk.summary()["count"] == 0
+
+    def test_summary_keys_are_strings(self):
+        sk = QuantileSketch()
+        sk.add(1.0)
+        assert set(sk.summary()["quantiles"]) == {"0.5", "0.9", "0.99"}
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        reg.inc("c", 2.0, op="gemm")
+        reg.inc("c", 3.0, op="gemm")
+        reg.inc("c", 1.0, op="syr2k")
+        reg.set("g", 7.5, phase="sbr")
+        reg.observe("h", 0.5)
+        assert reg.counter_value("c", op="gemm") == 5.0
+        assert reg.counter_total("c") == 6.0
+        assert reg.gauge_value("g", phase="sbr") == 7.5
+        assert reg.gauge_value("g", phase="nope") is None
+        assert reg.histogram("h").count == 1
+
+    def test_label_order_is_normalized(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        reg.inc("c", a="1", b="2")
+        reg.inc("c", b="2", a="1")
+        assert reg.counter_value("c", a="1", b="2") == 2.0
+
+    def test_record_gemm_batch_weighting(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        reg.record_gemm(32, 32, 8, op="gemm_batched", batch=4, seconds=0.008)
+        reg.record_gemm(32, 32, 8, op="gemm", batch=1, seconds=0.001)
+        # One launch, four products, per-product latency weighted by 4.
+        assert reg.counter_value(
+            "repro_gemm_calls_total", op="gemm_batched") == 1.0
+        assert reg.counter_value(
+            "repro_gemm_products_total", op="gemm_batched") == 4.0
+        assert reg.counter_total("repro_gemm_flops_total") == pytest.approx(
+            2.0 * 32 * 32 * 8 * 5
+        )
+        hist = reg.histogram("repro_gemm_latency_seconds", op="gemm_batched")
+        assert hist.count == 4
+        assert hist.quantile(0.5) == pytest.approx(0.002, rel=0.02)
+        merged = reg.histogram_merged("repro_gemm_latency_seconds")
+        assert merged.count == 5
+
+    def test_thread_safety_exact_totals(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for _ in range(per_thread):
+                reg.inc("repro_test_total")
+                reg.record_gemm(8, 8, 8, batch=2, seconds=1e-6)
+                reg.observe("h", 1e-3)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert reg.counter_total("repro_test_total") == total
+        assert reg.counter_total("repro_gemm_products_total") == 2 * total
+        assert reg.histogram("h").count == total
+        # Every worker thread left a liveness mark.
+        assert len(reg.worker_ages()) >= n_threads
+
+    def test_snapshot_shape(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        reg.inc("repro_x_total", op="gemm")
+        reg.set("repro_g", 1.0)
+        reg.observe("repro_h_seconds", 0.5)
+        clk.advance(2.0)
+        snap = reg.snapshot()
+        assert snap["uptime"] == pytest.approx(2.0)
+        assert snap["counters"][0] == {
+            "name": "repro_x_total", "labels": {"op": "gemm"}, "value": 1.0,
+        }
+        assert snap["gauges"][0]["value"] == 1.0
+        assert snap["histograms"][0]["count"] == 1
+        assert json.dumps(snap)  # JSON-serializable throughout
+
+    def test_ws_take_hook(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        reg.ws_take("t", True, 0)
+        reg.ws_take("t", False, 1024)
+        assert reg.counter_value("repro_ws_takes_total", result="hit") == 1.0
+        assert reg.counter_value("repro_ws_takes_total", result="miss") == 1.0
+        assert reg.counter_total("repro_ws_bytes_allocated_total") == 1024.0
+
+    def test_install_uninstall_restores_previous(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        assert live_registry.active_registry() is None
+        with use_registry(a):
+            assert live_registry.active_registry() is a
+            with use_registry(b):
+                assert live_registry.active_registry() is b
+            assert live_registry.active_registry() is a
+        assert live_registry.active_registry() is None
+
+    def test_use_registry_none_is_noop(self):
+        with use_registry(None) as reg:
+            assert reg is None
+            assert live_registry.active_registry() is None
+
+
+# ----------------------------------------------------------------------
+# Zero-overhead-off contract
+# ----------------------------------------------------------------------
+
+
+class TestZeroOverheadOff:
+    def test_module_helpers_retain_no_allocations(self):
+        import tracemalloc
+
+        assert live_registry.active_registry() is None
+        # Warm up any lazy interning, then measure retained bytes.
+        live_registry.record_gemm(8, 8, 8, seconds=0.0)
+        live_registry.ws_take("t", True, 0)
+        live_registry.inc("repro_test_total")
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(200):
+            live_registry.record_gemm(8, 8, 8, seconds=0.0)
+            live_registry.ws_take("t", True, 0)
+            live_registry.inc("repro_test_total")
+            live_registry.touch_worker()
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert after - before == 0
+
+    def test_sbr_steady_state_allocation_free_with_live_imported(self, rng):
+        # PR-5 harness: with the live module imported but no registry
+        # installed, a second identical run must hit the arena every
+        # time — no new allocations on the hot path.
+        from repro.perf import Workspace
+        from repro.sbr.wy import sbr_wy
+
+        ws = Workspace()
+        a = random_symmetric(128, rng)
+        sbr_wy(a, 8, 32, engine=make_engine("fp32"), want_q=False, workspace=ws)
+        misses_after_first = ws.misses
+        sbr_wy(a, 8, 32, engine=make_engine("fp32"), want_q=False, workspace=ws)
+        assert ws.misses == misses_after_first
+        assert ws.hits > 0
+
+
+# ----------------------------------------------------------------------
+# Span-context propagation (satellite: look-ahead phase attribution)
+# ----------------------------------------------------------------------
+
+
+class TestSpanContextPropagation:
+    def test_wrap_context_is_identity_when_off(self):
+        def f():
+            return 1
+
+        assert obs.wrap_context(f) is f
+
+    def test_worker_thread_inherits_span_path(self):
+        results = []
+        with obs.collect() as session:
+            with obs.span("syevd"):
+                wrapped = obs.wrap_context(self._leaf_work)
+                t = threading.Thread(target=lambda: results.append(wrapped()))
+                t.start()
+                t.join()
+        assert results == ["done"]
+        leaf = [s for s in session.spans if s.name == "leaf"]
+        assert len(leaf) == 1
+        assert leaf[0].path == "syevd/leaf"
+        assert leaf[0].depth == 1
+
+    @staticmethod
+    def _leaf_work():
+        with obs.span("leaf"):
+            return "done"
+
+    def test_lookahead_gemm_events_keep_phase_attribution(self, rng):
+        from repro.sbr.wy import sbr_wy
+
+        a = random_symmetric(128, rng)
+        with obs.collect() as session:
+            with obs.span("sbr"):
+                sbr_wy(a, 8, 32, engine=SgemmEngine(), want_q=False,
+                       lookahead=True)
+        assert session.gemm_events
+        # Satellite fix: no event may lose its enclosing phase because
+        # it ran on the look-ahead worker thread.
+        assert all(ev.span_path.startswith("sbr") for ev in session.gemm_events)
+
+    def test_lookahead_events_under_registry_touch_worker(self, rng):
+        from repro.sbr.wy import sbr_wy
+
+        a = random_symmetric(128, rng)
+        reg = MetricsRegistry()
+        sbr_wy(a, 8, 32, engine=SgemmEngine(), want_q=False,
+               lookahead=True, metrics=reg)
+        assert reg.counter_total("repro_gemm_calls_total") > 0
+        assert any("sbr-la" in name for name in reg.worker_ages())
+
+
+# ----------------------------------------------------------------------
+# Batch-aware aggregation in the collector path (satellite 1)
+# ----------------------------------------------------------------------
+
+
+class TestBatchWeightedAggregates:
+    def _batched_session(self):
+        with obs.collect() as session:
+            with obs.span("phase"):
+                obs.gemm_event(16, 16, 8, tag="t", engine="e",
+                               op="gemm_batched", seconds=0.004, batch=4)
+                obs.gemm_event(16, 16, 8, tag="t", engine="e",
+                               op="gemm", seconds=0.001)
+        return session
+
+    def test_gemm_summary_counts_products_not_launches(self):
+        summary = self._batched_session().gemm_summary()
+        assert summary["calls"] == 5
+        assert summary["launches"] == 2
+        assert summary["by_tag"]["t"]["calls"] == 5
+        assert summary["by_engine"]["e"] == 5
+        assert summary["flops"] == 2 * 16 * 16 * 8 * 5
+
+    def test_manifest_gemm_by_phase_weights_batch(self, tmp_path):
+        from repro.obs import load_manifest, write_manifest
+
+        path = write_manifest(
+            self._batched_session(), str(tmp_path / "m.jsonl")
+        )
+        man = load_manifest(path)
+        assert man.gemm_by_phase()["phase"]["calls"] == 5
+
+    def test_attribution_weights_batch(self, tmp_path):
+        from repro.obs import write_manifest
+        from repro.obs.analytics import attribute_manifest
+
+        path = write_manifest(
+            self._batched_session(), str(tmp_path / "m.jsonl")
+        )
+        report = attribute_manifest(path)
+        assert report.totals["calls"] == 5
+
+
+# ----------------------------------------------------------------------
+# Progress estimator
+# ----------------------------------------------------------------------
+
+
+class TestPhasePlan:
+    def test_full_run_phases(self):
+        plan = phase_plan(256, 16, 64)
+        assert set(plan) == {"sbr", "bulge", "tridiag_solve", "back_transform"}
+        assert all(v > 0 for v in plan.values())
+
+    def test_values_only_drops_back_transform(self):
+        plan = phase_plan(256, 16, 64, want_vectors=False)
+        assert "back_transform" not in plan
+
+    def test_zy_method(self):
+        plan = phase_plan(128, 8, method="zy")
+        assert plan["sbr"] > 0
+
+
+class TestProgressEstimator:
+    def test_eta_monotone_under_constant_rate(self):
+        plan = {"sbr": 1000.0, "bulge": 500.0}
+        est = ProgressEstimator(plan)
+        est.on_phase_start("sbr", 0.0)
+        assert est.eta_seconds() is None  # no throughput signal yet
+        etas = []
+        t = 0.0
+        for _ in range(9):
+            t += 1.0
+            est.on_work("sbr", 100.0, t)
+            eta = est.eta_seconds()
+            assert eta is not None
+            etas.append(eta)
+        # Constant 100 units/s: ETA must be monotone non-increasing.
+        assert all(a >= b - 1e-9 for a, b in zip(etas, etas[1:]))
+        assert etas[-1] == pytest.approx((1500.0 - 900.0) / 100.0)
+
+    def test_converges_to_complete(self):
+        plan = {"sbr": 100.0, "bulge": 50.0}
+        est = ProgressEstimator(plan)
+        est.on_phase_start("sbr", 0.0)
+        est.on_work("sbr", 60.0, 1.0)
+        assert est.fraction() == pytest.approx(60.0 / 150.0)
+        est.on_phase_end("sbr", 2.0)       # snaps sbr to 100%
+        assert est.fraction("sbr") == 1.0
+        est.on_phase_start("bulge", 2.0)
+        est.on_phase_end("bulge", 3.0)
+        assert est.fraction() == 1.0
+        assert est.eta_seconds() == 0.0
+
+    def test_work_capped_at_plan(self):
+        est = ProgressEstimator({"sbr": 100.0})
+        est.on_phase_start("sbr", 0.0)
+        est.on_work("sbr", 1e9, 1.0)  # model underestimated
+        assert est.fraction("sbr") == 1.0
+
+    def test_unplanned_phase_work_goes_to_current(self):
+        est = ProgressEstimator({"sbr": 100.0})
+        est.on_phase_start("sbr", 0.0)
+        est.on_work("mystery", 50.0, 1.0)
+        assert est.done["sbr"] == 50.0
+
+    def test_publishes_gauges_on_registry(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        est = ProgressEstimator({"sbr": 100.0})
+        est.attach(reg)
+        assert reg.estimator is est
+        est.on_phase_start("sbr", clk.advance(1.0))
+        est.on_work("sbr", 25.0, clk.advance(1.0))
+        est.on_work("sbr", 25.0, clk.advance(1.0))
+        assert reg.gauge_value("repro_progress_fraction", phase="sbr") == 0.5
+        assert reg.gauge_value("repro_progress_fraction", phase="total") == 0.5
+        assert reg.gauge_value("repro_eta_seconds", phase="total") == pytest.approx(2.0)
+
+    def test_record_gemm_feeds_estimator_under_phase(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        est = ProgressEstimator({"sbr": 1e6})
+        est.attach(reg)
+        reg.span_started("syevd", 0)
+        reg.span_started("syevd/sbr", 1)
+        assert reg.phase == "sbr"
+        clk.advance(1.0)
+        reg.record_gemm(32, 32, 8, seconds=0.001)
+        assert est.done["sbr"] == 2.0 * 32 * 32 * 8
+        reg.span_finished("syevd/sbr", 1, 1.0)
+        assert est.fraction("sbr") == 1.0
+        assert reg.phase == "syevd"
+
+
+# ----------------------------------------------------------------------
+# Alerts
+# ----------------------------------------------------------------------
+
+
+class TestAlerts:
+    def test_threshold_rule_fires_once(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        rule = AlertRule("escalations", "repro_resilience_escalations_total",
+                         threshold=0.0, op=">")
+        assert evaluate_alerts(reg, [rule]) == []
+        reg.inc("repro_resilience_escalations_total")
+        new = evaluate_alerts(reg, [rule])
+        assert len(new) == 1 and new[0]["rule"] == "escalations"
+        # Persisting condition refreshes count, fires no new alert.
+        assert evaluate_alerts(reg, [rule]) == []
+        assert reg.alerts[0]["count"] == 2
+
+    def test_gauge_rule_with_labels(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        rule = AlertRule("resid", "repro_solver_residual", threshold=1e-3,
+                         op=">", labels={"phase": "lobpcg"})
+        reg.set("repro_solver_residual", 1e-2, phase="lobpcg")
+        assert len(evaluate_alerts(reg, [rule])) == 1
+
+    def test_unknown_op_rejected(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        reg.inc("m")
+        with pytest.raises(ValueError, match="op"):
+            AlertRule("x", "m", threshold=0.0, op="~").check(reg)
+
+    def test_no_progress_watchdog(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        dog = NoProgressWatchdog(stall_seconds=5.0)
+        clk.advance(4.0)
+        assert evaluate_alerts(reg, watchdog=dog) == []
+        clk.advance(2.0)
+        fired = evaluate_alerts(reg, watchdog=dog)
+        assert len(fired) == 1 and fired[0]["rule"] == "no_progress"
+        # Progress resets the clock; no further escalation of count
+        # needs asserting — but a new evaluation fires nothing new.
+        reg.mark_progress()
+        assert evaluate_alerts(reg, watchdog=dog) == []
+
+
+# ----------------------------------------------------------------------
+# Sinks, heartbeat, reporter
+# ----------------------------------------------------------------------
+
+
+def _sample_registry() -> MetricsRegistry:
+    clk = FakeClock()
+    reg = MetricsRegistry(clock=clk)
+    reg.inc("repro_gemm_calls_total", 3.0, op="gemm")
+    reg.set("repro_progress_fraction", 0.25, phase="total")
+    reg.set("repro_eta_seconds", 12.0, phase="total")
+    for v in (1e-4, 2e-4, 3e-4):
+        reg.observe("repro_gemm_latency_seconds", v, op="gemm")
+    clk.advance(1.5)
+    return reg
+
+
+class TestPrometheus:
+    def test_render_parse_round_trip(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        series = parse_prometheus(text)
+        assert series['repro_gemm_calls_total{op="gemm"}'] == 3.0
+        assert series['repro_gemm_latency_seconds_count{op="gemm"}'] == 3.0
+        assert series['repro_gemm_latency_seconds{op="gemm",quantile="0.5"}'] \
+            == pytest.approx(2e-4, rel=0.05)
+        assert series["repro_uptime_seconds"] == pytest.approx(1.5)
+        assert "# TYPE repro_gemm_latency_seconds summary" in text
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus("this is { not exposition\n")
+
+    def test_sink_writes_atomic_file(self, tmp_path):
+        path = tmp_path / "live" / "metrics.prom"
+        PrometheusSink(path).emit(_sample_registry().snapshot())
+        assert parse_prometheus(path.read_text())
+
+
+class TestJsonlStream:
+    def test_stream_validates(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        sink = JsonlSink(path)
+        reg = _sample_registry()
+        sink.emit(reg.snapshot())
+        reg.clock.advance(1.0)
+        sink.emit(reg.snapshot())
+        samples = validate_metrics_stream(path)
+        assert len(samples) == 2
+        assert samples[1]["uptime"] > samples[0]["uptime"]
+        assert samples[0]["counters"]['repro_gemm_calls_total{op="gemm"}'] == 3.0
+        assert "quantiles" in samples[0]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        JsonlSink(path).emit(_sample_registry().snapshot())
+        with open(path, "a") as fh:
+            fh.write('{"uptime": 99.0, "phase"')  # crashed writer
+        assert len(validate_metrics_stream(path)) == 1
+
+    def test_torn_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(_sample_registry().snapshot())
+        with open(path, "a") as fh:
+            fh.write("garbage\n")
+        sink.emit(_sample_registry().snapshot())
+        with pytest.raises(ValueError, match="malformed"):
+            validate_metrics_stream(path)
+
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"uptime": 1.0}\n{"uptime": 2.0}\n')
+        with pytest.raises(ValueError, match="phase"):
+            validate_metrics_stream(path)
+
+    def test_non_monotone_uptime_rejected(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        base = {"phase": "", "counters": {}, "gauges": {}, "quantiles": {}}
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"uptime": 2.0, **base}) + "\n")
+            fh.write(json.dumps({"uptime": 1.0, **base}) + "\n")
+        with pytest.raises(ValueError, match="monotone"):
+            validate_metrics_stream(path)
+
+
+class TestTtySink:
+    def test_renders_progress_line(self):
+        buf = io.StringIO()
+        sink = TtySink(stream=buf)
+        sink.emit(_sample_registry().snapshot())
+        sink.close()
+        out = buf.getvalue()
+        assert "\r" in out and "25.0%" in out and "eta=12.0s" in out
+        assert out.endswith("\n")
+
+    def test_closed_stream_does_not_raise(self):
+        buf = io.StringIO()
+        buf.close()
+        sink = TtySink(stream=buf)
+        sink.emit(_sample_registry().snapshot())  # must not raise
+        sink.close()
+
+
+class TestHeartbeat:
+    def test_beat_round_trip(self, tmp_path):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        reg.span_started("syevd", 0)
+        reg.span_started("syevd/sbr", 1)
+        hb = Heartbeat(tmp_path / "heartbeat.json", wall_clock=lambda: 1234.5)
+        payload = hb.beat(reg)
+        assert payload["beats"] == 1
+        assert payload["phase"] == "sbr"
+        assert payload["pid"] == os.getpid()
+        clk.advance(1.0)
+        hb.beat(reg)
+        back = read_heartbeat(tmp_path / "heartbeat.json")
+        assert back["beats"] == 2
+        assert back["updated"] == 1234.5
+
+    def test_read_absent_returns_none(self, tmp_path):
+        assert read_heartbeat(tmp_path / "nope.json") is None
+
+    def test_beat_includes_progress_when_estimator(self, tmp_path):
+        reg = MetricsRegistry(clock=FakeClock())
+        est = ProgressEstimator({"sbr": 100.0})
+        est.attach(reg)
+        est.on_phase_start("sbr", 0.0)
+        est.on_work("sbr", 50.0, 1.0)
+        payload = Heartbeat(tmp_path / "hb.json").beat(reg, est)
+        assert payload["progress"] == pytest.approx(0.5)
+        assert payload["phases"]["sbr"]["fraction"] == pytest.approx(0.5)
+
+
+class TestReporter:
+    def test_tick_publishes_everywhere(self, tmp_path):
+        reg = _sample_registry()
+        prom = PrometheusSink(tmp_path / "m.prom")
+        jsonl = JsonlSink(tmp_path / "m.jsonl")
+        hb = Heartbeat(tmp_path / "hb.json")
+        rep = Reporter(reg, interval=60.0, sinks=[prom, jsonl], heartbeat=hb)
+        rep.tick()
+        rep.tick()
+        assert rep.ticks == 2
+        assert hb.beats == 2
+        assert parse_prometheus((tmp_path / "m.prom").read_text())
+        assert len(validate_metrics_stream(tmp_path / "m.jsonl")) == 2
+
+    def test_sink_errors_swallowed(self):
+        class Boom:
+            def emit(self, snapshot):
+                raise OSError("disk full")
+
+        rep = Reporter(_sample_registry(), sinks=[Boom()])
+        rep.tick()  # must not raise
+        assert rep.errors and "disk full" in rep.errors[0]
+
+    def test_background_thread_ticks(self, tmp_path):
+        import time
+
+        reg = MetricsRegistry()
+        rep = Reporter(reg, interval=0.01,
+                       sinks=[PrometheusSink(tmp_path / "m.prom")])
+        with rep:
+            deadline = time.monotonic() + 5.0
+            while rep.ticks < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert rep.ticks >= 2  # thread ticked, plus the final stop tick
+
+    def test_stop_runs_final_tick(self, tmp_path):
+        reg = MetricsRegistry()
+        rep = Reporter(reg, interval=999.0,
+                       sinks=[PrometheusSink(tmp_path / "m.prom")])
+        rep.start()
+        reg.inc("repro_late_total")
+        rep.stop(final_tick=True)
+        series = parse_prometheus((tmp_path / "m.prom").read_text())
+        assert series["repro_late_total"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Live session + driver integration
+# ----------------------------------------------------------------------
+
+
+class TestResolveLive:
+    def test_off_values(self):
+        for off in (None, False):
+            sess = resolve_live(off)
+            with sess:
+                pass
+            assert sess.dump is None
+
+    def test_registry_mode_has_no_reporter_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        reg = MetricsRegistry()
+        sess = resolve_live(reg)
+        with sess:
+            assert live_registry.active_registry() is reg
+        assert sess.dump is not None
+        assert not os.path.exists(os.path.join("runs", "live"))
+
+    def test_path_and_config(self, tmp_path):
+        sess = resolve_live(str(tmp_path / "lv"))
+        assert isinstance(sess, LiveSession)
+        assert sess.config.dir == str(tmp_path / "lv")
+        sess2 = resolve_live(LiveConfig(dir="x", interval=0.5))
+        assert sess2.config.interval == 0.5
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_live(42)
+
+
+class TestDriverIntegration:
+    @pytest.fixture
+    def live_run(self, tmp_path, rng):
+        from repro.eig.driver import syevd_2stage
+
+        d = str(tmp_path / "live")
+        a = random_symmetric(96, rng)
+        res = syevd_2stage(
+            a, b=8, nb=32, live=LiveConfig(dir=d, interval=0.02)
+        )
+        return d, res
+
+    def test_live_run_produces_metrics_dump(self, live_run):
+        _, res = live_run
+        assert res.metrics is not None
+        names = {h["name"] for h in res.metrics["histograms"]}
+        assert "repro_gemm_latency_seconds" in names
+        assert "repro_phase_seconds" in names
+        assert res.metrics["progress"]["fraction"] == pytest.approx(1.0)
+        assert json.dumps(res.metrics)
+
+    def test_live_run_prometheus_snapshot(self, live_run):
+        d, _ = live_run
+        with open(os.path.join(d, "metrics.prom")) as fh:
+            series = parse_prometheus(fh.read())
+        for q in ("0.5", "0.99"):
+            assert any(
+                k.startswith("repro_gemm_latency_seconds{")
+                and f'quantile="{q}"' in k
+                for k in series
+            )
+        assert series['repro_progress_fraction{phase="total"}'] == 1.0
+        for phase in ("sbr", "bulge", "tridiag_solve", "back_transform"):
+            assert series[f'repro_progress_fraction{{phase="{phase}"}}'] == 1.0
+
+    def test_live_run_heartbeat_and_stream(self, live_run):
+        d, _ = live_run
+        hb = read_heartbeat(os.path.join(d, "heartbeat.json"))
+        assert hb is not None and hb["beats"] >= 1
+        samples = validate_metrics_stream(os.path.join(d, "metrics.jsonl"))
+        assert samples  # at least the final tick
+
+    def test_metrics_registry_only_mode(self, rng):
+        from repro.eig.driver import syevd_2stage
+
+        reg = MetricsRegistry()
+        a = random_symmetric(64, rng)
+        res = syevd_2stage(a, b=8, nb=16, metrics=reg)
+        assert res.metrics is None  # caller owns the registry
+        assert reg.counter_total("repro_gemm_calls_total") > 0
+        assert reg.counter_total("repro_ws_takes_total") > 0
+        assert reg.histogram_merged("repro_phase_seconds").count >= 4
+        assert live_registry.active_registry() is None  # uninstalled
+
+    def test_default_run_leaves_registry_off(self, rng):
+        from repro.eig.driver import syevd_2stage
+
+        a = random_symmetric(48, rng)
+        res = syevd_2stage(a, b=8, nb=16)
+        assert res.metrics is None
+        assert live_registry.active_registry() is None
+
+    def test_sbr_metrics_knob(self, rng):
+        from repro.sbr.wy import sbr_wy
+        from repro.sbr.zy import sbr_zy
+
+        a = random_symmetric(64, rng)
+        for fn, args in ((sbr_wy, (a, 8, 16)), (sbr_zy, (a, 8))):
+            reg = MetricsRegistry()
+            fn(*args, want_q=False, metrics=reg)
+            assert reg.counter_total("repro_gemm_calls_total") > 0
+
+    def test_solver_iteration_hooks(self, rng):
+        from repro.eig.lobpcg import lobpcg
+        from repro.eig.qliter import tridiag_eig_ql
+
+        reg = MetricsRegistry()
+        d = np.arange(1.0, 17.0)
+        e = 0.1 * np.ones(15)
+        tridiag_eig_ql(d, e, want_vectors=False, metrics=reg)
+        assert reg.counter_value(
+            "repro_solver_iterations_total", phase="ql_iteration") > 0
+
+        reg2 = MetricsRegistry()
+        a = random_symmetric(36, rng)
+        lobpcg(a, 2, metrics=reg2, max_iter=30, tol=1e-6)
+        assert reg2.counter_value(
+            "repro_solver_iterations_total", phase="lobpcg") > 0
+        assert reg2.gauge_value(
+            "repro_solver_residual", phase="lobpcg") is not None
+
+
+# ----------------------------------------------------------------------
+# Manifest metrics line + report + CLI (satellites 4/5 code paths)
+# ----------------------------------------------------------------------
+
+
+class TestManifestMetricsLine:
+    def test_write_load_round_trip(self, tmp_path):
+        from repro.obs import load_manifest, write_manifest
+
+        reg = _sample_registry()
+        with obs.collect() as session:
+            with obs.span("p"):
+                pass
+        path = write_manifest(
+            session, str(tmp_path / "m.jsonl"), metrics=reg.dump()
+        )
+        man = load_manifest(path)
+        assert man.metrics is not None
+        assert man.metrics["counters"][0]["name"] == "repro_gemm_calls_total"
+        assert man.metrics["alpha"] == 0.01
+
+    def test_absent_metrics_is_none(self, tmp_path):
+        from repro.obs import load_manifest, write_manifest
+
+        with obs.collect() as session:
+            with obs.span("p"):
+                pass
+        man = load_manifest(write_manifest(session, str(tmp_path / "m.jsonl")))
+        assert man.metrics is None
+
+    def test_schema_guard_still_rejects_newer(self, tmp_path):
+        from repro.obs import load_manifest
+        from repro.obs.manifest import SCHEMA_VERSION
+
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps(
+            {"kind": "meta", "schema": SCHEMA_VERSION + 1}
+        ) + "\n" + json.dumps({"kind": "metrics", "counters": []}) + "\n")
+        with pytest.raises(ValueError, match="newer"):
+            load_manifest(str(path))
+
+    def test_metrics_line_rides_schema_v2(self, tmp_path):
+        # The metrics line is additive within schema v2: a v2 manifest
+        # with a metrics line loads on a loader that knows v2.
+        from repro.obs import load_manifest
+        from repro.obs.manifest import SCHEMA_VERSION
+
+        assert SCHEMA_VERSION == 2
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "schema": 2, "label": "x",
+                        "wall": 1.0}) + "\n"
+            + json.dumps({"kind": "metrics", "uptime": 3.0,
+                          "counters": [], "gauges": [],
+                          "histograms": []}) + "\n"
+        )
+        man = load_manifest(str(path))
+        assert man.metrics["uptime"] == 3.0
+
+    def test_record_syevd_live_archives_metrics(self, tmp_path, rng):
+        from repro.obs import load_manifest
+        from repro.obs.record import record_syevd
+
+        run = record_syevd(
+            n=64, b=8, nb=16, probes=False,
+            path=str(tmp_path / "run.jsonl"),
+            live=LiveConfig(dir=str(tmp_path / "live"), interval=0.02),
+        )
+        man = load_manifest(run.path)
+        assert man.metrics is not None
+        assert any(
+            h["name"] == "repro_gemm_latency_seconds"
+            for h in man.metrics["histograms"]
+        )
+
+    def test_report_renders_live_metrics_section(self, tmp_path, rng):
+        from repro.obs import load_manifest, render_report
+        from repro.obs.record import record_syevd
+
+        run = record_syevd(
+            n=64, b=8, nb=16, probes=False,
+            path=str(tmp_path / "run.jsonl"),
+            live=LiveConfig(dir=str(tmp_path / "live"), interval=0.02),
+        )
+        text = render_report(load_manifest(run.path))
+        assert "live metrics:" in text
+        assert "repro_gemm_latency_seconds" in text
+        assert "p99" in text
+        assert "progress at run end:" in text
+
+
+class TestCli:
+    def test_live_subcommand_renders_directory(self, tmp_path, capsys, rng):
+        from repro.eig.driver import syevd_2stage
+        from repro.obs.__main__ import main
+
+        d = str(tmp_path / "live")
+        a = random_symmetric(64, rng)
+        syevd_2stage(a, b=8, nb=16, live=LiveConfig(dir=d, interval=0.02))
+        assert main(["live", d]) == 0
+        out = capsys.readouterr().out
+        assert "heartbeat: beat #" in out
+        assert "repro_gemm_latency_seconds" in out
+
+    def test_live_subcommand_absent_directory(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["live", str(tmp_path / "nowhere")]) == 0
+        assert "(absent)" in capsys.readouterr().out
+
+
+class TestBenchstoreLatency:
+    def test_scenario_rows_carry_gemm_latency_quantiles(self):
+        from repro.obs.analytics import run_suite
+        from repro.obs.analytics.benchstore import BenchScenario
+
+        session = run_suite(scenarios=(
+            BenchScenario("tiny", n=32, b=4, nb=8),
+        ), repeats=2)
+        row = session["scenarios"][0]
+        assert row["gemm_latency"] is not None
+        assert row["gemm_latency"]["count"] > 0
+        assert set(row["gemm_latency"]["quantiles"]) == {"0.5", "0.9", "0.99"}
+        assert live_registry.active_registry() is None
