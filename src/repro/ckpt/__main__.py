@@ -27,6 +27,7 @@ import os
 import sys
 
 from ..errors import CheckpointCorruptionError, ConfigurationError, SimulatedCrashError
+from ..ioutils import sigterm_as_interrupt
 from ..resilience.crash import CrashInjector, parse_kill_site
 from .store import CheckpointConfig, CheckpointManager
 
@@ -68,11 +69,16 @@ def _cmd_run(args) -> int:
     )
     a = _test_matrix(args.n, args.seed)
     try:
-        res = syevd_2stage(
-            a, b=args.b, nb=args.nb, method=args.method,
-            precision=args.precision, want_vectors=not args.no_vectors,
-            tridiag_solver=args.solver, checkpoint=cfg,
-        )
+        with sigterm_as_interrupt():
+            res = syevd_2stage(
+                a, b=args.b, nb=args.nb, method=args.method,
+                precision=args.precision, want_vectors=not args.no_vectors,
+                tridiag_solver=args.solver, checkpoint=cfg,
+            )
+    except KeyboardInterrupt:
+        print("interrupted; checkpoint flushed, resume with "
+              f"'python -m repro.ckpt resume {args.run_dir}'", file=sys.stderr)
+        return 130
     except SimulatedCrashError as exc:
         print(f"crashed (simulated): {exc}", file=sys.stderr)
         return CrashInjector.HARD_EXIT_CODE
@@ -84,10 +90,15 @@ def _cmd_resume(args) -> int:
     from .driver import resume
 
     try:
-        res = resume(
-            args.run_dir, strict=not args.no_strict,
-            crash=_crash_from_args(args),
-        )
+        with sigterm_as_interrupt():
+            res = resume(
+                args.run_dir, strict=not args.no_strict,
+                crash=_crash_from_args(args),
+            )
+    except KeyboardInterrupt:
+        print("interrupted; checkpoint flushed, resume again with "
+              f"'python -m repro.ckpt resume {args.run_dir}'", file=sys.stderr)
+        return 130
     except SimulatedCrashError as exc:
         print(f"crashed (simulated): {exc}", file=sys.stderr)
         return CrashInjector.HARD_EXIT_CODE

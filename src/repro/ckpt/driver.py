@@ -40,6 +40,7 @@ def resume(
     record_trace: bool = False,
     every: int = 1,
     keep_panels: int = 2,
+    **overrides,
 ):
     """Continue an interrupted ``syevd_2stage`` run to completion.
 
@@ -61,6 +62,15 @@ def resume(
     every, keep_panels : int
         Checkpoint cadence for the continuation (see
         :class:`~repro.ckpt.store.CheckpointConfig`).
+    **overrides
+        Extra keyword arguments forwarded to ``syevd_2stage`` for the
+        continuation — run-environment knobs only (``faults=``,
+        ``metrics=``, ``live=``, ``workspace=``, ``check_input=``, ...).
+        Arguments pinned in the stored run config (``b``, ``precision``,
+        ``method``, ...) cannot be overridden: the checkpoint store
+        validates config equality on ``begin`` and raises
+        :class:`~repro.errors.ConfigurationError` on a mismatch, since
+        changing them would break bitwise-identical resume.
 
     Returns
     -------
@@ -83,6 +93,13 @@ def resume(
         )
     a = mgr.input_matrix()
     kwargs = {k: config[k] for k in _FORWARDED if k in config}
+    clash = set(kwargs) & set(overrides)
+    if clash:
+        from ..errors import ConfigurationError
+        raise ConfigurationError(
+            f"cannot override pinned run config on resume: {sorted(clash)}"
+        )
+    kwargs.update(overrides)
     return syevd_2stage(a, checkpoint=mgr, record_trace=record_trace, **kwargs)
 
 

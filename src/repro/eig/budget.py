@@ -59,6 +59,35 @@ class WallClockBudget:
         """Seconds since construction (0.0 when inactive)."""
         return obs.now() - self._t0 if self.active else 0.0
 
+    def remaining(self) -> "float | None":
+        """Seconds left before the ceiling (``None`` when inactive).
+
+        Clamped at 0.0 — a negative remainder means the next
+        :meth:`check` raises.  The serving layer uses this to translate
+        an SLO deadline into the budget passed down to a solver phase.
+        """
+        if self.max_seconds is None:
+            return None
+        return max(0.0, float(self.max_seconds) - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        """True once the ceiling is passed (False when inactive)."""
+        return self.active and self.elapsed() > self.max_seconds
+
+    @classmethod
+    def until(cls, deadline: "float | None", *, phase: str) -> "WallClockBudget":
+        """Budget expiring at absolute time ``deadline`` (obs-clock epoch).
+
+        ``None`` or an already-passed deadline maps to a minimal positive
+        budget (1 ms) rather than a disabled one, so the first
+        :meth:`check` raises promptly — a job admitted past its SLO
+        deadline should fail fast, not run unbounded.
+        """
+        if deadline is None:
+            return cls(None, phase=phase)
+        return cls(max(deadline - obs.now(), 1e-3), phase=phase)
+
     def check(self, *, iterations: "int | None" = None,
               residual: "float | None" = None) -> None:
         """Raise :class:`BudgetExceededError` once the ceiling is passed.

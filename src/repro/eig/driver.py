@@ -297,6 +297,7 @@ def syevd_2stage(
     faults: "FaultInjector | None" = None,
     checkpoint: "CheckpointConfig | CheckpointManager | str | None" = None,
     check_finite: bool = True,
+    check_input: bool = True,
     live=None,
     metrics=None,
 ) -> EvdResult:
@@ -361,6 +362,15 @@ def syevd_2stage(
     check_finite : bool
         Reject NaN/Inf inputs up front with a clear error (cheap
         ``np.isfinite`` gate; skippable for pre-validated inputs).
+    check_input : bool
+        Master up-front validation gate (default on): non-square,
+        non-symmetric, and (together with ``check_finite``) non-finite
+        inputs raise a structured
+        :class:`~repro.errors.ValidationError` whose ``field``
+        attribute names the failed check (``"square"``, ``"symmetry"``,
+        ``"finite"``, ...) instead of breaking deep inside SBR.
+        ``check_input=False`` skips the symmetry/finite comparisons for
+        pre-validated inputs (shape coercion still happens).
     live : bool, str, LiveConfig, MetricsRegistry, or LiveSession, optional
         Live monitoring for this run (:mod:`repro.obs.live`).  ``True``
         or a directory path starts the full stack — metrics registry,
@@ -378,9 +388,9 @@ def syevd_2stage(
     EvdResult
     """
     a = np.asarray(a)
-    if check_finite and a.ndim == 2 and a.size:
+    if check_input and check_finite and a.ndim == 2 and a.size:
         check_finite_matrix(a)
-    a = as_symmetric_matrix(a)
+    a = as_symmetric_matrix(a, check=check_input)
     n = a.shape[0]
     if nb is None:
         nb = 4 * b
@@ -520,6 +530,7 @@ def syevd_1stage(
     tridiag_solver: str = "dc",
     on_breakdown: "str | None" = "escalate",
     check_finite: bool = True,
+    check_input: bool = True,
 ) -> EvdResult:
     """One-stage eigendecomposition: direct Householder tridiagonalization.
 
@@ -531,9 +542,9 @@ def syevd_1stage(
     alike apart from ``None``, which disables detection).
     """
     a = np.asarray(a)
-    if check_finite and a.ndim == 2 and a.size:
+    if check_input and check_finite and a.ndim == 2 and a.size:
         check_finite_matrix(a)
-    a = as_symmetric_matrix(a, dtype=np.float64)
+    a = as_symmetric_matrix(a, dtype=np.float64, check=check_input)
     ctx = _make_context(on_breakdown, None, None, None, None)
     with obs.span("syevd_1stage", n=a.shape[0], solver=tridiag_solver):
         with obs.span("tridiagonalize"):
@@ -574,6 +585,7 @@ def syevd_selected(
     on_breakdown: "str | None" = "escalate",
     faults: "FaultInjector | None" = None,
     check_finite: bool = True,
+    check_input: bool = True,
 ) -> EvdResult:
     """Selected eigenpairs: band reduction + bisection + inverse iteration.
 
@@ -602,9 +614,9 @@ def syevd_selected(
     from .inverse_iteration import tridiag_inverse_iteration
 
     a = np.asarray(a)
-    if check_finite and a.ndim == 2 and a.size:
+    if check_input and check_finite and a.ndim == 2 and a.size:
         check_finite_matrix(a)
-    a = as_symmetric_matrix(a)
+    a = as_symmetric_matrix(a, check=check_input)
     n = a.shape[0]
     if nb is None:
         nb = 4 * b

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConvergenceError, ShapeError
+from ..validation import check_finite_vector, check_tridiagonal
 from ..obs.live import use_registry
 from .budget import WallClockBudget
 
@@ -63,6 +64,7 @@ def tridiag_inverse_iteration(
     rng: np.random.Generator | None = None,
     max_seconds: float | None = None,
     metrics=None,
+    check_input: bool = True,
 ) -> np.ndarray:
     """Eigenvectors of tridiag(d, e) for precomputed eigenvalues.
 
@@ -88,6 +90,10 @@ def tridiag_inverse_iteration(
     metrics : repro.obs.live.MetricsRegistry, optional
         Install a live metrics registry for this call (iteration ticks
         land under ``phase="inverse_iteration"``).
+    check_input : bool
+        Validate ``(d, e)`` and ``eigenvalues`` up front (shape +
+        finiteness) with a structured
+        :class:`~repro.errors.ValidationError`; default on.
 
     Returns
     -------
@@ -98,8 +104,10 @@ def tridiag_inverse_iteration(
         with use_registry(metrics):
             return tridiag_inverse_iteration(
                 d, e, eigenvalues, cluster_tol=cluster_tol, rng=rng,
-                max_seconds=max_seconds,
+                max_seconds=max_seconds, check_input=check_input,
             )
+    if check_input:
+        d, e = check_tridiagonal(d, e)
     d = np.asarray(d, dtype=np.float64)
     e = np.asarray(e, dtype=np.float64)
     lam = np.asarray(eigenvalues, dtype=np.float64)
@@ -108,6 +116,8 @@ def tridiag_inverse_iteration(
         raise ShapeError(f"need d (n,) and e (n-1,), got {d.shape} and {e.shape}")
     if lam.ndim != 1:
         raise ShapeError(f"eigenvalues must be 1-D, got shape {lam.shape}")
+    if check_input and lam.size:
+        check_finite_vector(lam, name="eigenvalues")
     if rng is None:
         rng = np.random.default_rng(0)
 

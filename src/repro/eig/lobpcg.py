@@ -27,7 +27,7 @@ import numpy as np
 from ..errors import ConfigurationError, ConvergenceError, ShapeError
 from ..gemm.engine import GemmEngine, PlainEngine
 from ..obs.live import use_registry
-from ..validation import as_symmetric_matrix
+from ..validation import as_symmetric_matrix, check_finite_matrix
 from .budget import WallClockBudget
 
 __all__ = ["lobpcg"]
@@ -54,6 +54,7 @@ def lobpcg(
     max_seconds: float | None = None,
     rng: np.random.Generator | None = None,
     metrics=None,
+    check_input: bool = True,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Extremal eigenpairs of a symmetric matrix by LOBPCG.
 
@@ -81,6 +82,9 @@ def lobpcg(
         Install a live metrics registry for this call: per-iteration
         ticks and the residual gauge land under ``phase="lobpcg"``, and
         the block products feed the GEMM latency histograms.
+    check_input : bool
+        Reject non-square/non-symmetric/non-finite ``a`` up front with
+        a structured :class:`~repro.errors.ValidationError`; default on.
 
     Returns
     -------
@@ -97,8 +101,12 @@ def lobpcg(
                 a, k, x0=x0, largest=largest,
                 preconditioner=preconditioner, engine=engine, tol=tol,
                 max_iter=max_iter, max_seconds=max_seconds, rng=rng,
+                check_input=check_input,
             )
-    a = as_symmetric_matrix(a, dtype=np.float64)
+    a = np.asarray(a)
+    if check_input and a.ndim == 2 and a.size:
+        check_finite_matrix(a)
+    a = as_symmetric_matrix(a, dtype=np.float64, check=check_input)
     n = a.shape[0]
     if not isinstance(k, (int, np.integer)) or k < 1 or 3 * k > n:
         raise ShapeError(f"need 1 <= k <= n/3 for the [X R P] basis, got k={k}, n={n}")

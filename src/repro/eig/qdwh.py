@@ -30,7 +30,7 @@ from scipy.linalg import qr as scipy_qr
 
 from ..errors import ConvergenceError, ShapeError
 from ..obs.live import use_registry
-from ..validation import as_square_matrix, as_symmetric_matrix
+from ..validation import as_square_matrix, as_symmetric_matrix, check_finite_matrix
 from .budget import WallClockBudget
 
 __all__ = ["qdwh_polar", "qdwh_eig"]
@@ -135,6 +135,7 @@ def qdwh_eig(
     tol: float = 1e-14,
     max_seconds: float | None = None,
     metrics=None,
+    check_input: bool = True,
     _depth: int = 0,
     _budget: "WallClockBudget | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -157,6 +158,10 @@ def qdwh_eig(
         Install a live metrics registry for the whole divide & conquer
         (recursion ticks land under ``phase="qdwh_eig"``, the inner
         polar iterations under ``phase="qdwh_polar"``).
+    check_input : bool
+        Reject non-square/non-symmetric/non-finite ``a`` up front with
+        a structured :class:`~repro.errors.ValidationError`; default on
+        (recursive subproblems skip it automatically).
 
     Returns
     -------
@@ -169,9 +174,13 @@ def qdwh_eig(
         with use_registry(metrics):
             return qdwh_eig(
                 a, min_size=min_size, tol=tol, max_seconds=max_seconds,
-                _depth=_depth, _budget=_budget,
+                check_input=check_input, _depth=_depth, _budget=_budget,
             )
-    a = as_symmetric_matrix(a, dtype=np.float64)
+    a = np.asarray(a)
+    gate = check_input and _depth == 0
+    if gate and a.ndim == 2 and a.size:
+        check_finite_matrix(a)
+    a = as_symmetric_matrix(a, dtype=np.float64, check=gate)
     n = a.shape[0]
     budget = _budget if _budget is not None else WallClockBudget(
         max_seconds, phase="qdwh_eig"

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConvergenceError, ShapeError
+from ..validation import check_tridiagonal
 from ..obs.live import use_registry
 from .budget import WallClockBudget
 
@@ -30,6 +31,7 @@ def tridiag_eig_ql(
     z0: np.ndarray | None = None,
     max_seconds: float | None = None,
     metrics=None,
+    check_input: bool = True,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Eigendecomposition of the symmetric tridiagonal (d, e).
 
@@ -53,6 +55,10 @@ def tridiag_eig_ql(
         Install a live metrics registry for this call (iteration ticks
         land on the ``repro_solver_iterations_total{phase="ql_iteration"}``
         counter).
+    check_input : bool
+        Validate ``(d, e)`` up front (shape + finiteness) with a
+        structured :class:`~repro.errors.ValidationError` instead of
+        spinning on NaN rotations; default on.
 
     Returns
     -------
@@ -65,8 +71,10 @@ def tridiag_eig_ql(
         with use_registry(metrics):
             return tridiag_eig_ql(
                 d, e, want_vectors=want_vectors, z0=z0,
-                max_seconds=max_seconds,
+                max_seconds=max_seconds, check_input=check_input,
             )
+    if check_input:
+        d, e = check_tridiagonal(d, e)
     d = np.array(d, dtype=np.float64, copy=True)
     e_in = np.asarray(e, dtype=np.float64)
     n = d.size

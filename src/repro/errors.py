@@ -13,6 +13,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ValidationError",
     "ShapeError",
     "NotSymmetricError",
     "SingularMatrixError",
@@ -23,6 +24,8 @@ __all__ = [
     "CheckpointCorruptionError",
     "CheckpointSchemaError",
     "SimulatedCrashError",
+    "AdmissionError",
+    "JobPreempted",
 ]
 
 
@@ -30,12 +33,55 @@ class ReproError(Exception):
     """Base class of all errors raised by the repro library."""
 
 
-class ShapeError(ReproError, ValueError):
+class ValidationError(ReproError, ValueError):
+    """An input argument failed an up-front validation gate.
+
+    The structured counterpart of "failing deep inside SBR": the entry
+    validators reject bad inputs before any kernel runs, and ``field``
+    names the check that failed so callers (and the serving layer's
+    admission control) can map the failure to a client error without
+    parsing message strings.
+
+    Attributes
+    ----------
+    field : str or None
+        Which check failed: ``"ndim"``, ``"empty"``, ``"square"``,
+        ``"symmetry"``, ``"finite"``, or a routine-specific field name.
+    name : str or None
+        The argument that failed validation (e.g. ``"a"``, ``"d"``).
+    """
+
+    def __init__(self, message: str = "", *, field: str | None = None,
+                 name: str | None = None) -> None:
+        super().__init__(message)
+        self.field = field
+        self.name = name
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.field is not None:
+            parts.append(f"field={self.field}")
+        if self.name is not None:
+            parts.append(f"name={self.name}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
+
+
+class ShapeError(ValidationError):
     """An array argument has an incompatible or unsupported shape."""
 
 
-class NotSymmetricError(ReproError, ValueError):
-    """A routine requiring a symmetric matrix received a non-symmetric one."""
+class NotSymmetricError(ValidationError):
+    """A routine requiring a symmetric matrix received a non-symmetric one.
+
+    ``field`` defaults to ``"symmetry"``.
+    """
+
+    def __init__(self, message: str = "", *, field: str | None = "symmetry",
+                 name: str | None = None) -> None:
+        super().__init__(message, field=field, name=name)
 
 
 class SingularMatrixError(ReproError, ValueError):
@@ -319,6 +365,81 @@ class SimulatedCrashError(ReproError, RuntimeError):
             parts.append(f"site={self.site}")
         if self.kind is not None:
             parts.append(f"kind={self.kind}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
+
+
+class AdmissionError(ReproError, RuntimeError):
+    """The serving layer refused to accept a request (backpressure).
+
+    Raised by :meth:`repro.serve.EvdService.submit` when the request
+    cannot be admitted *right now*: the queue is at capacity, the circuit
+    breaker is open after repeated worker failures, the worker pool has
+    stalled, or the service is shutting down.  This is load shedding at
+    the door — the request was never enqueued and the caller should back
+    off and retry after ``retry_after`` seconds (when one is given).
+
+    Attributes
+    ----------
+    reason : str or None
+        Why admission was refused: ``"queue_full"``, ``"circuit_open"``,
+        ``"stalled"``, ``"shutdown"``, ``"invalid"``.
+    retry_after : float or None
+        Suggested client backoff in seconds (``None`` when retrying
+        cannot help, e.g. an invalid input).
+    """
+
+    def __init__(self, message: str = "", *, reason: str | None = None,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.reason is not None:
+            parts.append(f"reason={self.reason}")
+        if self.retry_after is not None:
+            parts.append(f"retry_after={self.retry_after:.3f}s")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
+
+
+class JobPreempted(ReproError, RuntimeError):
+    """A running serve job was evicted at a committed checkpoint boundary.
+
+    Control-flow exception of the serving layer's preemption protocol:
+    the scheduler requests eviction, and the job's preemption token
+    raises this at the next ``ckpt.save.*.post`` site — *after* the
+    checkpoint is durable — so the worker unwinds with the run directory
+    in a resumable state.  Never escapes the serving layer.
+
+    Attributes
+    ----------
+    reason : str or None
+        Why the job was evicted: ``"priority"`` (a higher class needed
+        the worker), ``"deadline"`` (the job overran its SLO),
+        ``"cancel"``, ``"shutdown"``.
+    site : str or None
+        The checkpoint site at which the eviction took effect.
+    """
+
+    def __init__(self, message: str = "", *, reason: str | None = None,
+                 site: str | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.site = site
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.reason is not None:
+            parts.append(f"reason={self.reason}")
+        if self.site is not None:
+            parts.append(f"site={self.site}")
         if parts:
             return f"{msg} [{', '.join(parts)}]"
         return msg

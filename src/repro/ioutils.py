@@ -15,9 +15,12 @@ This module depends only on the standard library so :mod:`repro.obs` and
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import signal
 import tempfile
+import threading
 import zlib
 
 __all__ = [
@@ -27,6 +30,7 @@ __all__ = [
     "append_jsonl",
     "file_crc32",
     "sweep_orphans",
+    "sigterm_as_interrupt",
 ]
 
 #: Suffix marker of in-flight temporary files (see :func:`sweep_orphans`).
@@ -135,3 +139,32 @@ def sweep_orphans(directory: str) -> list[str]:
             except OSError:
                 pass
     return removed
+
+
+@contextlib.contextmanager
+def sigterm_as_interrupt():
+    """Convert SIGTERM into ``KeyboardInterrupt`` inside this block.
+
+    Long-running entry points (the checkpoint CLI, the serving worker
+    loop) wrap their work in this so an orchestrator's polite kill takes
+    the same graceful path as Ctrl-C: the SBR drivers flush a committed
+    checkpoint and re-raise, leaving the run directory resumable.
+
+    Signal handlers are process-global and can only be installed from
+    the main thread; anywhere else this is a documented no-op (worker
+    *threads* already receive the main thread's ``KeyboardInterrupt``
+    path via their job's cancellation token instead).  The previous
+    handler is restored on exit.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)

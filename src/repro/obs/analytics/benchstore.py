@@ -33,6 +33,7 @@ __all__ = [
     "BenchScenario",
     "SUITES",
     "run_suite",
+    "make_session",
     "write_session",
     "load_session",
     "default_session_path",
@@ -272,6 +273,41 @@ def run_suite(
         "env": environment_fingerprint(),
         "scenarios": rows,
     }
+
+
+def make_session(
+    suite: str,
+    scenarios: "list[dict]",
+    *,
+    repeats: int = 1,
+    extra: "dict | None" = None,
+) -> dict:
+    """Build a bench-session dict from externally measured scenario rows.
+
+    For producers that are not solver re-runs — the serving layer records
+    one row per priority class with ``wall`` holding the observed
+    per-request latencies — so their sessions flow through the same
+    :func:`write_session` / :func:`load_session` / regression-gate path
+    as the solver suites.  Each row must carry ``key`` (the join
+    identity) and a ``wall`` list; everything else rides along verbatim.
+    """
+    for row in scenarios:
+        if not isinstance(row, dict) or "key" not in row:
+            raise ValueError(f"scenario row missing 'key': {row!r}")
+        if not isinstance(row.get("wall"), list):
+            raise ValueError(f"scenario {row.get('key')!r} missing 'wall' list")
+    session = {
+        "kind": "bench_session",
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "repeats": repeats,
+        "env": environment_fingerprint(),
+        "scenarios": list(scenarios),
+    }
+    if extra:
+        session.update(extra)
+    return session
 
 
 def default_session_path(suite: str, run_dir: str = "runs") -> str:

@@ -248,6 +248,24 @@ class MetricsRegistry:
         with self._lock:
             return {name: max(now - t, 0.0) for name, t in self._workers.items()}
 
+    def progress_age(self) -> float:
+        """Seconds since the last recorded forward progress.
+
+        The serving layer's admission controller reads this as its
+        health signal: a registry whose solvers have stopped ticking is
+        a wedged pool, and new work should be rejected rather than
+        queued behind it.
+        """
+        now = self.clock()
+        with self._lock:
+            return max(now - self.last_progress, 0.0)
+
+    def stalled_workers(self, max_age: float) -> list:
+        """Worker threads silent for longer than ``max_age`` seconds."""
+        return sorted(
+            name for name, age in self.worker_ages().items() if age > max_age
+        )
+
     def fire_alert(self, alert: dict) -> None:
         with self._lock:
             self.alerts.append(dict(alert))

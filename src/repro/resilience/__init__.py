@@ -52,6 +52,7 @@ from .policy import (
     EscalationLadder,
     EscalationRecord,
     ResilienceReport,
+    backoff,
 )
 
 __all__ = [
@@ -77,4 +78,5 @@ __all__ = [
     "EscalationLadder",
     "EscalationRecord",
     "ResilienceReport",
+    "backoff",
 ]

@@ -24,6 +24,7 @@ escalated precision) or to propagate.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
@@ -407,6 +408,11 @@ class ResilienceContext:
                 _live.inc("repro_resilience_escalations_total")
                 with obs.span("resilience.escalate", **rec.to_dict()):
                     pass
+        wait = self.ladder.delay(attempt + 1)
+        if wait > 0.0:
+            # Only pauses when the ladder opts into a non-zero backoff base
+            # (the serving layer does; in-process retries keep base=0).
+            time.sleep(wait)
         return True
 
     def note_precision(self, phase: str, precision: "Precision | str") -> None:

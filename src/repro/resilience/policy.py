@@ -17,14 +17,49 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..precision.modes import Precision
 
 __all__ = [
+    "backoff",
     "EscalationLadder",
     "DetectionRecord",
     "EscalationRecord",
     "ResilienceReport",
 ]
+
+
+def backoff(
+    attempt: int,
+    *,
+    base: float = 0.05,
+    cap: float = 5.0,
+    jitter: float = 0.5,
+    rng: "np.random.Generator | None" = None,
+) -> float:
+    """Exponential-backoff delay (seconds) for retry ``attempt`` (1-based).
+
+    The deterministic part doubles per attempt and saturates at ``cap``:
+    ``min(cap, base * 2**(attempt-1))``.  ``jitter`` is the fraction of
+    that delay randomized away ("decorrelated" tail): the result is drawn
+    uniformly from ``[delay * (1 - jitter), delay]``, so concurrent
+    retriers spread out instead of stampeding in lockstep.  With
+    ``jitter=0`` or ``rng=None`` the delay is fully deterministic, which
+    is what the escalation ladder (same-thread retry, no herd) and seeded
+    tests use; the serve retry policy passes a seeded
+    ``numpy.random.Generator`` so soak runs are reproducible.
+
+    ``attempt <= 0`` or ``base <= 0`` returns ``0.0`` (no sleep before
+    the first try, and a zero base disables backoff entirely).
+    """
+    if attempt <= 0 or base <= 0.0:
+        return 0.0
+    delay = min(float(cap), float(base) * (2.0 ** (attempt - 1)))
+    if jitter > 0.0 and rng is not None:
+        frac = min(max(float(jitter), 0.0), 1.0)
+        delay = delay * (1.0 - frac * float(rng.random()))
+    return delay
 
 
 @dataclass
@@ -44,15 +79,35 @@ class EscalationLadder:
         Whether an escalated precision persists for subsequent units of
         the same phase (True, the safe default) or reverts to the base
         precision after the failed unit recovers.
+    backoff_base : float
+        Base delay (seconds) for :meth:`delay`.  Defaults to 0.0 —
+        in-process numerical retries re-run immediately; only callers
+        that retry against shared external state (the serving layer)
+        opt into a non-zero base.
+    backoff_cap : float
+        Saturation point for the exponential delay.
+    backoff_jitter : float
+        Fraction of the delay randomized away when an rng is supplied
+        to :meth:`delay`.
     """
 
     max_retries: int = 4
     widen: int = 1
     sticky: bool = True
+    backoff_base: float = 0.0
+    backoff_cap: float = 5.0
+    backoff_jitter: float = 0.5
 
     def rungs_for_attempt(self, attempt: int) -> int:
         """Rungs to climb on retry ``attempt`` (1-based)."""
         return self.widen * (2 ** max(attempt - 1, 0))
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """Seconds to wait before retry ``attempt`` (see :func:`backoff`)."""
+        return backoff(
+            attempt, base=self.backoff_base, cap=self.backoff_cap,
+            jitter=self.backoff_jitter, rng=rng,
+        )
 
     def escalate(self, current: Precision, attempt: int) -> "Precision | None":
         """Next precision for retry ``attempt`` of a unit now at ``current``.

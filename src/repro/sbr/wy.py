@@ -312,12 +312,30 @@ def sbr_wy(
                 m = n - i - b  # panel rows
                 if m < 2:
                     break
-                status, la_fut = _resilient_panel_step(
-                    A, OA, st, eng, strategy, ctx, ws,
-                    b=b, nb=nb, j0=j0, r=r, n=n,
-                    panel_index=panel_index, norm_baseline=norm_baseline,
-                    la_pool=la_pool, pre_pf=pre_pf, oa_op=oa_op,
-                )
+                if ck is not None:
+                    # Interrupt-flush snapshot: a KeyboardInterrupt/SIGTERM
+                    # landing mid-step leaves A[i:, i:] half-updated, so the
+                    # pre-step state is kept restorable until the step
+                    # commits.  Same region the resilience retry snapshots.
+                    flush_snap = A[i:, i:].copy()
+                    flush_k = st.k
+                try:
+                    status, la_fut = _resilient_panel_step(
+                        A, OA, st, eng, strategy, ctx, ws,
+                        b=b, nb=nb, j0=j0, r=r, n=n,
+                        panel_index=panel_index, norm_baseline=norm_baseline,
+                        la_pool=la_pool, pre_pf=pre_pf, oa_op=oa_op,
+                    )
+                except KeyboardInterrupt:
+                    if ck is not None:
+                        A[i:, i:] = flush_snap
+                        st.k = flush_k
+                        _flush_interrupt_checkpoint(
+                            ck, A=A, blocks=blocks, ctx=ctx, eng=eng,
+                            j0=j0, r=r, st=st, panel_index=panel_index,
+                            norm_baseline=norm_baseline, OA=OA,
+                        )
+                    raise
                 pre_pf = None
                 panel_index += 1
                 if ck is not None and status == "advance" \
@@ -375,6 +393,37 @@ def sbr_wy(
             with ctx.unit("sbr"):
                 ctx.check_residual(a, q, A, precision=eng.precision)
     return SbrResult(band=A, bandwidth=b, q=q, blocks=blocks, workspace=ws)
+
+
+def _flush_interrupt_checkpoint(
+    ck, *, A, blocks, ctx, eng, j0, r, st, panel_index, norm_baseline, OA,
+):
+    """Commit a resumable checkpoint after an interrupt restored pre-step state.
+
+    Runs with ``A``/``st`` already rolled back to the start of the
+    interrupted panel step, so the commit is exactly the checkpoint the
+    regular cadence *would* have written there: mid-block (with
+    ``OA``/``W``/``Y``/``OAW``) when earlier panels of this big block are
+    live in the arena, block-boundary otherwise (``OA`` is recaptured
+    from ``A`` on resume).  Ignores the ``should_save_panel`` cadence —
+    an interrupted run flushes unconditionally so resume never falls
+    back further than the interrupted panel.  A second interrupt during
+    the flush itself propagates; the atomic commit protocol guarantees
+    the previous checkpoint stays intact in that case.
+    """
+    if st.k > 0:
+        save_wy_panel(
+            ck, A=A, blocks=blocks, ctx=ctx, eng=eng,
+            j0=j0, r_next=r, panel_index=panel_index,
+            norm_baseline=norm_baseline,
+            OA=OA, W=st.W, Y=st.Y, OAW=st.OAW,
+        )
+    else:
+        save_wy_panel(
+            ck, A=A, blocks=blocks, ctx=ctx, eng=eng,
+            j0=j0, r_next=0, panel_index=panel_index,
+            norm_baseline=norm_baseline,
+        )
 
 
 def _resilient_panel_step(

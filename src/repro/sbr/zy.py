@@ -158,11 +158,31 @@ def sbr_zy(
             ck.mark_resumed(rck)
 
     while n - i - b >= 2:
-        w, y = _resilient_zy_panel(
-            A, q, eng, strategy, ctx,
-            b=b, i=i, n=n, use_syr2k=use_syr2k,
-            panel_index=panel_index, norm_baseline=norm_baseline,
-        )
+        if ck is not None:
+            # Interrupt-flush snapshot: restore the pre-step state on
+            # KeyboardInterrupt/SIGTERM and commit it, so an interrupted
+            # run resumes from the interrupted panel, not the last
+            # cadence checkpoint (same regions the resilience retry
+            # snapshots: the trailing block and the live Q columns).
+            flush_a = A[i:, i:].copy()
+            flush_q = q[:, i + b:].copy() if q is not None else None
+        try:
+            w, y = _resilient_zy_panel(
+                A, q, eng, strategy, ctx,
+                b=b, i=i, n=n, use_syr2k=use_syr2k,
+                panel_index=panel_index, norm_baseline=norm_baseline,
+            )
+        except KeyboardInterrupt:
+            if ck is not None:
+                A[i:, i:] = flush_a
+                if flush_q is not None:
+                    q[:, i + b:] = flush_q
+                save_zy_panel(
+                    ck, A=A, q=q, blocks=blocks, ctx=ctx, eng=eng,
+                    i=i, panel_index=panel_index,
+                    norm_baseline=norm_baseline,
+                )
+            raise
         blocks.append(WYBlock(offset=i + b, w=w, y=y))
         panel_index += 1
         i += b

@@ -1,0 +1,51 @@
+"""Fault-tolerant EVD-as-a-service (async serving layer).
+
+Public surface::
+
+    from repro.serve import EvdService, JobSpec, RetryPolicy
+
+    with EvdService(workers=4) as svc:
+        job_id = svc.submit(a, priority="interactive", deadline_seconds=2.0)
+        res = svc.result(job_id)
+
+See ``docs/serving.md`` for the full tour: priority classes, SLO
+deadlines, retry/backoff layered on the precision-escalation ladder,
+checkpoint-backed preemption, admission control, circuit breaking,
+graceful degradation, and the batching coalescer.
+"""
+
+from .coalesce import Coalescer, evd_stack
+from .degrade import DegradationPolicy, cheaper_precision
+from .job import (
+    PRIORITIES,
+    TERMINAL_STATES,
+    Job,
+    JobResult,
+    JobSpec,
+    RetryPolicy,
+)
+from .policy import AdmissionController, CircuitBreaker
+from .queue import BoundedJobQueue
+from .scheduler import Scheduler
+from .service import EvdService
+from .worker import PreemptionToken, Worker
+
+__all__ = [
+    "PRIORITIES",
+    "TERMINAL_STATES",
+    "AdmissionController",
+    "BoundedJobQueue",
+    "CircuitBreaker",
+    "Coalescer",
+    "DegradationPolicy",
+    "EvdService",
+    "Job",
+    "JobResult",
+    "JobSpec",
+    "PreemptionToken",
+    "RetryPolicy",
+    "Scheduler",
+    "Worker",
+    "cheaper_precision",
+    "evd_stack",
+]

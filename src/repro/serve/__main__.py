@@ -1,0 +1,235 @@
+"""CLI demo / soak harness for the EVD serving layer.
+
+Demo (a small mixed burst)::
+
+    python -m repro.serve --jobs 12 --workers 2
+
+CI soak (mixed-priority burst, injected crash faults, induced overload)::
+
+    python -m repro.serve --jobs 24 --workers 2 --queue-cap 8 \\
+        --inject-faults --crash-one --overload --bench-out runs/BENCH_serve.json
+
+The soak asserts the serving layer's core robustness invariants and
+exits non-zero if any is violated:
+
+- **zero jobs lost** — every submitted job reached a terminal state
+  (rejected submissions got an explicit AdmissionError, which is the
+  backpressure contract, not a loss);
+- **no orphaned run dirs** — every checkpoint spool entry belongs to a
+  known, terminal job;
+- **crash-resume correctness** — a job whose run was crash-killed at a
+  checkpoint commit still finished, and (when preempted) its result is
+  bitwise-identical to an uninterrupted run;
+- **latency rows exported** — per-class p50/p99 landed in the bench
+  store for the regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from ..errors import AdmissionError
+from ..resilience.crash import CrashFaultSpec, CrashInjector
+from .job import JobSpec, RetryPolicy
+from .service import EvdService
+
+
+def _sym(rng, n: int) -> np.ndarray:
+    b = rng.standard_normal((n, n))
+    return (b + b.T) / 2.0
+
+
+def _mixed_specs(args, rng) -> "list[JobSpec]":
+    """Round-robin mixed-priority burst: interactive coalescible smalls,
+    standard mediums, checkpointed batch jobs with deadlines."""
+    specs = []
+    for i in range(args.jobs):
+        kind = i % 3
+        if kind == 0:
+            specs.append(JobSpec(
+                a=_sym(rng, args.n // 2), priority="interactive",
+                coalescible=True, deadline_seconds=30.0,
+                tag=f"interactive-{i}",
+            ))
+        elif kind == 1:
+            specs.append(JobSpec(
+                a=_sym(rng, args.n), priority="standard",
+                deadline_seconds=60.0, tag=f"standard-{i}",
+            ))
+        else:
+            specs.append(JobSpec(
+                a=_sym(rng, args.n), b=4, priority="batch",
+                checkpointed=True, deadline_seconds=120.0,
+                retry=RetryPolicy(max_attempts=4, backoff_base=0.01),
+                tag=f"batch-{i}",
+            ))
+    return specs
+
+
+def _install_faults(svc: EvdService, args) -> "set[str]":
+    """Plant one crash-kill per tagged job on its first attempt only."""
+    crash_tags: "set[str]" = set()
+    if not (args.inject_faults or args.crash_one):
+        return crash_tags
+
+    def factory(job):
+        if (
+            job.spec.tag in crash_tags
+            and job.spec.checkpointed
+            and job.attempts == 1
+        ):
+            return CrashInjector(CrashFaultSpec(
+                site="ckpt.save.*.post", call_index=2, kind="kill",
+            ))
+        return None
+
+    svc.fault_factory = factory
+    return crash_tags
+
+
+def _bitwise_reference(spec: JobSpec, result) -> bool:
+    """Re-run an evicted job's config uninterrupted; compare bitwise."""
+    from ..eig.driver import syevd_2stage
+
+    with tempfile.TemporaryDirectory(prefix="serve-ref-") as ref_dir:
+        ref = syevd_2stage(
+            spec.a, b=spec.b, nb=spec.nb, method=spec.method,
+            precision=result.precision_used,
+            want_vectors=result.eigenvectors is not None,
+            tridiag_solver=spec.tridiag_solver,
+            checkpoint=os.path.join(ref_dir, "run"),
+        )
+    if not np.array_equal(ref.eigenvalues, result.eigenvalues):
+        return False
+    if result.eigenvectors is not None:
+        return np.array_equal(ref.eigenvectors, result.eigenvectors)
+    return True
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="EVD-as-a-service demo / soak harness",
+    )
+    ap.add_argument("--jobs", type=int, default=12, help="burst size")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--n", type=int, default=48, help="base matrix size")
+    ap.add_argument("--queue-cap", type=int, default=32)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--spool", default=None, help="spool dir (default: temp)")
+    ap.add_argument("--bench-out", default=None,
+                    help="bench session path (default: runs/BENCH_serve.json)")
+    ap.add_argument("--inject-faults", action="store_true",
+                    help="crash-kill every 4th checkpointed job at a "
+                         "checkpoint commit (retry-resume path)")
+    ap.add_argument("--crash-one", action="store_true",
+                    help="crash-kill exactly one checkpointed job")
+    ap.add_argument("--overload", action="store_true",
+                    help="submit the whole burst at once against the "
+                         "bounded queue (exercises backpressure/shedding)")
+    ap.add_argument("--no-bench", action="store_true")
+    args = ap.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    specs = _mixed_specs(args, rng)
+
+    svc = EvdService(
+        workers=args.workers, queue_capacity=args.queue_cap,
+        spool_dir=args.spool, seed=args.seed,
+    )
+    crash_tags = _install_faults(svc, args)
+    ckpt_tags = [s.tag for s in specs if s.checkpointed]
+    if args.inject_faults:
+        crash_tags.update(ckpt_tags[::4] or ckpt_tags[:1])
+    elif args.crash_one:
+        crash_tags.update(ckpt_tags[:1])
+
+    submitted: "list[tuple[str, JobSpec]]" = []
+    rejected = 0
+    with svc:
+        for spec in specs:
+            try:
+                submitted.append((svc.submit(spec=spec), spec))
+            except AdmissionError as exc:
+                rejected += 1
+                print(f"rejected ({exc.reason}): {spec.tag}", file=sys.stderr)
+            if not args.overload:
+                # Pace the burst so the queue breathes between arrivals.
+                svc.sleep(0.01)
+        results = {
+            jid: svc.result(jid, timeout=300.0) for jid, _ in submitted
+        }
+    # -- report ------------------------------------------------------------
+    stats = svc.stats()
+    print(f"submitted={len(submitted)} rejected={rejected} "
+          f"outcomes={stats['outcomes']}")
+    failures: "list[str]" = []
+
+    lost = [jid for jid, res in results.items() if res is None]
+    if lost or stats["jobs_pending"]:
+        failures.append(f"jobs lost/non-terminal: {lost or stats['jobs_pending']}")
+
+    # No orphaned run dirs: every spool entry belongs to a terminal job.
+    known = {jid for jid, _ in submitted}
+    for entry in sorted(os.listdir(svc.spool_dir)):
+        path = os.path.join(svc.spool_dir, entry)
+        if not os.path.isdir(path):
+            continue
+        if entry not in known:
+            failures.append(f"orphaned run dir: {entry}")
+        elif results.get(entry) is None:
+            failures.append(f"run dir for non-terminal job: {entry}")
+
+    # Crash-killed jobs must still have terminated (resume or retry).
+    for jid, spec in submitted:
+        res = results[jid]
+        if res is None:
+            continue
+        if spec.tag in crash_tags and res.outcome == "failed":
+            failures.append(
+                f"{spec.tag}: crash-killed job failed outright "
+                f"(attempts={res.attempts}): {res.error}"
+            )
+
+    # Evicted jobs that finished must match an uninterrupted run bitwise.
+    checked = 0
+    for jid, spec in submitted:
+        res = results[jid]
+        if (
+            res is not None and res.ok and res.preemptions > 0
+            and spec.checkpointed and spec.tag not in crash_tags
+            and checked < 2
+        ):
+            checked += 1
+            if not _bitwise_reference(spec, res):
+                failures.append(f"{spec.tag}: evicted job result diverged")
+            else:
+                print(f"{spec.tag}: preempted x{res.preemptions}, "
+                      f"resume bitwise-identical")
+
+    if not args.no_bench:
+        out = svc.write_bench(args.bench_out)
+        if out is None:
+            failures.append("no latency rows to export")
+        else:
+            print(f"bench session: {out}")
+            for row in svc.latency_rows():
+                print(f"  {row['key']}: jobs={row['jobs']} "
+                      f"p50={row['p50'] * 1e3:.1f}ms "
+                      f"p99={row['p99'] * 1e3:.1f}ms")
+
+    if failures:
+        for f in failures:
+            print(f"SOAK FAIL: {f}", file=sys.stderr)
+        return 1
+    print("soak ok: all jobs terminal, spool clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

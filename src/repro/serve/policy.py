@@ -1,0 +1,170 @@
+"""Admission control: circuit breaker + health-signal gating.
+
+Every request passes :meth:`AdmissionController.admit` before it touches
+the queue.  Admission rejects — with a structured
+:class:`~repro.errors.AdmissionError` the client can act on — when:
+
+- the service is shutting down (``reason="shutdown"``),
+- the circuit breaker is open after repeated worker failures
+  (``reason="circuit_open"``, ``retry_after`` = cooldown remaining),
+- the live-metrics registry reports no solver progress for longer than
+  ``stall_after`` seconds while jobs are running (``reason="stalled"``)
+  — a wedged pool should push work away, not bury it.
+
+The queue itself raises ``reason="queue_full"`` from its backpressure
+discipline; the controller deliberately does not duplicate that check
+(the queue's count is the single source of truth).
+
+The breaker is the classic three-state machine: ``closed`` (normal),
+``open`` (rejecting, after ``failure_threshold`` consecutive unexpected
+worker failures), ``half_open`` (after ``cooldown`` seconds, one probe
+job is admitted; success closes the breaker, failure re-opens it).
+Numerical breakdowns and deadline misses do **not** count — they are
+per-job outcomes with their own retry/degradation path; the breaker
+watches for the pool itself being broken (unexpected exceptions).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import AdmissionError
+
+__all__ = ["CircuitBreaker", "AdmissionController"]
+
+
+class CircuitBreaker:
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self.clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = "half_open"
+            self._probing = False
+
+    def allow(self) -> bool:
+        """Whether a new job may be admitted right now.
+
+        In ``half_open`` exactly one probe is let through; concurrent
+        admits are rejected until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            return max(self.cooldown - (self.clock() - self._opened_at), 0.0)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half_open" or self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self.clock()
+                self._probing = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "cooldown": self.cooldown,
+            }
+
+
+class AdmissionController:
+    def __init__(
+        self,
+        *,
+        breaker: "CircuitBreaker | None" = None,
+        registry=None,
+        stall_after: "float | None" = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.breaker = breaker if breaker is not None else CircuitBreaker(clock=clock)
+        self.registry = registry
+        self.stall_after = stall_after
+        self.clock = clock
+        self._shutdown = False
+        #: Set by the service while at least one job is running — the
+        #: stall signal is meaningful only then (an idle pool makes no
+        #: progress by definition).
+        self.active_jobs = 0
+        self._lock = threading.Lock()
+
+    def begin_shutdown(self) -> None:
+        self._shutdown = True
+
+    def job_started(self) -> None:
+        with self._lock:
+            self.active_jobs += 1
+
+    def job_ended(self) -> None:
+        with self._lock:
+            self.active_jobs = max(self.active_jobs - 1, 0)
+
+    def admit(self) -> None:
+        """Raise :class:`AdmissionError` unless a new job may enter."""
+        if self._shutdown:
+            raise AdmissionError(
+                "service is shutting down", reason="shutdown"
+            )
+        if not self.breaker.allow():
+            raise AdmissionError(
+                "circuit breaker open after repeated worker failures",
+                reason="circuit_open", retry_after=self.breaker.retry_after(),
+            )
+        reg = self.registry
+        if (
+            reg is not None
+            and self.stall_after is not None
+            and self.active_jobs > 0
+            and reg.progress_age() > self.stall_after
+        ):
+            raise AdmissionError(
+                f"no solver progress for {reg.progress_age():.1f}s with "
+                f"{self.active_jobs} job(s) running",
+                reason="stalled", retry_after=self.stall_after,
+            )

@@ -1,0 +1,201 @@
+"""Bounded priority queue with explicit backpressure.
+
+The queue is the service's only buffer, and it is *bounded*: accepting
+unlimited work just converts overload into unbounded latency and memory.
+When full it applies one of two explicit backpressure disciplines:
+
+- ``"reject"`` (default): :meth:`put` raises
+  :class:`~repro.errors.AdmissionError` with ``reason="queue_full"`` and
+  a ``retry_after`` hint — load is pushed back to the client, which is
+  the only party that can actually slow down.
+- ``"block"``: :meth:`put` waits (bounded by ``timeout``) for space —
+  appropriate for in-process producers that want flow control instead
+  of failures.
+
+Ordering is priority class first (interactive < standard < batch), then
+submission sequence — preempted jobs keep their original sequence number
+so they re-enter *ahead* of later arrivals of the same class.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from ..errors import AdmissionError
+from .job import Job, priority_rank
+
+__all__ = ["BoundedJobQueue"]
+
+
+class BoundedJobQueue:
+    def __init__(
+        self,
+        capacity: int = 64,
+        *,
+        backpressure: str = "reject",
+        retry_after: float = 0.25,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if backpressure not in ("reject", "block"):
+            raise ValueError(
+                f"backpressure must be 'reject' or 'block', got {backpressure!r}"
+            )
+        self.capacity = capacity
+        self.backpressure = backpressure
+        self.retry_after = retry_after
+        self._heap: list = []  # (class_rank, seq, Job)
+        self._count = 0  # live (non-removed) entries
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producers ---------------------------------------------------------
+    def put(self, job: Job, *, timeout: "float | None" = None) -> None:
+        """Enqueue, applying the configured backpressure when full."""
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("queue is shut down", reason="shutdown")
+            if self._count >= self.capacity:
+                if self.backpressure == "reject":
+                    raise AdmissionError(
+                        f"queue full ({self._count}/{self.capacity})",
+                        reason="queue_full", retry_after=self.retry_after,
+                    )
+                deadline = timeout
+                while self._count >= self.capacity and not self._closed:
+                    if not self._not_full.wait(timeout=deadline):
+                        raise AdmissionError(
+                            f"queue full ({self._count}/{self.capacity}); "
+                            f"timed out blocking for space",
+                            reason="queue_full", retry_after=self.retry_after,
+                        )
+                if self._closed:
+                    raise AdmissionError("queue is shut down", reason="shutdown")
+            self._push(job)
+
+    def _push(self, job: Job) -> None:
+        heapq.heappush(
+            self._heap, (priority_rank(job.spec.priority), job.seq, job)
+        )
+        self._count += 1
+        self._not_empty.notify()
+
+    def requeue(self, job: Job) -> None:
+        """Re-enter a preempted job, bypassing the capacity bound.
+
+        A preempted job already holds a queue slot morally — evicting it
+        must never be lossy, so requeue cannot be refused.  Its original
+        sequence number puts it ahead of later same-class arrivals.
+        """
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("queue is shut down", reason="shutdown")
+            self._push(job)
+
+    # -- consumers ---------------------------------------------------------
+    def get(self, *, timeout: "float | None" = None) -> "Job | None":
+        """Pop the most urgent pending job (None on timeout/shutdown)."""
+        with self._lock:
+            while True:
+                job = self._pop_live()
+                if job is not None:
+                    return job
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    def _pop_live(self) -> "Job | None":
+        while self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            if job.state == "queued":
+                self._count -= 1
+                self._not_full.notify()
+                return job
+            # Lazily dropped (cancelled/shed while queued).
+            self._count -= 1
+            self._not_full.notify()
+        return None
+
+    def take_matching(self, predicate, *, limit: int) -> "list[Job]":
+        """Pop up to ``limit`` additional queued jobs matching ``predicate``.
+
+        The coalescer uses this to pack same-shape requests into one
+        batched stack.  Non-matching jobs stay queued in order.
+        """
+        taken: list = []
+        with self._lock:
+            keep: list = []
+            while self._heap and len(taken) < limit:
+                entry = heapq.heappop(self._heap)
+                job = entry[2]
+                if job.state != "queued":
+                    self._count -= 1
+                    self._not_full.notify()
+                    continue
+                if predicate(job):
+                    taken.append(job)
+                    self._count -= 1
+                    self._not_full.notify()
+                else:
+                    keep.append(entry)
+            for entry in keep:
+                heapq.heappush(self._heap, entry)
+        return taken
+
+    # -- management --------------------------------------------------------
+    def remove(self, job_id: str) -> "Job | None":
+        """Mark a queued job for lazy removal (cancel path)."""
+        with self._lock:
+            for _, _, job in self._heap:
+                if job.id == job_id and job.state == "queued":
+                    return job
+        return None
+
+    def drain_class(self, priority: str) -> "list[Job]":
+        """Pop every queued job of one priority class (overload shedding)."""
+        drained: list = []
+        with self._lock:
+            keep: list = []
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                job = entry[2]
+                if job.state != "queued":
+                    self._count -= 1
+                    self._not_full.notify()
+                    continue
+                if job.spec.priority == priority:
+                    drained.append(job)
+                    self._count -= 1
+                    self._not_full.notify()
+                else:
+                    keep.append(entry)
+            for entry in keep:
+                heapq.heappush(self._heap, entry)
+        return drained
+
+    def depth(self) -> int:
+        with self._lock:
+            return self._count
+
+    def depth_by_class(self) -> dict:
+        with self._lock:
+            out: dict = {}
+            for _, _, job in self._heap:
+                if job.state == "queued":
+                    out[job.spec.priority] = out.get(job.spec.priority, 0) + 1
+            return out
+
+    def fullness(self) -> float:
+        with self._lock:
+            return self._count / self.capacity
+
+    def close(self) -> None:
+        """Stop accepting work and wake every waiter."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

@@ -4,6 +4,14 @@ These are deliberately cheap: validation is O(n) or O(n^2) on already-dense
 inputs and is skipped inside inner loops.  Public entry points validate once
 and then call private kernels that trust their inputs, following the usual
 HPC-library layering.
+
+Every rejection raises a structured
+:class:`~repro.errors.ValidationError` subclass whose ``field`` attribute
+names the check that failed (``"ndim"``, ``"empty"``, ``"square"``,
+``"symmetry"``, ``"finite"``), so callers — and the serving layer's
+admission control — can map a bad input to a client error without
+parsing message strings.  The drivers expose the gates behind a
+``check_input=`` knob defaulting on.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ __all__ = [
     "as_square_matrix",
     "as_symmetric_matrix",
     "check_finite_matrix",
+    "check_finite_vector",
+    "check_tridiagonal",
     "check_positive_int",
     "check_blocksizes",
 ]
@@ -36,9 +46,14 @@ def as_matrix(a, *, name: str = "a", dtype=None) -> np.ndarray:
     """
     arr = np.asarray(a, dtype=dtype)
     if arr.ndim != 2:
-        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+        raise ShapeError(
+            f"{name} must be 2-D, got ndim={arr.ndim}", field="ndim", name=name
+        )
     if arr.size == 0:
-        raise ShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+        raise ShapeError(
+            f"{name} must be non-empty, got shape {arr.shape}",
+            field="empty", name=name,
+        )
     return np.ascontiguousarray(arr)
 
 
@@ -46,22 +61,30 @@ def as_square_matrix(a, *, name: str = "a", dtype=None) -> np.ndarray:
     """Return ``a`` as a square 2-D ndarray or raise :class:`ShapeError`."""
     arr = as_matrix(a, name=name, dtype=dtype)
     if arr.shape[0] != arr.shape[1]:
-        raise ShapeError(f"{name} must be square, got shape {arr.shape}")
+        raise ShapeError(
+            f"{name} must be square, got shape {arr.shape}",
+            field="square", name=name,
+        )
     return arr
 
 
 def as_symmetric_matrix(
-    a, *, name: str = "a", dtype=None, rtol: float = 1e-5, atol: float = 1e-6
+    a, *, name: str = "a", dtype=None, rtol: float = 1e-5, atol: float = 1e-6,
+    check: bool = True,
 ) -> np.ndarray:
     """Return ``a`` as a symmetric square ndarray.
 
     Symmetry is checked up to a tolerance scaled for single-precision inputs;
     the returned matrix is explicitly symmetrized (``(A + A.T) / 2``) so
     downstream two-sided updates see an exactly symmetric operand.
+    ``check=False`` skips the tolerance comparison (the symmetrization
+    still runs) for callers that already validated the input.
     """
     arr = as_square_matrix(a, name=name, dtype=dtype)
-    if not np.allclose(arr, arr.T, rtol=rtol, atol=atol):
-        raise NotSymmetricError(f"{name} is not symmetric within tolerance")
+    if check and not np.allclose(arr, arr.T, rtol=rtol, atol=atol):
+        raise NotSymmetricError(
+            f"{name} is not symmetric within tolerance", name=name
+        )
     # Exact symmetrization: two-sided updates assume A == A.T bitwise.
     sym = (arr + arr.T) * arr.dtype.type(0.5)
     return np.ascontiguousarray(sym)
@@ -72,9 +95,9 @@ def check_finite_matrix(arr: np.ndarray, *, name: str = "a") -> np.ndarray:
 
     A non-finite entry anywhere in the input silently poisons every
     downstream GEMM, so the drivers gate on this up front (skippable with
-    ``check_finite=False`` for callers that already validated).  Raises
-    :class:`repro.errors.ShapeError` (a ``ValueError``) naming the first
-    offending position.
+    ``check_input=False`` for callers that already validated).  Raises
+    :class:`repro.errors.ShapeError` (a :class:`ValidationError` with
+    ``field="finite"``) naming the first offending position.
     """
     finite = np.isfinite(arr)
     if not finite.all():
@@ -84,17 +107,64 @@ def check_finite_matrix(arr: np.ndarray, *, name: str = "a") -> np.ndarray:
         raise ShapeError(
             f"{name} contains {bad.shape[0]} non-finite entr"
             f"{'y' if bad.shape[0] == 1 else 'ies'} (first: {kind} at "
-            f"[{i}, {j}]); pass check_finite=False to skip this gate"
+            f"[{i}, {j}]); pass check_finite=False to skip this gate",
+            field="finite", name=name,
         )
     return arr
+
+
+def check_finite_vector(arr: np.ndarray, *, name: str = "d") -> np.ndarray:
+    """Reject 1-D inputs containing NaN/Inf (``field="finite"``)."""
+    finite = np.isfinite(arr)
+    if not finite.all():
+        i = int(np.argwhere(~finite)[0][0])
+        kind = "nan" if np.isnan(arr[i]) else "inf"
+        raise ShapeError(
+            f"{name} contains a non-finite entry ({kind} at [{i}])",
+            field="finite", name=name,
+        )
+    return arr
+
+
+def check_tridiagonal(d, e, *, check_finite: bool = True):
+    """Validate a symmetric tridiagonal ``(d, e)`` pair up front.
+
+    ``d`` must be a non-empty 1-D diagonal, ``e`` its 1-D off-diagonal of
+    length ``len(d) - 1``; both must be finite.  Returns the pair as
+    float64 arrays.  The iterative tridiagonal solvers gate on this via
+    ``check_input=`` instead of failing mid-sweep on a NaN rotation.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    if d.ndim != 1 or d.size == 0:
+        raise ShapeError(
+            f"d must be a non-empty 1-D array, got shape {d.shape}",
+            field="ndim", name="d",
+        )
+    if e.ndim != 1 or e.shape[0] != max(d.shape[0] - 1, 0):
+        raise ShapeError(
+            f"e must have shape ({d.shape[0] - 1},) for d of shape "
+            f"{d.shape}, got {e.shape}",
+            field="square", name="e",
+        )
+    if check_finite:
+        check_finite_vector(d, name="d")
+        if e.size:
+            check_finite_vector(e, name="e")
+    return d, e
 
 
 def check_positive_int(value: int, *, name: str) -> int:
     """Validate that ``value`` is a positive integer and return it."""
     if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
-        raise ShapeError(f"{name} must be an int, got {type(value).__name__}")
+        raise ShapeError(
+            f"{name} must be an int, got {type(value).__name__}",
+            field="type", name=name,
+        )
     if value <= 0:
-        raise ShapeError(f"{name} must be positive, got {value}")
+        raise ShapeError(
+            f"{name} must be positive, got {value}", field="positive", name=name
+        )
     return int(value)
 
 

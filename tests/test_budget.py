@@ -112,3 +112,41 @@ class TestSolverBudgets:
         t = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
         np.testing.assert_allclose(lam, np.linalg.eigvalsh(t), atol=1e-10)
         np.testing.assert_allclose(z @ np.diag(lam) @ z.T, t, atol=1e-10)
+
+
+class TestBudgetDeadlineApi:
+    """remaining() / expired / until() — the serving layer's SLO hooks."""
+
+    def test_remaining_counts_down_and_clamps(self):
+        clk = FakeClock(step=1.0)
+        with obs.collect(clock=clk):
+            budget = WallClockBudget(5.0, phase="x")
+            first = budget.remaining()
+            assert first is not None and first <= 5.0
+            for _ in range(10):
+                clk()
+            assert budget.remaining() == 0.0
+            assert budget.expired
+
+    def test_inactive_budget_has_no_remaining(self):
+        budget = WallClockBudget(None, phase="x")
+        assert budget.remaining() is None
+        assert not budget.expired
+
+    def test_until_none_is_disabled(self):
+        budget = WallClockBudget.until(None, phase="x")
+        assert not budget.active
+
+    def test_until_future_deadline(self):
+        with obs.collect(clock=FakeClock(step=0.0)):
+            t0 = obs.now()
+            budget = WallClockBudget.until(t0 + 30.0, phase="x")
+            assert budget.active
+            assert budget.max_seconds == pytest.approx(30.0)
+
+    def test_until_past_deadline_trips_first_check(self):
+        clk = FakeClock(step=1.0)
+        with obs.collect(clock=clk):
+            budget = WallClockBudget.until(obs.now() - 10.0, phase="x")
+            with pytest.raises(BudgetExceededError):
+                budget.check(iterations=0)

@@ -482,3 +482,169 @@ class TestCkptCli:
             "--kill-at", "ckpt.save.band.post:0:torn_write")
         assert rc == CrashInjector.HARD_EXIT_CODE
         assert self.run_cli("resume", run_dir) == 2
+
+
+class TestConcurrentStores:
+    """Two checkpointed runs in parallel threads sharing one workspace
+    arena and one installed metrics registry — the serving layer's
+    worker-pool configuration in miniature."""
+
+    def test_parallel_runs_are_isolated_and_bitwise(self, tmp_path):
+        import threading
+
+        from repro.obs.live.registry import MetricsRegistry, install, uninstall
+        from repro.perf.workspace import Workspace
+
+        mats = [small_problem(40, seed=s) for s in (1, 2)]
+        kw = dict(b=4, nb=8, precision="fp64", want_vectors=True)
+        expected = [reference_digest(a, **kw) for a in mats]
+
+        ws = Workspace()
+        reg = MetricsRegistry()
+        prev = install(reg)
+        results: list = [None, None]
+        errors: list = []
+
+        def run(i):
+            try:
+                res = syevd_2stage(
+                    mats[i], workspace=ws,
+                    checkpoint=str(tmp_path / f"run-{i}"), **kw)
+                results[i] = result_digest(res)
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=run, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+        finally:
+            uninstall(prev)
+        assert not errors
+        assert results == expected
+        # Both run dirs hold independent, verifiable checkpoint stores.
+        for i in range(2):
+            mgr = CheckpointManager(
+                CheckpointConfig(run_dir=str(tmp_path / f"run-{i}")))
+            assert mgr.latest("result") is not None
+
+    def test_crash_in_one_thread_leaves_other_intact(self, tmp_path):
+        import threading
+
+        a_ok, a_crash = small_problem(40, seed=3), small_problem(40, seed=4)
+        kw = dict(b=4, nb=8, precision="fp64")
+        expected_ok = reference_digest(a_ok, **kw)
+        expected_crash = reference_digest(a_crash, **kw)
+        outcome: dict = {}
+
+        def run_ok():
+            res = syevd_2stage(
+                a_ok, checkpoint=str(tmp_path / "ok"), **kw)
+            outcome["ok"] = result_digest(res)
+
+        def run_crash():
+            crash = CrashInjector(CrashFaultSpec(
+                site="ckpt.save.sbr_panel.post", call_index=1))
+            try:
+                syevd_2stage(a_crash, checkpoint=CheckpointConfig(
+                    run_dir=str(tmp_path / "crash"), crash=crash), **kw)
+            except SimulatedCrashError:
+                outcome["crashed"] = True
+
+        threads = [threading.Thread(target=run_ok),
+                   threading.Thread(target=run_crash)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert outcome.get("crashed") is True
+        assert outcome.get("ok") == expected_ok
+        res = resume(str(tmp_path / "crash"))
+        assert result_digest(res) == expected_crash
+
+
+class TestInterruptFlush:
+    """KeyboardInterrupt mid-run flushes a committed checkpoint before
+    re-raising, so an interactive ^C (or SIGTERM) is resumable."""
+
+    def _interrupt_at(self, monkeypatch, module, attr, nth):
+        import importlib
+        mod = importlib.import_module(module)
+        original = getattr(mod, attr)
+        calls = {"k": 0}
+
+        def wrapper(*args, **kwargs):
+            calls["k"] += 1
+            if calls["k"] == nth:
+                raise KeyboardInterrupt("test interrupt")
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(mod, attr, wrapper)
+
+    def test_wy_interrupt_flush_and_resume(self, tmp_path, monkeypatch):
+        a = small_problem(48, seed=11)
+        kw = dict(b=4, nb=8, precision="fp64", want_vectors=True)
+        expected = reference_digest(a, **kw)
+        self._interrupt_at(
+            monkeypatch, "repro.sbr.wy", "_resilient_panel_step", nth=4)
+        with pytest.raises(KeyboardInterrupt):
+            syevd_2stage(a, checkpoint=str(tmp_path / "run"), **kw)
+        monkeypatch.undo()
+        # The flush committed a mid-SBR checkpoint, not just phase zero.
+        mgr = CheckpointManager(CheckpointConfig(run_dir=str(tmp_path / "run")))
+        assert mgr.latest("sbr_panel") is not None
+        res = resume(str(tmp_path / "run"))
+        assert result_digest(res) == expected
+
+    def test_zy_interrupt_flush_and_resume(self, tmp_path, monkeypatch):
+        a = small_problem(48, seed=12)
+        kw = dict(b=4, method="zy", precision="fp64", want_vectors=True)
+        expected = reference_digest(a, **kw)
+        self._interrupt_at(
+            monkeypatch, "repro.sbr.zy", "_resilient_zy_panel", nth=3)
+        with pytest.raises(KeyboardInterrupt):
+            syevd_2stage(a, checkpoint=str(tmp_path / "run"), **kw)
+        monkeypatch.undo()
+        res = resume(str(tmp_path / "run"))
+        assert result_digest(res) == expected
+
+    def test_sigterm_context_converts_to_interrupt(self):
+        import os
+        import signal
+
+        from repro.ioutils import sigterm_as_interrupt
+
+        with sigterm_as_interrupt():
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGTERM)
+        # Handler restored: SIGTERM no longer raises KeyboardInterrupt.
+        assert signal.getsignal(signal.SIGTERM) != sigterm_as_interrupt
+
+
+class TestResumeOverrides:
+    """resume(**overrides): run-environment knobs only, never pinned config."""
+
+    def _crashed_run(self, tmp_path):
+        a = small_problem(40, seed=21)
+        crash = CrashInjector(CrashFaultSpec(
+            site="ckpt.save.sbr_panel.post", call_index=1))
+        with pytest.raises(SimulatedCrashError):
+            syevd_2stage(a, b=4, nb=8, precision="fp64",
+                         checkpoint=CheckpointConfig(
+                             run_dir=str(tmp_path / "run"), crash=crash))
+        return a
+
+    def test_environment_override_forwarded(self, tmp_path):
+        from repro.perf.workspace import Workspace
+        a = self._crashed_run(tmp_path)
+        expected = reference_digest(a, b=4, nb=8, precision="fp64")
+        res = resume(str(tmp_path / "run"), workspace=Workspace())
+        assert result_digest(res) == expected
+
+    def test_pinned_config_override_rejected(self, tmp_path):
+        self._crashed_run(tmp_path)
+        with pytest.raises(ConfigurationError, match="pinned"):
+            resume(str(tmp_path / "run"), precision="fp32")

@@ -143,3 +143,97 @@ class TestCheckBlocksizes:
     def test_nb_exceeds_n(self):
         with pytest.raises(ConfigurationError, match="exceeds"):
             check_blocksizes(32, 16, 64)
+
+
+class TestValidationErrorStructure:
+    """Structured ValidationError: machine-readable field + name."""
+
+    def test_shape_error_is_validation_error(self):
+        from repro.errors import ValidationError
+        assert issubclass(ShapeError, ValidationError)
+        assert issubclass(NotSymmetricError, ValidationError)
+        assert issubclass(ValidationError, ValueError)
+
+    def test_field_and_name_carried_and_rendered(self):
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError) as ei:
+            as_square_matrix(np.zeros((2, 3)), name="input")
+        assert ei.value.field == "square"
+        assert ei.value.name == "input"
+        assert "[field=square" in str(ei.value)
+
+    def test_nonfinite_field(self, rng):
+        from repro.errors import ValidationError
+        from repro.validation import check_finite_matrix
+        a = rng.standard_normal((4, 4))
+        a[1, 2] = np.inf
+        with pytest.raises(ValidationError) as ei:
+            check_finite_matrix(a)
+        assert ei.value.field == "finite"
+
+    def test_symmetry_field(self, rng):
+        a = rng.standard_normal((5, 5))
+        with pytest.raises(NotSymmetricError) as ei:
+            as_symmetric_matrix(a)
+        assert ei.value.field == "symmetry"
+
+    def test_check_false_skips_symmetry_test(self, rng):
+        a = rng.standard_normal((5, 5))
+        out = as_symmetric_matrix(a, check=False)  # symmetrizes silently
+        np.testing.assert_array_equal(out, out.T)
+
+
+class TestCheckTridiagonal:
+    def test_valid_pair_passes_as_float64(self):
+        from repro.validation import check_tridiagonal
+        d, e = check_tridiagonal([1, 2, 3], [4, 5])
+        assert d.dtype == np.float64 and e.dtype == np.float64
+
+    def test_rejects_length_mismatch(self):
+        from repro.errors import ValidationError
+        from repro.validation import check_tridiagonal
+        with pytest.raises(ValidationError):
+            check_tridiagonal([1.0, 2.0, 3.0], [1.0])
+
+    def test_rejects_nonfinite(self):
+        from repro.errors import ValidationError
+        from repro.validation import check_tridiagonal
+        with pytest.raises(ValidationError) as ei:
+            check_tridiagonal([1.0, np.nan], [0.5])
+        assert ei.value.field == "finite"
+
+    def test_check_finite_vector(self):
+        from repro.errors import ValidationError
+        from repro.validation import check_finite_vector
+        check_finite_vector(np.ones(3), name="eigenvalues")
+        with pytest.raises(ValidationError) as ei:
+            check_finite_vector(np.array([1.0, np.inf]), name="eigenvalues")
+        assert ei.value.name == "eigenvalues"
+
+
+class TestCheckInputGate:
+    """check_input=False skips entry validation on the drivers."""
+
+    def test_driver_rejects_nan_by_default(self, rng):
+        from repro.eig.driver import syevd_2stage
+        from repro.errors import ValidationError
+        a = rng.standard_normal((8, 8))
+        a = (a + a.T) / 2
+        a[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            syevd_2stage(a, b=2, nb=4)
+
+    def test_driver_skip_gate_symmetrizes_anyway(self, rng):
+        from repro.eig.driver import syevd_2stage
+        a = rng.standard_normal((8, 8))  # asymmetric on purpose
+        res = syevd_2stage(a, b=2, nb=4, precision="fp64",
+                           check_input=False)
+        sym = (a + a.T) / 2
+        np.testing.assert_allclose(
+            res.eigenvalues, np.linalg.eigvalsh(sym), atol=1e-10)
+
+    def test_tridiag_ql_gate(self):
+        from repro.eig.qliter import tridiag_eig_ql
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError):
+            tridiag_eig_ql(np.array([1.0, np.nan]), np.array([0.1]))

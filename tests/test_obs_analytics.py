@@ -671,3 +671,31 @@ class TestAnalyticsCli:
         p.write_text("{}")
         assert obs_main(["regress", str(p), str(p)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestMakeSession:
+    """make_session: external producers (the serving layer) emit rows
+    through the same bench-store schema as solver re-runs."""
+
+    def test_builds_valid_session(self, tmp_path):
+        from repro.obs.analytics.benchstore import (
+            load_session,
+            make_session,
+            write_session,
+        )
+        rows = [{"key": "serve-standard", "wall": [0.1, 0.2], "p50": 0.15}]
+        session = make_session("serve", rows, extra={"note": "soak"})
+        assert session["kind"] == "bench_session"
+        assert session["suite"] == "serve"
+        assert session["note"] == "soak"
+        path = write_session(session, str(tmp_path / "BENCH_serve.json"))
+        loaded = load_session(path)
+        assert loaded["scenarios"][0]["key"] == "serve-standard"
+
+    def test_rejects_rows_missing_key_or_wall(self):
+        from repro.obs.analytics.benchstore import make_session
+        import pytest
+        with pytest.raises(ValueError, match="key"):
+            make_session("serve", [{"wall": [0.1]}])
+        with pytest.raises(ValueError, match="wall"):
+            make_session("serve", [{"key": "x"}])

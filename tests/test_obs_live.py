@@ -960,3 +960,25 @@ class TestBenchstoreLatency:
         assert row["gemm_latency"]["count"] > 0
         assert set(row["gemm_latency"]["quantiles"]) == {"0.5", "0.9", "0.99"}
         assert live_registry.active_registry() is None
+
+
+class TestProgressAgeAndStalls:
+    """Registry health accessors driving serve-layer admission control."""
+
+    def test_progress_age_counts_from_last_progress(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        reg.mark_progress()
+        clk.advance(7.5)
+        assert reg.progress_age() == pytest.approx(7.5)
+        reg.mark_progress()
+        assert reg.progress_age() == pytest.approx(0.0)
+
+    def test_stalled_workers_by_age(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        reg.touch_worker("fast")
+        clk.advance(10.0)
+        reg.touch_worker("slow")  # touched now, fast is 10s stale
+        assert reg.stalled_workers(5.0) == ["fast"]
+        assert reg.stalled_workers(20.0) == []

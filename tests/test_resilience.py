@@ -351,3 +351,48 @@ class TestReportAndContext:
         assert ctx.report.best_effort == ["p"]
         # The suppressed final pass failing again must not loop forever.
         assert not ctx.handle_breakdown(exc, engine=None, attempt=1, phase="p")
+
+
+class TestBackoff:
+    """Shared exponential backoff (serve retries + escalation ladder)."""
+
+    def test_exponential_growth_without_jitter(self):
+        from repro.resilience import backoff
+        delays = [backoff(k, base=0.05, cap=5.0) for k in (1, 2, 3, 4)]
+        assert delays == [0.05, 0.1, 0.2, 0.4]
+
+    def test_cap_bounds_delay(self):
+        from repro.resilience import backoff
+        assert backoff(50, base=0.05, cap=1.5) == 1.5
+
+    def test_zero_for_nonpositive_attempt_or_base(self):
+        from repro.resilience import backoff
+        assert backoff(0) == 0.0
+        assert backoff(-3) == 0.0
+        assert backoff(4, base=0.0) == 0.0
+
+    def test_jitter_stays_in_window(self):
+        from repro.resilience import backoff
+        rng = np.random.default_rng(0)
+        for k in range(1, 8):
+            nominal = backoff(k, base=0.05, cap=5.0)
+            jittered = backoff(k, base=0.05, cap=5.0, jitter=0.5, rng=rng)
+            assert nominal * 0.5 <= jittered <= nominal
+
+    def test_deterministic_under_seeded_rng(self):
+        from repro.resilience import backoff
+        a = [backoff(k, rng=np.random.default_rng(7)) for k in (1, 2, 3)]
+        b = [backoff(k, rng=np.random.default_rng(7)) for k in (1, 2, 3)]
+        assert a == b
+
+    def test_ladder_delay_defaults_immediate(self):
+        from repro.resilience import EscalationLadder
+        ladder = EscalationLadder()
+        assert ladder.delay(1) == 0.0  # in-process retries don't sleep
+
+    def test_ladder_delay_honors_backoff_base(self):
+        from repro.resilience import EscalationLadder
+        ladder = EscalationLadder(backoff_base=0.1, backoff_cap=0.5)
+        assert ladder.delay(1) == 0.1
+        assert ladder.delay(2) == 0.2
+        assert ladder.delay(9) == 0.5
