@@ -85,6 +85,12 @@ def resume(
         every=every, keep_panels=keep_panels,
     ))
     config = mgr.run_config()
+    # Rehydrate the request's causal identity: a run dir written on
+    # behalf of a traced job carries its TraceContext in the header, and
+    # the continuation must join the same trace (not mint a new one).
+    stored_trace = mgr.trace()
+    if stored_trace is not None and "trace" not in overrides:
+        overrides["trace"] = stored_trace
     if config.get("driver") != "syevd_2stage":
         from ..errors import ConfigurationError
         raise ConfigurationError(

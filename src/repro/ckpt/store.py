@@ -99,6 +99,12 @@ class CheckpointConfig:
     crash : object, optional
         A :class:`repro.resilience.crash.CrashInjector` fired around every
         save (test/CI harness; never serialized into ``run.json``).
+    trace : dict, optional
+        A serialized :class:`repro.obs.tracing.TraceContext` persisted as
+        its *own* run-header key (never part of the pinned ``config``, so
+        resuming an old or trace-less directory still validates) — this
+        is what lets a served job killed here continue the same trace
+        when a later process resumes the directory.
     """
 
     run_dir: str
@@ -107,6 +113,7 @@ class CheckpointConfig:
     keep_panels: int = 2
     strict: bool = True
     crash: object | None = None
+    trace: dict | None = None
 
     def __post_init__(self) -> None:
         if self.every < 1:
@@ -220,7 +227,21 @@ class CheckpointManager:
             "input_crc": file_crc32(self.input_path),
             "input_abft": abft_signature(a),
         }
+        if self.config.trace is not None:
+            # Separate header key, outside the pinned config: the causal
+            # identity of the request this run belongs to.
+            header["trace"] = dict(self.config.trace)
         atomic_write_json(self.run_path, header, indent=1)
+
+    def trace(self) -> "dict | None":
+        """The serialized trace context persisted in the run header.
+
+        None for directories created without one (pre-tracing runs stay
+        resumable) or not yet begun.
+        """
+        if not os.path.exists(self.run_path):
+            return self.config.trace
+        return self._load_run_header().get("trace")
 
     def _load_run_header(self) -> dict:
         try:

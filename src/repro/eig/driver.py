@@ -41,7 +41,7 @@ escalated — empty on a healthy run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 
 import numpy as np
 
@@ -56,6 +56,7 @@ from ..errors import ConfigurationError, ConvergenceError, NumericalBreakdownErr
 from ..gemm.engine import GemmEngine, make_engine
 from ..obs import spans as obs
 from ..obs.live import phase_plan, resolve_live, use_registry
+from ..obs.tracing import TraceContext
 from ..perf import resolve_workspace
 from ..precision.modes import Precision
 from ..resilience.context import ResilienceContext
@@ -300,6 +301,7 @@ def syevd_2stage(
     check_input: bool = True,
     live=None,
     metrics=None,
+    trace: "TraceContext | dict | None" = None,
 ) -> EvdResult:
     """Two-stage symmetric eigendecomposition ``A = X diag(lam) X^T``.
 
@@ -382,6 +384,14 @@ def syevd_2stage(
         Registry-only aggregation: install an existing registry for the
         duration of the call (no reporter thread, no files).  Ignored
         when ``live=`` is given.
+    trace : TraceContext or dict, optional
+        Request-scoped causal context (:mod:`repro.obs.tracing`).  When
+        given (or recovered from a checkpointed run directory's header),
+        its ids are stamped on the root ``syevd`` span so run-scoped
+        telemetry joins the request's trace; checkpointed runs persist
+        the context in ``run.json`` and :func:`repro.ckpt.resume`
+        rehydrates it, so a killed-and-resumed run continues the same
+        trace.
 
     Returns
     -------
@@ -404,8 +414,13 @@ def syevd_2stage(
     ws = resolve_workspace(workspace)
 
     ck = _make_ckpt_manager(checkpoint)
+    tctx = TraceContext.coerce(trace)
     band_ck = tridiag_ck = trieig_ck = None
     if ck is not None:
+        if tctx is not None and ck.config.trace is None:
+            # Persist the caller's context into the run header so a later
+            # resume of this directory continues the same trace.
+            ck.config = _dc_replace(ck.config, trace=tctx.to_dict())
         ck.begin(a, {
             "driver": "syevd_2stage", "n": n, "b": b, "nb": nb,
             "method": method, "precision": eng.precision.value,
@@ -413,6 +428,10 @@ def syevd_2stage(
             "want_vectors": want_vectors, "tridiag_solver": tridiag_solver,
             "on_breakdown": on_breakdown,
         })
+        if tctx is None:
+            # Resuming a traced directory without an explicit context:
+            # rehydrate the one persisted at begin.
+            tctx = TraceContext.coerce(ck.trace())
         result_ck = ck.phase("result")
         if result_ck is not None:
             return _resumed_result(ck, result_ck, b, eng, sbr_eng, ctx)
@@ -440,9 +459,10 @@ def syevd_2stage(
         live_sess = resolve_live(None)
         metrics_reg = metrics
 
-    with live_sess, use_registry(metrics_reg), obs.span(
-        "syevd", n=n, b=b, nb=nb, method=method, solver=tridiag_solver
-    ):
+    root_meta = dict(n=n, b=b, nb=nb, method=method, solver=tridiag_solver)
+    if tctx is not None:
+        root_meta.update(tctx.span_meta())
+    with live_sess, use_registry(metrics_reg), obs.span("syevd", **root_meta):
         with obs.span("sbr"):
             if band_ck is not None:
                 sbr = _sbr_from_checkpoint(band_ck, b)

@@ -47,6 +47,13 @@ scope (numeric imports are deferred inside :mod:`repro.obs.record`), so
 the GEMM engines and kernels can hook into it without import cycles.
 """
 
+from .tracing import (
+    TraceContext,
+    check_trace_continuity,
+    lifecycle_span,
+    load_serve_manifest,
+    render_trace_summary,
+)
 from .spans import (
     Collector,
     GemmEvent,
@@ -94,6 +101,7 @@ from .analytics import (
     render_attribution,
     render_regression,
     run_suite,
+    serve_trace_to_chrome,
     to_chrome_trace,
     to_collapsed_stacks,
     write_session,
@@ -113,6 +121,11 @@ __all__ = [
     "capture_context",
     "span_context",
     "wrap_context",
+    "TraceContext",
+    "lifecycle_span",
+    "load_serve_manifest",
+    "check_trace_continuity",
+    "render_trace_summary",
     "MetricsRegistry",
     "QuantileSketch",
     "ProgressEstimator",
@@ -140,6 +153,7 @@ __all__ = [
     "render_attribution",
     "to_chrome_trace",
     "to_collapsed_stacks",
+    "serve_trace_to_chrome",
     "BenchScenario",
     "run_suite",
     "write_session",

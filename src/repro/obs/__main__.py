@@ -10,6 +10,7 @@ Usage::
     python -m repro.obs list [--dir runs]
     python -m repro.obs attribution MANIFEST
     python -m repro.obs export (--chrome | --flame) MANIFEST [-o FILE]
+    python -m repro.obs trace SPOOL_DIR [--chrome -o FILE] [--check]
     python -m repro.obs bench [--suite smoke --repeats 3]
     python -m repro.obs regress BASELINE CANDIDATE [--tolerance 0.25]
 """
@@ -33,8 +34,14 @@ from .analytics import (
     to_collapsed_stacks,
     write_session,
 )
+from .analytics import serve_trace_to_chrome
 from .analytics.regress import DEFAULT_TOLERANCE
 from .manifest import DEFAULT_RUN_DIR, load_manifest
+from .tracing import (
+    check_trace_continuity,
+    load_serve_manifest,
+    render_trace_summary,
+)
 from .report import REGRESSION_THRESHOLD, compare_phases, render_compare, render_report
 
 
@@ -107,6 +114,34 @@ def _cmd_export(args: argparse.Namespace) -> int:
         print(f"{kind} written: {args.out}")
     else:
         print(payload)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    records = load_serve_manifest(args.spool)
+    if not records:
+        print(f"error: no serve_job records under {args.spool!r}", file=sys.stderr)
+        return 1
+    if args.chrome:
+        payload = json.dumps(serve_trace_to_chrome(records), indent=1)
+        if args.out:
+            parent = os.path.dirname(args.out)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(args.out, "w") as fh:
+                fh.write(payload)
+                fh.write("\n")
+            print(f"serve chrome trace written: {args.out}")
+        else:
+            print(payload)
+    else:
+        print(render_trace_summary(records))
+    if args.check:
+        problems = check_trace_continuity(records)
+        if problems:
+            for p in problems:
+                print(f"continuity: {p}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -256,6 +291,30 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("-o", "--out", default=None, metavar="FILE",
                        help="output file (default: stdout)")
     p_exp.set_defaults(func=_cmd_export)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="per-job causal timeline of a serving soak (summary, Chrome "
+             "trace export, or continuity gate)",
+    )
+    p_tr.add_argument(
+        "spool",
+        help="serve spool directory (or its manifest.jsonl) from "
+             "python -m repro.serve",
+    )
+    p_tr.add_argument(
+        "--chrome", action="store_true",
+        help="emit Chrome Trace Event JSON (per-worker lanes + flow "
+             "arrows) instead of the summary table",
+    )
+    p_tr.add_argument("-o", "--out", default=None, metavar="FILE",
+                      help="output file for --chrome (default: stdout)")
+    p_tr.add_argument(
+        "--check", action="store_true",
+        help="exit 2 if any job's trace is broken (missing ids, orphan "
+             "parents, preempted without resume)",
+    )
+    p_tr.set_defaults(func=_cmd_trace)
 
     p_bench = sub.add_parser(
         "bench", help="run a pinned benchmark suite → BENCH_<suite>.json"

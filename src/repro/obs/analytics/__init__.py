@@ -37,13 +37,14 @@ from .benchstore import (
     run_suite,
     write_session,
 )
-from .export import to_chrome_trace, to_collapsed_stacks
+from .export import serve_trace_to_chrome, to_chrome_trace, to_collapsed_stacks
 from .regress import compare_sessions, has_regressions, render_regression
 
 __all__ = [
     "AttributionReport",
     "attribute_manifest",
     "render_attribution",
+    "serve_trace_to_chrome",
     "to_chrome_trace",
     "to_collapsed_stacks",
     "BENCH_SCHEMA_VERSION",

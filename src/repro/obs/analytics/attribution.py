@@ -81,6 +81,10 @@ class AttributionReport:
     gaps: list[dict] = field(default_factory=list)
     totals: dict = field(default_factory=dict)
     analytic: dict | None = None
+    #: Request trace id from the manifest meta line (None for runs not
+    #: belonging to a served request) — the join key between attribution
+    #: output and the serving layer's trace timelines.
+    trace_id: "str | None" = None
 
 
 def _event_model(ev: dict, model) -> tuple[float, str]:
@@ -253,6 +257,7 @@ def attribute_manifest(
         gaps=gaps,
         totals=_finish_slot(total),
         analytic=_analytic_flops(man, total["flops"]),
+        trace_id=(man.meta.get("trace") or {}).get("trace_id"),
     )
 
 
@@ -294,7 +299,8 @@ def _table(headers: list[str], rows: list[list[str]]) -> str:
 def render_attribution(report: AttributionReport) -> str:
     """Text rendering of an attribution report (the CLI output)."""
     lines = [
-        f"attribution: {report.label or '<unlabeled>'}  model device: {report.device}",
+        f"attribution: {report.label or '<unlabeled>'}  model device: {report.device}"
+        + (f"  trace: {report.trace_id}" if report.trace_id else ""),
         "efficiency = modeled time / measured time "
         "(100% = exactly the model's predicted speed)",
         "",

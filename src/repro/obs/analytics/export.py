@@ -14,6 +14,13 @@ Two standard visualization formats over one manifest:
   minus the time of its direct children, so the flamegraph's widths sum
   correctly instead of double-counting nested spans.
 
+A third exporter renders a whole *soak run* (the serving layer's
+``manifest.jsonl``) as one timeline: :func:`serve_trace_to_chrome` lays
+every job's lifecycle events out on per-worker lanes plus a "service"
+lane (admission, queue waits), and draws async flow arrows (``ph``
+``s``/``f``) between consecutive attempts of the same job — so a
+preempted-then-resumed job reads as one connected story across workers.
+
 Pure standard-library transforms over :class:`~repro.obs.manifest.RunManifest`
 — importable everywhere, no numeric dependencies.
 """
@@ -21,8 +28,9 @@ Pure standard-library transforms over :class:`~repro.obs.manifest.RunManifest`
 from __future__ import annotations
 
 from ..manifest import RunManifest, load_manifest
+from ..tracing import load_serve_manifest
 
-__all__ = ["to_chrome_trace", "to_collapsed_stacks"]
+__all__ = ["to_chrome_trace", "to_collapsed_stacks", "serve_trace_to_chrome"]
 
 #: Synthetic pid/tids of the exported trace (one process, two lanes).
 _PID = 1
@@ -108,14 +116,162 @@ def to_chrome_trace(manifest: "RunManifest | str") -> dict:
                 },
             })
 
+    # Async flow arrows between spans that share a request trace id
+    # (lifecycle spans + traced solver roots): consecutive spans of one
+    # trace link start-to-end, so a multi-invocation request reads as a
+    # connected chain on the timeline.
+    by_trace: dict[str, list] = {}
+    for s in man.spans:
+        tid = (s.meta or {}).get("trace_id")
+        if tid:
+            by_trace.setdefault(tid, []).append(s)
+    for trace_id in by_trace:
+        chain = sorted(by_trace[trace_id], key=lambda s: s.start)
+        if len(chain) < 2:
+            continue
+        for a, b in zip(chain, chain[1:]):
+            common = {
+                "name": "trace", "cat": "trace", "id": trace_id,
+                "pid": _PID, "tid": _TID_SPANS,
+            }
+            events.append({
+                **common, "ph": "s",
+                "ts": max(a.start + a.duration, 0.0) * 1e6,
+            })
+            events.append({
+                **common, "ph": "f", "bp": "e",
+                "ts": max(b.start, 0.0) * 1e6,
+            })
+
     other: dict = {"schema": man.meta.get("schema")}
     for key in ("label", "precision", "created"):
         if key in man.meta:
             other[key] = man.meta[key]
+    if man.meta.get("trace"):
+        other["trace"] = man.meta["trace"]
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": other,
+    }
+
+
+#: Service lane of the soak timeline (workers get 2, 3, ...).
+_TID_SERVICE = 1
+
+
+def serve_trace_to_chrome(source: "list[dict] | str") -> dict:
+    """Render a serving soak's manifest as one Chrome-trace timeline.
+
+    Parameters
+    ----------
+    source : list of dict, or str
+        ``serve_job`` manifest records, or a path to the spool directory
+        / ``manifest.jsonl`` to load them from.
+
+    Returns
+    -------
+    dict
+        Chrome Trace Event JSON: one synthetic process, a "service"
+        lane carrying admission/queue-wait/result events and one lane
+        per worker carrying the attempts it ran.  Consecutive attempts
+        of the same job are linked with async flow arrows keyed by the
+        job's trace id, so preempted-and-resumed work is visually one
+        thread even when it migrated between workers.
+    """
+    records = (
+        load_serve_manifest(source) if isinstance(source, str) else source
+    )
+    workers = sorted({
+        ev["worker"]
+        for rec in records
+        for ev in (rec.get("timeline") or [])
+        if isinstance(ev, dict) and ev.get("worker")
+        and ev.get("name") == "serve.attempt"
+    })
+    lane = {w: i + _TID_SERVICE + 1 for i, w in enumerate(workers)}
+    events: list[dict] = [
+        {
+            "name": "process_name", "ph": "M", "pid": _PID,
+            "tid": _TID_SERVICE, "args": {"name": "repro: serve soak"},
+        },
+        {
+            "name": "thread_name", "ph": "M", "pid": _PID,
+            "tid": _TID_SERVICE, "args": {"name": "service"},
+        },
+    ]
+    for w in workers:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID,
+            "tid": lane[w], "args": {"name": w},
+        })
+
+    for rec in records:
+        trace_id = (rec.get("trace") or {}).get("trace_id", "")
+        attempts: list[tuple[dict, int]] = []
+        for ev in rec.get("timeline") or []:
+            if not isinstance(ev, dict) or "name" not in ev:
+                continue
+            is_attempt = ev["name"] == "serve.attempt"
+            # Attempts render on the worker that ran them; everything
+            # else (admit, queue_wait, backoff, result, preempt marks)
+            # narrates on the service lane.
+            tid = lane.get(ev.get("worker"), _TID_SERVICE) if is_attempt \
+                else _TID_SERVICE
+            name = ev["name"]
+            if is_attempt and ev.get("attempt") is not None:
+                name = f"serve.attempt[{ev['attempt']}]"
+            args = {
+                "job": rec.get("job"),
+                "trace_id": trace_id,
+                "span_id": ev.get("span_id"),
+                "parent_id": ev.get("parent_id"),
+            }
+            for key in ("attempt", "outcome", "precision", "reason",
+                        "retry_kind", "link_from", "worker", "priority"):
+                if ev.get(key) is not None:
+                    args[key] = ev[key]
+            events.append({
+                "name": name,
+                "cat": "serve",
+                "ph": "X",
+                "ts": max(float(ev.get("t", 0.0)), 0.0) * 1e6,
+                "dur": max(float(ev.get("dur", 0.0)), 0.0) * 1e6,
+                "pid": _PID,
+                "tid": tid,
+                "args": args,
+            })
+            if is_attempt:
+                attempts.append((ev, tid))
+
+        # Flow arrows: attempt k's end -> attempt k+1's start.
+        attempts.sort(key=lambda pair: float(pair[0].get("t", 0.0)))
+        flow_id = trace_id or rec.get("job", "")
+        for (a, tid_a), (b, tid_b) in zip(attempts, attempts[1:]):
+            common = {
+                "name": rec.get("job", "job"), "cat": "serve.flow",
+                "id": flow_id, "pid": _PID,
+            }
+            events.append({
+                **common, "ph": "s", "tid": tid_a,
+                "ts": (float(a.get("t", 0.0)) + float(a.get("dur", 0.0)))
+                * 1e6,
+            })
+            events.append({
+                **common, "ph": "f", "bp": "e", "tid": tid_b,
+                "ts": float(b.get("t", 0.0)) * 1e6,
+            })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "jobs": len(records),
+            "workers": workers,
+            "traces": len({
+                (rec.get("trace") or {}).get("trace_id") for rec in records
+            } - {None}),
+        },
     }
 
 

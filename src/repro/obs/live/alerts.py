@@ -73,10 +73,42 @@ class NoProgressWatchdog:
 
     stall_seconds: float = 30.0
     name: str = "no_progress"
+    #: Opt-in repeated-stall alerting: after this many seconds since the
+    #: last fire, a (new or still-ongoing) stall fires a *fresh* alert
+    #: named ``no_progress#2``, ``#3``, ... instead of only bumping the
+    #: first alert's count.  ``None`` keeps the fire-once behavior.
+    rearm_after: "float | None" = None
+    fires: int = field(default=0, init=False, repr=False)
+    _last_fire: float = field(default=0.0, init=False, repr=False)
 
     def check(self, registry) -> "float | None":
         age = registry.clock() - registry.last_progress
         return age if age > self.stall_seconds else None
+
+    @property
+    def alert_name(self) -> str:
+        """Name the current stall fires under (``name`` or ``name#N``)."""
+        return self.name if self.fires <= 1 else f"{self.name}#{self.fires}"
+
+    def arm(self, now: float) -> str:
+        """Advance the rearm state for a stall observed at ``now``.
+
+        The first stall fires under ``name``; while within the rearm
+        window (or with ``rearm_after`` unset) subsequent ticks keep the
+        same name, so :func:`evaluate_alerts` merely refreshes the
+        existing alert's count.  Past the window the counter advances
+        and a fresh alert name is returned.
+        """
+        if self.fires == 0:
+            self.fires = 1
+            self._last_fire = now
+        elif (
+            self.rearm_after is not None
+            and now - self._last_fire >= self.rearm_after
+        ):
+            self.fires += 1
+            self._last_fire = now
+        return self.alert_name
 
 
 def evaluate_alerts(registry, rules=(), watchdog=None) -> list:
@@ -116,8 +148,10 @@ def evaluate_alerts(registry, rules=(), watchdog=None) -> list:
     if watchdog is not None:
         age = watchdog.check(registry)
         if age is not None:
+            arm = getattr(watchdog, "arm", None)
+            alert_name = arm(now) if arm is not None else watchdog.name
             _fire(
-                watchdog.name, age, watchdog.stall_seconds,
+                alert_name, age, watchdog.stall_seconds,
                 f"no progress for {age:.1f}s "
                 f"(threshold {watchdog.stall_seconds:.1f}s, "
                 f"phase {registry.phase or '?'})",

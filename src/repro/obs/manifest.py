@@ -186,6 +186,7 @@ def write_manifest(
     checkpoint: dict | None = None,
     alloc: dict | None = None,
     metrics: dict | None = None,
+    trace_context: dict | None = None,
     events: str = "full",
 ) -> str:
     """Serialize one telemetry session to a JSONL manifest.
@@ -225,6 +226,11 @@ def write_manifest(
         Final live-metrics registry dump
         (``MetricsRegistry.dump()``): counters, gauges, histogram
         quantile summaries, fired alerts, worker liveness.
+    trace_context : dict, optional
+        Serialized :class:`repro.obs.tracing.TraceContext` of the
+        request this run belongs to, stored on the meta line (additive
+        in schema v2) — the join key between run manifests and the
+        serving layer's trace timelines.
     events : {"full", "none"}
         Whether to persist the per-call GEMM event stream.
 
@@ -256,6 +262,8 @@ def write_manifest(
         meta["matrix"] = dict(matrix)
     if config:
         meta["config"] = dict(config)
+    if trace_context:
+        meta["trace"] = dict(trace_context)
 
     def dump(obj: dict) -> str:
         return json.dumps(obj, separators=(",", ":"), sort_keys=False)

@@ -100,6 +100,7 @@ def record_syevd(
     faults=None,
     checkpoint=None,
     live=None,
+    trace=None,
 ) -> RecordedRun:
     """Run an instrumented ``syevd_2stage`` and write its manifest.
 
@@ -117,7 +118,10 @@ def record_syevd(
     allocation counters as an ``"alloc"`` line.  ``live`` (``True``, an
     output directory, or a :class:`repro.obs.live.LiveConfig`) turns on
     the live monitoring layer for the run; the final registry dump is
-    archived as the manifest's ``"metrics"`` line.
+    archived as the manifest's ``"metrics"`` line.  ``trace`` (a
+    :class:`repro.obs.tracing.TraceContext` or its dict form) threads a
+    request-scoped causal context through the driver and onto the
+    manifest's meta line.
 
     Returns
     -------
@@ -147,10 +151,11 @@ def record_syevd(
             a, b=b, nb=nb, method=method, precision=precision,
             want_vectors=want_vectors, tridiag_solver=tridiag_solver,
             record_trace=True, on_breakdown=on_breakdown, faults=faults,
-            checkpoint=checkpoint, live=live,
+            checkpoint=checkpoint, live=live, trace=trace,
         )
 
     probe_values = evd_accuracy_probes(a, result) if probes else None
+    request_trace = trace
     trace = result.engine.trace if result.engine is not None else None
     report = result.resilience_report
     out_path = write_manifest(
@@ -179,6 +184,10 @@ def record_syevd(
             else None
         ),
         metrics=getattr(result, "metrics", None),
+        trace_context=(
+            request_trace.to_dict() if hasattr(request_trace, "to_dict")
+            else dict(request_trace) if request_trace else None
+        ),
         events=events,
     )
     return RecordedRun(path=out_path, result=result, collector=session)

@@ -112,14 +112,20 @@ def render_report(manifest: "RunManifest | str") -> str:
         for tag in sorted(by_tag, key=lambda t: by_tag[t]["flops"], reverse=True):
             slot = by_tag[tag]
             rate = slot["flops"] / slot["seconds"] / 1e9 if slot["seconds"] > 0 else 0.0
+            # Manifests written before the per-tag launch counter carry
+            # no "launches" slot; render a dash rather than guessing.
+            launches = slot.get("launches")
             tag_rows.append([
                 tag or "<untagged>",
                 str(slot["calls"]),
+                str(launches) if launches is not None else "-",
                 _fmt_flops(slot["flops"]),
                 _fmt_seconds(slot["seconds"]),
                 f"{rate:.2f}" if rate else "-",
             ])
-        lines.append(_table(["tag", "calls", "flops", "time", "GFLOP/s"], tag_rows))
+        lines.append(_table(
+            ["tag", "calls", "launches", "flops", "time", "GFLOP/s"], tag_rows
+        ))
 
     if man.accuracy:
         lines.append("")

@@ -254,8 +254,11 @@ class Collector:
             total_seconds += ev.seconds
             total_calls += ev.batch
             by_engine[ev.engine] += ev.batch
-            slot = by_tag.setdefault(ev.tag, {"calls": 0, "flops": 0, "seconds": 0.0})
+            slot = by_tag.setdefault(
+                ev.tag, {"calls": 0, "launches": 0, "flops": 0, "seconds": 0.0}
+            )
             slot["calls"] += ev.batch
+            slot["launches"] += 1
             slot["flops"] += ev.flops
             slot["seconds"] += ev.seconds
         return {

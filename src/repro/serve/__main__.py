@@ -27,13 +27,18 @@ exits non-zero if any is violated:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import tempfile
+import threading
 
 import numpy as np
 
 from ..errors import AdmissionError
+from ..obs.analytics import serve_trace_to_chrome
+from ..obs.live.sinks import parse_prometheus
+from ..obs.tracing import check_trace_continuity, load_serve_manifest
 from ..resilience.crash import CrashFaultSpec, CrashInjector
 from .job import JobSpec, RetryPolicy
 from .service import EvdService
@@ -92,6 +97,33 @@ def _install_faults(svc: EvdService, args) -> "set[str]":
     return crash_tags
 
 
+def _preempt_one(svc: EvdService, job_ids: "list[str]", fired: "list[str]") -> None:
+    """Evict the first running checkpointed job we catch (priority evict).
+
+    Runs on a helper thread: polls the submitted jobs until one is
+    running with a live preemption token, requests eviction once, and
+    records which job it hit so the soak can assert the preempt→resume
+    trace afterwards.
+    """
+    for _ in range(2000):
+        for jid in job_ids:
+            try:
+                job = svc.job(jid)
+            except KeyError:
+                continue
+            token = job.token
+            if (
+                job.spec.checkpointed
+                and job.state == "running"
+                and token is not None
+                and not token.requested
+            ):
+                token.request("priority")
+                fired.append(jid)
+                return
+        svc.sleep(0.005)
+
+
 def _bitwise_reference(spec: JobSpec, result) -> bool:
     """Re-run an evicted job's config uninterrupted; compare bitwise."""
     from ..eig.driver import syevd_2stage
@@ -133,6 +165,13 @@ def main(argv=None) -> int:
                     help="submit the whole burst at once against the "
                          "bounded queue (exercises backpressure/shedding)")
     ap.add_argument("--no-bench", action="store_true")
+    ap.add_argument("--preempt-one", action="store_true",
+                    help="priority-evict one running checkpointed job "
+                         "mid-flight and assert it resumed on the same "
+                         "trace id")
+    ap.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="export the soak as one Chrome trace (per-worker "
+                         "lanes + flow arrows) after shutdown")
     args = ap.parse_args(argv)
 
     rng = np.random.default_rng(args.seed)
@@ -151,10 +190,22 @@ def main(argv=None) -> int:
 
     submitted: "list[tuple[str, JobSpec]]" = []
     rejected = 0
+    ckpt_ids: "list[str]" = []
+    preempted_ids: "list[str]" = []
+    evictor = None
     with svc:
+        if args.preempt_one:
+            evictor = threading.Thread(
+                target=_preempt_one, args=(svc, ckpt_ids, preempted_ids),
+                name="soak-evictor", daemon=True,
+            )
+            evictor.start()
         for spec in specs:
             try:
-                submitted.append((svc.submit(spec=spec), spec))
+                jid = svc.submit(spec=spec)
+                submitted.append((jid, spec))
+                if spec.checkpointed and spec.tag not in crash_tags:
+                    ckpt_ids.append(jid)
             except AdmissionError as exc:
                 rejected += 1
                 print(f"rejected ({exc.reason}): {spec.tag}", file=sys.stderr)
@@ -164,6 +215,8 @@ def main(argv=None) -> int:
         results = {
             jid: svc.result(jid, timeout=300.0) for jid, _ in submitted
         }
+        if evictor is not None:
+            evictor.join(timeout=5.0)
     # -- report ------------------------------------------------------------
     stats = svc.stats()
     print(f"submitted={len(submitted)} rejected={rejected} "
@@ -219,9 +272,75 @@ def main(argv=None) -> int:
         else:
             print(f"bench session: {out}")
             for row in svc.latency_rows():
-                print(f"  {row['key']}: jobs={row['jobs']} "
-                      f"p50={row['p50'] * 1e3:.1f}ms "
-                      f"p99={row['p99'] * 1e3:.1f}ms")
+                line = (f"  {row['key']}: jobs={row['jobs']} "
+                        f"p50={row['p50'] * 1e3:.1f}ms "
+                        f"p99={row['p99'] * 1e3:.1f}ms")
+                if "queue_wait_p50" in row:
+                    line += (f" qwait_p50={row['queue_wait_p50'] * 1e3:.1f}ms "
+                             f"qwait_p99={row['queue_wait_p99'] * 1e3:.1f}ms")
+                print(line)
+
+    # -- SLO accounting ----------------------------------------------------
+    slo_rows = svc.slo.rows()
+    if slo_rows:
+        print("slo:")
+        for row in slo_rows:
+            print(f"  {row['priority']}: good={row['good']} bad={row['bad']} "
+                  f"target={row['target']:.3f} "
+                  f"burn_rate={row['burn_rate']:.2f} "
+                  f"budget_left={row['error_budget_remaining']:.2f}")
+
+    # -- trace continuity --------------------------------------------------
+    try:
+        records = load_serve_manifest(svc.spool_dir)
+    except (OSError, ValueError) as exc:
+        records = []
+        failures.append(f"serve manifest unreadable: {exc}")
+    if submitted and not records:
+        failures.append("no serve_job records in spool manifest")
+    for problem in check_trace_continuity(records):
+        failures.append(f"trace continuity: {problem}")
+
+    if args.preempt_one:
+        if not preempted_ids:
+            failures.append("--preempt-one: evictor never caught a "
+                            "running checkpointed job")
+        else:
+            jid = preempted_ids[0]
+            rec = next((r for r in records if r.get("job") == jid), None)
+            names = [ev.get("name") for ev in (rec or {}).get("timeline", [])]
+            if rec is None:
+                failures.append(f"--preempt-one: no manifest record for {jid}")
+            elif "serve.preempt" not in names or "serve.resume" not in names:
+                failures.append(
+                    f"--preempt-one: {jid} timeline lacks preempt+resume "
+                    f"(got {names})"
+                )
+            else:
+                res = results.get(jid)
+                print(f"preempted {jid}: resumed on same trace "
+                      f"(attempts={res.attempts if res else '?'})")
+
+    # Burn-rate gauges must have landed in the Prometheus snapshot.
+    prom_path = os.path.join(svc.spool_dir, "metrics.prom")
+    if os.path.exists(prom_path):
+        with open(prom_path) as fh:
+            prom = parse_prometheus(fh.read())
+        if not any(
+            key.startswith("repro_serve_slo_burn_rate") for key in prom
+        ):
+            failures.append("metrics.prom lacks repro_serve_slo_burn_rate")
+    else:
+        failures.append("service did not write metrics.prom")
+
+    if args.trace_out:
+        parent = os.path.dirname(args.trace_out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.trace_out, "w") as fh:
+            json.dump(serve_trace_to_chrome(records), fh, indent=1)
+            fh.write("\n")
+        print(f"chrome trace: {args.trace_out}")
 
     if failures:
         for f in failures:

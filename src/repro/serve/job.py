@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..eig.budget import WallClockBudget
+from ..obs.tracing import TraceContext, lifecycle_span
 
 __all__ = [
     "PRIORITIES",
@@ -121,16 +122,37 @@ class JobResult:
 class Job:
     """Service-side lifecycle wrapper around one :class:`JobSpec`."""
 
-    def __init__(self, spec: JobSpec, *, clock, job_id: "str | None" = None):
+    def __init__(
+        self,
+        spec: JobSpec,
+        *,
+        clock,
+        job_id: "str | None" = None,
+        epoch: float = 0.0,
+    ):
         self.seq = next(_seq)
         self.id = job_id if job_id is not None else f"job-{self.seq:06d}"
         self.spec = spec
         self.clock = clock
+        #: Service epoch: timeline event timestamps are relative to it so
+        #: every job in a soak shares one time axis.
+        self.epoch = epoch
         self.submitted = clock()
+        #: Last enqueue time (submission, then refreshed on requeue) —
+        #: the anchor for per-dequeue queue-wait accounting.
+        self.enqueued = self.submitted
         self.started: "float | None" = None
         self.state = "queued"
         self.attempts = 0
         self.preemptions = 0
+        # Causal trace: minted once per request, carried through every
+        # attempt, preemption, and checkpoint resume.  ``timeline``
+        # accumulates lifecycle events for the job's manifest line.
+        self.trace = TraceContext.new()
+        self.timeline: "list[dict]" = []
+        self.last_attempt_span: "str | None" = None
+        self.resume_pending = False
+        self.first_attempt_at: "float | None" = None
         self.degradations: list = []
         self.deadline_missed = False
         self.run_dir: "str | None" = None
@@ -156,6 +178,51 @@ class Job:
 
     def remaining(self) -> "float | None":
         return self.budget.remaining()
+
+    # -- tracing -----------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since the service epoch (the shared timeline axis)."""
+        return self.clock() - self.epoch
+
+    def record_event(
+        self,
+        name: str,
+        *,
+        start: "float | None" = None,
+        duration: float = 0.0,
+        worker: "str | None" = None,
+        **meta,
+    ) -> str:
+        """Append one lifecycle event to the job's timeline.
+
+        Mints a child span id under the job's trace, records the event
+        in ``timeline`` (persisted on the manifest line), and mirrors it
+        into the active PR-1 collector via :func:`lifecycle_span` (free
+        when telemetry is off).  Returns the new span id so callers can
+        link later events to it (preempt -> resume continuity).
+        """
+        end = self.now()
+        if start is None:
+            start = end - duration
+        child = self.trace.child()
+        ev = {
+            "name": name,
+            "t": round(start, 6),
+            "dur": round(duration, 6),
+            "span_id": child.span_id,
+            "parent_id": self.trace.span_id,
+        }
+        if worker is not None:
+            ev["worker"] = worker
+        for key, value in meta.items():
+            if value is not None:
+                ev[key] = value
+        self.timeline.append(ev)
+        lifecycle_span(
+            name, duration, trace=child, worker=worker, job=self.id,
+            **{k: v for k, v in meta.items() if v is not None},
+        )
+        return child.span_id
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -222,6 +289,8 @@ class Job:
             "degradations": list(self.degradations),
             "checkpointed": self.spec.checkpointed,
             "run_dir": self.run_dir,
+            "trace": self.trace.to_dict(),
+            "timeline": list(self.timeline),
         }
         if r is not None:
             rec.update({

@@ -33,6 +33,7 @@ from ..obs.analytics.benchstore import (
 )
 from ..obs.live.health import Heartbeat
 from ..obs.live.registry import MetricsRegistry, install, uninstall
+from ..obs.live.sinks import render_prometheus
 from ..validation import as_symmetric_matrix, check_finite_matrix
 from .coalesce import Coalescer
 from .degrade import DegradationPolicy
@@ -40,6 +41,7 @@ from .job import PRIORITIES, Job, JobResult, JobSpec, RetryPolicy
 from .policy import AdmissionController, CircuitBreaker
 from .queue import BoundedJobQueue
 from .scheduler import Scheduler
+from .slo import SloPolicy, SloTracker
 from .worker import Worker
 
 __all__ = ["EvdService"]
@@ -87,6 +89,7 @@ class EvdService:
         tick: float = 0.05,
         scheduler_interval: float = 0.05,
         heartbeat: bool = True,
+        slo: "SloPolicy | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -95,6 +98,8 @@ class EvdService:
         self.tick = tick
         self.seed = seed
         self.checkpoint_every = checkpoint_every
+        #: Epoch anchoring every job's trace timeline on one time axis.
+        self.epoch = self.clock()
 
         if spool_dir is None:
             spool_dir = tempfile.mkdtemp(prefix="repro-serve-")
@@ -123,9 +128,12 @@ class EvdService:
         self.scheduler = Scheduler(self, interval=scheduler_interval)
         self.overloaded = False
 
+        self.slo = SloTracker(self.reg, slo)
+
         self._jobs: "dict[str, Job]" = {}
         self._jobs_lock = threading.Lock()
         self._latencies = {cls: [] for cls in PRIORITIES}
+        self._queue_waits = {cls: [] for cls in PRIORITIES}
         self._outcomes: "dict[str, int]" = {}
         self._started = False
         self._shut_down = False
@@ -195,6 +203,16 @@ class EvdService:
             self.on_terminal(job)
         if self.heartbeat is not None:
             self.heartbeat.beat(self.reg)
+        # Final Prometheus snapshot: the SLO burn-rate gauges and latency
+        # sketches of the whole run, next to the manifest/heartbeat.
+        try:
+            with open(
+                os.path.join(self.spool_dir, "metrics.prom"),
+                "w", encoding="utf-8",
+            ) as fh:
+                fh.write(render_prometheus(self.reg.snapshot()))
+        except OSError:
+            self.reg.inc("repro_serve_manifest_errors_total")
         uninstall(self._prev_registry)
 
     # -- client API --------------------------------------------------------
@@ -239,11 +257,18 @@ class EvdService:
             spec.nb = max((min(4 * spec.b, n) // spec.b) * spec.b, spec.b)
 
         self.admission.admit()
-        job = Job(spec, clock=self.clock)
+        job = Job(spec, clock=self.clock, epoch=self.epoch)
         if spec.checkpointed:
             job.run_dir = os.path.join(self.spool_dir, job.id, "run")
         with self._jobs_lock:
             self._jobs[job.id] = job
+        # The trace starts here: admission is the first lifecycle event
+        # under the root context minted in Job.__init__.  Recorded
+        # before the enqueue so a worker dequeuing immediately can never
+        # write its queue-wait event ahead of the admit (a rejected put
+        # below drops the job, timeline and all, so the stray event on
+        # the backpressure path is never observable).
+        job.record_event("serve.admit", priority=spec.priority)
         try:
             self.queue.put(job)
         except AdmissionError:
@@ -314,6 +339,7 @@ class EvdService:
         """Return a preempted job to the queue (never lossy)."""
         job.token = None
         job.state = "queued"
+        job.enqueued = self.clock()
         try:
             self.queue.requeue(job)
         except AdmissionError:
@@ -338,6 +364,9 @@ class EvdService:
             self._outcomes[r.outcome] = self._outcomes.get(r.outcome, 0) + 1
             if r.ok:
                 self._latencies[cls].append(r.wall)
+                self._queue_waits[cls].append(r.queue_wait)
+        job.record_event("serve.result", outcome=r.outcome)
+        self.slo.record_terminal(job)
         self.reg.inc(
             "repro_serve_jobs_total", priority=cls, outcome=r.outcome,
         )
@@ -371,23 +400,31 @@ class EvdService:
         }
 
     def latency_rows(self) -> "list[dict]":
-        """Per-priority-class bench rows (p50/p99 + raw latencies)."""
+        """Per-priority-class bench rows (p50/p99 latency + queue wait)."""
         rows = []
         with self._jobs_lock:
             lat = {cls: list(v) for cls, v in self._latencies.items()}
+            qwait = {cls: list(v) for cls, v in self._queue_waits.items()}
         for cls in PRIORITIES:
             walls = lat.get(cls, [])
             if not walls:
                 continue
             arr = np.asarray(walls)
-            rows.append({
+            row = {
                 "key": f"serve-{cls}",
                 "priority": cls,
                 "wall": walls,
                 "jobs": len(walls),
                 "p50": float(np.percentile(arr, 50)),
                 "p99": float(np.percentile(arr, 99)),
-            })
+            }
+            waits = qwait.get(cls, [])
+            if waits:
+                warr = np.asarray(waits)
+                row["queue_wait"] = waits
+                row["queue_wait_p50"] = float(np.percentile(warr, 50))
+                row["queue_wait_p99"] = float(np.percentile(warr, 99))
+            rows.append(row)
         return rows
 
     def write_bench(

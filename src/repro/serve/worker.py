@@ -120,6 +120,20 @@ class Worker(threading.Thread):
         job.state = "running"
         svc.admission.job_started()
         svc.reg.touch_worker(self.name)
+        # One queue-wait segment per dequeue (requeues refresh the
+        # anchor), plus time-to-first-attempt into the SLO sketches the
+        # first time the job reaches a worker.
+        job.record_event(
+            "serve.queue_wait",
+            start=job.enqueued - job.epoch,
+            duration=max(job.started - job.enqueued, 0.0),
+            worker=self.name,
+        )
+        if job.first_attempt_at is None:
+            job.first_attempt_at = job.started
+            svc.slo.record_first_attempt(
+                job.spec.priority, job.started - job.submitted
+            )
         try:
             # Deadline gate at the front of the queue: a job already past
             # its SLO runs degraded or is shed, per policy.
@@ -146,13 +160,36 @@ class Worker(threading.Thread):
         finally:
             svc.admission.job_ended()
 
+    def _record_attempt(self, job: Job, t0: float, k: int, outcome: str) -> None:
+        """Close attempt ``k``'s lifecycle span with its outcome."""
+        job.last_attempt_span = job.record_event(
+            "serve.attempt",
+            start=t0,
+            duration=max(job.now() - t0, 0.0),
+            attempt=k,
+            worker=self.name,
+            outcome=outcome,
+            precision=job.precision,
+        )
+
     def _run_with_retries(self, job: Job) -> None:
         svc = self.service
         policy = job.spec.retry
         while True:
             job.attempts += 1
+            k = job.attempts
             token = PreemptionToken(inner=svc.crash_for(job))
             job.token = token
+            # A checkpointed attempt after a preemption or crash is a
+            # *resume* of the same trace: link it to the interrupted
+            # attempt so the exporter can draw the flow arrow.
+            if job.resume_pending:
+                job.resume_pending = False
+                job.record_event(
+                    "serve.resume", attempt=k, worker=self.name,
+                    link_from=job.last_attempt_span,
+                )
+            t0 = job.now()
             try:
                 # SLO deadline, enforced through the wall-clock budget at
                 # every attempt boundary.  Once the job has accepted the
@@ -164,6 +201,11 @@ class Worker(threading.Thread):
             except JobPreempted as exc:
                 job.token = None
                 job.preemptions += 1
+                self._record_attempt(job, t0, k, "preempted")
+                job.record_event(
+                    "serve.preempt", attempt=k, worker=self.name,
+                    reason=exc.reason,
+                )
                 if exc.reason == "cancel":
                     job.finish("cancelled", error=exc)
                     svc.on_terminal(job)
@@ -173,17 +215,22 @@ class Worker(threading.Thread):
                         svc.on_terminal(job)
                     else:
                         job.deadline_missed = True
+                        job.resume_pending = job.spec.checkpointed
                         svc.requeue(job)
                 else:
+                    job.resume_pending = job.spec.checkpointed
                     svc.requeue(job)
                 return
             except SimulatedCrashError as exc:
                 # Crash: retry-resume from the committed checkpoint in the
                 # same run directory.
+                self._record_attempt(job, t0, k, "crash")
+                job.resume_pending = job.spec.checkpointed
                 if not self._retry(job, policy, exc, kind="crash"):
                     return
             except BudgetExceededError as exc:
                 job.deadline_missed = True
+                self._record_attempt(job, t0, k, "deadline")
                 if not svc.degrade.apply_deadline_miss(job):
                     job.finish("shed", error=exc)
                     svc.on_terminal(job)
@@ -197,6 +244,7 @@ class Worker(threading.Thread):
                 NumericalBreakdownError, ConvergenceError, SingularMatrixError,
             ) as exc:
                 # Numerical: retry-escalate to the next-safer precision.
+                self._record_attempt(job, t0, k, "numerical")
                 safer = Precision.from_name(job.precision).next_safer
                 if safer is None:
                     job.finish("failed", error=exc)
@@ -211,6 +259,7 @@ class Worker(threading.Thread):
                 if not self._retry(job, policy, exc, kind="numerical"):
                     return
             except (ValidationError, ConfigurationError) as exc:
+                self._record_attempt(job, t0, k, "failed")
                 job.finish("failed", error=exc)
                 svc.on_terminal(job)
                 return
@@ -219,6 +268,7 @@ class Worker(threading.Thread):
                 svc.breaker.record_success()
                 if job.past_deadline:
                     job.deadline_missed = True
+                self._record_attempt(job, t0, k, "done")
                 job.finish(
                     "done",
                     eigenvalues=res.eigenvalues,
@@ -243,6 +293,10 @@ class Worker(threading.Thread):
         )
         if delay > 0.0:
             svc.sleep(delay)
+        job.record_event(
+            "serve.backoff", duration=delay, attempt=job.attempts,
+            worker=self.name, retry_kind=kind,
+        )
         return True
 
     def _reset_run_dir(self, job: Job) -> None:
@@ -274,9 +328,10 @@ class Worker(threading.Thread):
             # post-preemption resumes.
             cfg = CheckpointConfig(
                 run_dir=job.run_dir, every=svc.checkpoint_every, crash=token,
+                trace=job.trace.to_dict(),
             )
             return syevd_2stage(job.spec.a, checkpoint=cfg, **kwargs)
-        res = syevd_2stage(job.spec.a, **kwargs)
+        res = syevd_2stage(job.spec.a, trace=job.trace, **kwargs)
         if token.requested and token.reason == "cancel":
             # Non-checkpointed jobs have no preemption sites; honor a
             # cancel that raced the run by discarding the result.
@@ -294,7 +349,21 @@ class Worker(threading.Thread):
             job.state = "running"
             if job.started is None:
                 job.started = now
+                # Companions skipped _process: account their queue wait
+                # and first-attempt latency here.
+                job.record_event(
+                    "serve.queue_wait",
+                    start=job.enqueued - job.epoch,
+                    duration=max(job.started - job.enqueued, 0.0),
+                    worker=self.name,
+                )
+                if job.first_attempt_at is None:
+                    job.first_attempt_at = job.started
+                    svc.slo.record_first_attempt(
+                        job.spec.priority, job.started - job.submitted
+                    )
             job.attempts += 1
+        t0 = lead.now()
         svc.reg.inc("repro_serve_batches_total")
         svc.reg.set("repro_serve_batch_size", float(len(jobs)))
         try:
@@ -307,6 +376,8 @@ class Worker(threading.Thread):
             # The batch ties fates together only on success: the lead
             # falls back to the solo retry path, companions re-enter the
             # queue untouched.
+            for job in jobs:
+                self._record_attempt(job, t0, job.attempts, "batch_failed")
             for job in companions:
                 svc.requeue(job)
             self._retry(lead, lead.spec.retry, exc, kind="batch")
@@ -317,5 +388,7 @@ class Worker(threading.Thread):
         for job, (lam, x) in zip(jobs, out):
             if job.past_deadline:
                 job.deadline_missed = True
+            self._record_attempt(job, t0, job.attempts, "done")
+            job.timeline[-1]["batched"] = True
             job.finish("done", eigenvalues=lam, eigenvectors=x, batched=True)
             svc.on_terminal(job)

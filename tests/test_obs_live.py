@@ -277,6 +277,26 @@ class TestZeroOverheadOff:
         tracemalloc.stop()
         assert after - before == 0
 
+    def test_lifecycle_span_retains_no_allocations_when_off(self):
+        # The serving layer calls lifecycle_span on every job event;
+        # with no collector active it must be one module-attribute read
+        # and a None check, retaining nothing.
+        import tracemalloc
+
+        from repro.obs.tracing import TraceContext, lifecycle_span
+
+        assert obs._active is None
+        ctx = TraceContext.new()
+        lifecycle_span("serve.attempt", 0.1, trace=ctx, worker="w0")  # warm up
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(200):
+            lifecycle_span("serve.attempt", 0.1, trace=ctx, worker="w0")
+            lifecycle_span("serve.queue_wait", 0.0)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert after - before == 0
+
     def test_sbr_steady_state_allocation_free_with_live_imported(self, rng):
         # PR-5 harness: with the live module imported but no registry
         # installed, a second identical run must hit the arena every
@@ -529,6 +549,57 @@ class TestAlerts:
         reg.mark_progress()
         assert evaluate_alerts(reg, watchdog=dog) == []
 
+    def test_watchdog_fires_once_without_rearm(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        dog = NoProgressWatchdog(stall_seconds=5.0)
+        clk.advance(6.0)
+        assert len(evaluate_alerts(reg, watchdog=dog)) == 1
+        # An arbitrarily long continuing stall still only refreshes the
+        # original alert's count — the default contract is fire-once.
+        for _ in range(5):
+            clk.advance(100.0)
+            assert evaluate_alerts(reg, watchdog=dog) == []
+        assert len(reg.alerts) == 1
+        assert reg.alerts[0]["count"] == 6
+
+    def test_watchdog_rearm_after_fires_repeated_stall_alerts(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        dog = NoProgressWatchdog(stall_seconds=5.0, rearm_after=60.0)
+        clk.advance(6.0)
+        fired = evaluate_alerts(reg, watchdog=dog)
+        assert len(fired) == 1 and fired[0]["rule"] == "no_progress"
+        # Within the rearm window: same alert, count refreshed.
+        clk.advance(30.0)
+        assert evaluate_alerts(reg, watchdog=dog) == []
+        assert reg.alerts[0]["count"] == 2
+        # Past the window the still-stalled run fires a fresh alert.
+        clk.advance(31.0)
+        fired = evaluate_alerts(reg, watchdog=dog)
+        assert len(fired) == 1 and fired[0]["rule"] == "no_progress#2"
+        # And again one window later — each escalation is a new record.
+        clk.advance(61.0)
+        fired = evaluate_alerts(reg, watchdog=dog)
+        assert len(fired) == 1 and fired[0]["rule"] == "no_progress#3"
+        assert [a["rule"] for a in reg.alerts] == [
+            "no_progress", "no_progress#2", "no_progress#3",
+        ]
+
+    def test_watchdog_rearm_spans_recovered_then_restalled_runs(self):
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        dog = NoProgressWatchdog(stall_seconds=5.0, rearm_after=10.0)
+        clk.advance(6.0)
+        assert len(evaluate_alerts(reg, watchdog=dog)) == 1
+        # Recovery: progress clears the stall, nothing fires.
+        reg.mark_progress()
+        assert evaluate_alerts(reg, watchdog=dog) == []
+        # A second, distinct stall past the rearm window is a new alert.
+        clk.advance(11.0)
+        fired = evaluate_alerts(reg, watchdog=dog)
+        assert len(fired) == 1 and fired[0]["rule"] == "no_progress#2"
+
 
 # ----------------------------------------------------------------------
 # Sinks, heartbeat, reporter
@@ -652,6 +723,35 @@ class TestHeartbeat:
 
     def test_read_absent_returns_none(self, tmp_path):
         assert read_heartbeat(tmp_path / "nope.json") is None
+
+    def test_read_torn_write_returns_none(self, tmp_path):
+        # A reader racing a non-atomic writer can observe a prefix of
+        # the JSON document; the contract is None, never an exception.
+        clk = FakeClock()
+        reg = MetricsRegistry(clock=clk)
+        path = tmp_path / "heartbeat.json"
+        Heartbeat(path, wall_clock=lambda: 1.0).beat(reg)
+        whole = path.read_text(encoding="utf-8").rstrip()
+        assert whole.endswith("}")
+        for cut in (1, len(whole) // 2, len(whole) - 1):
+            path.write_text(whole[:cut], encoding="utf-8")
+            assert read_heartbeat(path) is None
+
+    def test_read_empty_and_garbage_return_none(self, tmp_path):
+        path = tmp_path / "heartbeat.json"
+        path.write_text("", encoding="utf-8")
+        assert read_heartbeat(path) is None
+        path.write_text("not json {{{", encoding="utf-8")
+        assert read_heartbeat(path) is None
+        # Binary junk (e.g. a page of zeros after a crashed writer).
+        path.write_bytes(b"\x00" * 64)
+        assert read_heartbeat(path) is None
+
+    def test_read_unreadable_returns_none(self, tmp_path):
+        # A directory where the file should be is an OSError on open.
+        path = tmp_path / "heartbeat.json"
+        path.mkdir()
+        assert read_heartbeat(path) is None
 
     def test_beat_includes_progress_when_estimator(self, tmp_path):
         reg = MetricsRegistry(clock=FakeClock())
