@@ -45,6 +45,7 @@ from .errors import (
     NotSymmetricError,
     NumericalBreakdownError,
     ReproError,
+    SdcError,
     ShapeError,
     SimulatedCrashError,
     SingularMatrixError,
@@ -83,6 +84,8 @@ from .matrices import MatrixSpec, TABLE_MATRIX_SPECS, generate_symmetric
 from .metrics import backward_error, eigenvalue_error, orthogonality_error
 from .device import A100Spec, DeviceSpec, PerfModel
 from .resilience import (
+    AbftPolicy,
+    AbftReport,
     CrashFaultSpec,
     CrashInjector,
     DetectorConfig,
@@ -113,6 +116,7 @@ __all__ = [
     "ConvergenceError",
     "ConfigurationError",
     "NumericalBreakdownError",
+    "SdcError",
     "BudgetExceededError",
     "CheckpointCorruptionError",
     "CheckpointSchemaError",
@@ -169,6 +173,8 @@ __all__ = [
     "FaultSpec",
     "ResilienceContext",
     "ResilienceReport",
+    "AbftPolicy",
+    "AbftReport",
     "CrashFaultSpec",
     "CrashInjector",
     "CheckpointConfig",

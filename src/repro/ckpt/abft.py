@@ -1,110 +1,24 @@
-"""Huang–Abraham-style ABFT checksums for checkpointed arrays.
+"""Huang–Abraham ABFT checksums for checkpointed arrays (re-export).
 
-Algorithm-based fault tolerance (Huang & Abraham 1984) augments a matrix
-with row/column checksum vectors; any single corrupted entry breaks the
-sum of its row *and* its column, localizing the fault.  Here the idea
-guards checkpoints *at rest*: at save time the checkpoint records, per
-array, the float64 row-sum and column-sum vectors (compressed to a CRC32
-of their bytes plus an exact grand total), and at load time the sums are
-recomputed from the loaded bytes and compared **exactly**.
-
-Exact comparison is deliberate: the stored array is bit-identical to the
-saved one when nothing corrupted it (NumPy summation over the same bytes
-is deterministic), so any mismatch is real corruption, and the row/column
-split names which axis disagrees.  This is a second, independent layer
-under the file-level CRC32: the file checksum catches torn writes; the
-ABFT sums catch silent in-payload corruption — a flipped sign, a patched
-block — introduced by anything that kept the container consistent (e.g.
-a rewritten npz member with a fixed-up file CRC, or in-memory corruption
-between compute and serialization).
+The checksum implementation moved to :mod:`repro.resilience.abft` when
+the same row/column encoding started guarding the *live* GEMM stream
+(online ABFT): one sum-vector/CRC implementation now serves both the
+at-rest signatures here and the in-flight launch verification.  This
+module remains the stable import path for checkpoint code and existing
+callers.
 """
 
 from __future__ import annotations
 
-import zlib
+from ..resilience.abft import (  # noqa: F401 (re-exports)
+    abft_signature,
+    checksum_crc,
+    sum_vectors,
+    verify_abft,
+)
 
-import numpy as np
+# Backward-compatible aliases of the pre-promotion private helpers.
+_sum_vectors = sum_vectors
+_crc = checksum_crc
 
-from ..errors import CheckpointCorruptionError
-
-__all__ = ["abft_signature", "verify_abft"]
-
-
-def _sum_vectors(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Float64 row/column sum vectors of an array (1-D: one axis only)."""
-    a64 = np.asarray(arr, dtype=np.float64)
-    if a64.ndim >= 2:
-        # Collapse any leading axes so "row" is axis -2 and "col" axis -1.
-        a64 = a64.reshape(-1, a64.shape[-1])
-        return a64.sum(axis=1), a64.sum(axis=0)
-    flat = a64.ravel()
-    return flat, np.asarray([flat.sum()])
-
-
-def _crc(vec: np.ndarray) -> int:
-    return zlib.crc32(np.ascontiguousarray(vec, dtype=np.float64).tobytes()) & 0xFFFFFFFF
-
-
-def abft_signature(arr: np.ndarray) -> dict:
-    """Compact ABFT signature of one array (JSON-serializable).
-
-    The full checksum vectors are compressed to their CRC32s; the grand
-    total is kept exactly (as a ``float.hex`` string) so a signature
-    mismatch can report the magnitude of the disagreement.
-    """
-    rows, cols = _sum_vectors(np.asarray(arr))
-    total = float(np.asarray(arr, dtype=np.float64).sum())
-    return {
-        "shape": list(np.asarray(arr).shape),
-        "dtype": str(np.asarray(arr).dtype),
-        "row_crc": _crc(rows),
-        "col_crc": _crc(cols),
-        "total": total.hex(),
-    }
-
-
-def verify_abft(name: str, arr: np.ndarray, sig: dict, *,
-                path: str | None = None) -> None:
-    """Check a loaded array against its stored signature.
-
-    Raises
-    ------
-    CheckpointCorruptionError
-        With ``field`` naming the array and the failing check
-        (``"abft:<name>.shape"`` / ``.dtype`` / ``.row`` / ``.col`` /
-        ``.total``), so the caller sees *where* the checkpoint lied.
-    """
-    arr = np.asarray(arr)
-    if list(arr.shape) != list(sig.get("shape", [])):
-        raise CheckpointCorruptionError(
-            f"array {name!r} has shape {list(arr.shape)}, "
-            f"checkpoint recorded {sig.get('shape')}",
-            path=path, field=f"abft:{name}.shape", reason="abft",
-        )
-    if str(arr.dtype) != sig.get("dtype"):
-        raise CheckpointCorruptionError(
-            f"array {name!r} has dtype {arr.dtype}, "
-            f"checkpoint recorded {sig.get('dtype')}",
-            path=path, field=f"abft:{name}.dtype", reason="abft",
-        )
-    rows, cols = _sum_vectors(arr)
-    if _crc(rows) != sig.get("row_crc"):
-        raise CheckpointCorruptionError(
-            f"array {name!r} failed its ABFT row-checksum "
-            f"(silent corruption in the stored payload)",
-            path=path, field=f"abft:{name}.row", reason="abft",
-        )
-    if _crc(cols) != sig.get("col_crc"):
-        raise CheckpointCorruptionError(
-            f"array {name!r} failed its ABFT column-checksum",
-            path=path, field=f"abft:{name}.col", reason="abft",
-        )
-    stored = sig.get("total")
-    if stored is not None:
-        total = float(np.asarray(arr, dtype=np.float64).sum())
-        if total.hex() != stored:
-            raise CheckpointCorruptionError(
-                f"array {name!r} grand total {total!r} disagrees with the "
-                f"checkpointed total {float.fromhex(stored)!r}",
-                path=path, field=f"abft:{name}.total", reason="abft",
-            )
+__all__ = ["abft_signature", "verify_abft", "sum_vectors", "checksum_crc"]

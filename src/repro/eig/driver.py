@@ -112,6 +112,11 @@ class EvdResult:
         ``live=`` (counters, gauges, GEMM latency quantiles, alerts,
         progress); becomes the run manifest's ``metrics`` line.  ``None``
         otherwise.
+    abft_report : AbftReport or None
+        What the online ABFT layer verified/detected/corrected when the
+        run was launched with ``abft="detect"``/``"correct"``
+        (:mod:`repro.resilience.abft`); becomes the run manifest's
+        ``abft`` line.  ``None`` when the layer was off.
     """
 
     eigenvalues: np.ndarray
@@ -123,6 +128,7 @@ class EvdResult:
     checkpoint_report: CheckpointReport | None = None
     workspace: "object | None" = None
     metrics: "dict | None" = None
+    abft_report: "object | None" = None
 
 
 def _solve_tridiagonal(
@@ -162,6 +168,7 @@ def _make_context(
     ladder: "EscalationLadder | None",
     detectors: "DetectorConfig | None",
     faults: "FaultInjector | None",
+    abft=None,
 ) -> "ResilienceContext | None":
     """Resolve the resilience context for one driver run."""
     if resilience is not None:
@@ -172,10 +179,15 @@ def _make_context(
                 "fault injection requires the resilience layer; "
                 "pass on_breakdown='escalate'|'raise'|'best_effort'"
             )
+        if abft is not None and abft != "off":
+            raise ConfigurationError(
+                "online ABFT requires the resilience layer; "
+                "pass on_breakdown='escalate'|'raise'|'best_effort'"
+            )
         return None
     return ResilienceContext(
         on_breakdown=on_breakdown, ladder=ladder,
-        detectors=detectors, injector=faults,
+        detectors=detectors, injector=faults, abft=abft,
     )
 
 
@@ -240,6 +252,7 @@ def _resumed_result(ck, result_ck, b, eng, sbr_eng, ctx) -> "EvdResult":
         engine=eng,
         resilience_report=ctx.report if ctx is not None else None,
         checkpoint_report=ck.report,
+        abft_report=ctx.abft.report if ctx is not None and ctx.abft is not None else None,
     )
 
 
@@ -261,6 +274,10 @@ def _resilient_bulge(ctx, band64, b, want_q):
         try:
             with ctx.unit("bulge"):
                 band_in = ctx.inject("bulge", band64)
+                # ABFT copy guard: the pristine band is still in memory,
+                # so corruption of the copy localizes (and, in correct
+                # mode, patches) exactly.
+                band_in = ctx.guard_copy("bulge", band_in, band64)
                 ctx.check_array(band_in, site="bulge_band")
                 ctx.check_symmetry(band_in, precision=Precision.FP64)
                 d, e, q2 = bulge_chase(band_in, b, want_q=want_q)
@@ -272,6 +289,34 @@ def _resilient_bulge(ctx, band64, b, want_q):
         except NumericalBreakdownError as exc:
             if not ctx.handle_breakdown(
                 exc, engine=None, attempt=attempt, phase="bulge"
+            ):
+                raise
+            attempt += 1
+
+
+def _back_transform(ctx, q_sbr, q2, v_tri, record_trace):
+    """Assemble ``X = Q_sbr @ Q_bulge @ V_tri`` (float64).
+
+    With online ABFT or fault injection active the two products route
+    through a guarded float64 engine (tag ``"back_transform"``) so the
+    launches are verified/injectable like the stage-1 stream; the plain
+    path stays a bare ``@`` chain — bitwise identical, zero overhead.
+    Retries mirror :func:`_resilient_bulge`: the inputs are immutable,
+    so a re-run heals transient corruption without precision changes.
+    """
+    q64 = np.asarray(q_sbr, dtype=np.float64)
+    if ctx is None or (ctx.abft is None and ctx.injector is None):
+        return q64 @ (q2 @ v_tri)
+    bt_eng = ctx.wrap_engine(make_engine(Precision.FP64, record=record_trace))
+    attempt = 0
+    while True:
+        try:
+            with ctx.unit("back_transform"):
+                t = bt_eng.gemm(q2, v_tri, tag="back_transform")
+                return bt_eng.gemm(q64, t, tag="back_transform")
+        except NumericalBreakdownError as exc:
+            if not ctx.handle_breakdown(
+                exc, engine=None, attempt=attempt, phase="back_transform"
             ):
                 raise
             attempt += 1
@@ -296,6 +341,7 @@ def syevd_2stage(
     ladder: "EscalationLadder | None" = None,
     detectors: "DetectorConfig | None" = None,
     faults: "FaultInjector | None" = None,
+    abft: "str | None" = None,
     checkpoint: "CheckpointConfig | CheckpointManager | str | None" = None,
     check_finite: bool = True,
     check_input: bool = True,
@@ -351,6 +397,19 @@ def syevd_2stage(
         Which invariant monitors run and how strict they are.
     faults : FaultInjector, optional
         Deterministic fault injection (test harness).
+    abft : {"off", "detect", "correct"} or AbftPolicy, optional
+        Online ABFT over every guarded GEMM launch
+        (:mod:`repro.resilience.abft`): row/column checksum verification
+        after each stage-1/back-transform launch plus a copy guard on
+        the bulge band.  ``"detect"`` raises
+        :class:`~repro.errors.SdcError` on the first mismatch;
+        ``"correct"`` patches single-element corruption in place
+        (bitwise-exact, sourced from a deterministic replay), recomputes
+        multi-element damage, and escalates only persistent damage to
+        the retry ladder.  Default off — zero overhead.  Requires the
+        resilience layer (``on_breakdown`` not None).  The run's
+        :attr:`EvdResult.abft_report` records what was verified and
+        corrected.
     checkpoint : CheckpointConfig, CheckpointManager, or str, optional
         Durable checkpoint/restart (a bare string is taken as the run
         directory).  The run commits restart state after every SBR panel
@@ -408,7 +467,7 @@ def syevd_2stage(
     if method not in ("wy", "zy"):
         raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
 
-    ctx = _make_context(on_breakdown, resilience, ladder, detectors, faults)
+    ctx = _make_context(on_breakdown, resilience, ladder, detectors, faults, abft)
     eng = engine if engine is not None else make_engine(precision, record=record_trace)
     sbr_eng = ctx.wrap_engine(eng) if ctx is not None else eng
     ws = resolve_workspace(workspace)
@@ -524,7 +583,7 @@ def syevd_2stage(
         if want_vectors:
             with obs.span("back_transform"):
                 # X = Q_sbr @ Q_bulge @ V_tri.
-                x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
+                x = _back_transform(ctx, sbr.q, q2, v_tri, record_trace)
             _stage_check(ctx, "back_transform", x, "eigenvectors")
         if ck is not None:
             ck.save("result", {
@@ -540,6 +599,7 @@ def syevd_2stage(
         checkpoint_report=ck.report if ck is not None else None,
         workspace=ws,
         metrics=live_sess.dump,
+        abft_report=ctx.abft.report if ctx is not None and ctx.abft is not None else None,
     )
 
 
@@ -604,6 +664,7 @@ def syevd_selected(
     want_vectors: bool = True,
     on_breakdown: "str | None" = "escalate",
     faults: "FaultInjector | None" = None,
+    abft: "str | None" = None,
     check_finite: bool = True,
     check_input: bool = True,
 ) -> EvdResult:
@@ -644,7 +705,7 @@ def syevd_selected(
     if method not in ("wy", "zy"):
         raise ConfigurationError(f"method must be 'wy' or 'zy', got {method!r}")
 
-    ctx = _make_context(on_breakdown, None, None, None, faults)
+    ctx = _make_context(on_breakdown, None, None, None, faults, abft)
     eng = make_engine(precision)
     sbr_eng = ctx.wrap_engine(eng) if ctx is not None else eng
     with obs.span("syevd_selected", n=n, b=b, nb=nb, method=method):
@@ -676,7 +737,7 @@ def syevd_selected(
                         exc.phase = "inverse_iteration"
                     raise
             with obs.span("back_transform"):
-                x = np.asarray(sbr.q, dtype=np.float64) @ (q2 @ v_tri)
+                x = _back_transform(ctx, sbr.q, q2, v_tri, False)
         elif want_vectors:
             x = np.zeros((n, 0))
     return EvdResult(
@@ -686,4 +747,5 @@ def syevd_selected(
         tridiagonal=(d, e),
         engine=eng,
         resilience_report=ctx.report if ctx is not None else None,
+        abft_report=ctx.abft.report if ctx is not None and ctx.abft is not None else None,
     )

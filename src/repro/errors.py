@@ -21,6 +21,7 @@ __all__ = [
     "BudgetExceededError",
     "ConfigurationError",
     "NumericalBreakdownError",
+    "SdcError",
     "CheckpointCorruptionError",
     "CheckpointSchemaError",
     "SimulatedCrashError",
@@ -270,6 +271,72 @@ class NumericalBreakdownError(ReproError, ArithmeticError):
             "threshold": self.threshold,
             "precision": self.precision,
         }
+
+
+class SdcError(NumericalBreakdownError):
+    """Online ABFT detected silent data corruption in a GEMM launch.
+
+    Raised by :mod:`repro.resilience.abft` when the row/column checksum
+    verification of a guarded engine launch fails — a bit flip, dropped
+    lane, or emulated-hardware bug corrupted the output in flight.  In
+    ``abft="detect"`` mode it propagates immediately; in ``"correct"``
+    mode it is raised only when in-place patching *and* a full launch
+    recompute both failed to produce a clean result (persistent damage),
+    at which point the precision-escalation ladder takes over exactly as
+    for any other :class:`NumericalBreakdownError`.
+
+    Attributes
+    ----------
+    call_index : int or None
+        0-based index of the corrupted launch among the guarded launches
+        at ``site`` (aligned with :class:`~repro.resilience.FaultSpec`
+        call indices).
+    row, col : int or None
+        Localized coordinates of the corrupted element when the
+        row×column mismatch intersection isolated exactly one (``None``
+        for multi-element or unlocalized damage).
+    op : str or None
+        Engine operation kind (``"gemm"``, ``"gemm_batched"``,
+        ``"syr2k"``, ``"copy"``).
+    (plus the :class:`NumericalBreakdownError` attributes; ``detector``
+    is always ``"abft"``.)
+    """
+
+    def __init__(self, message: str = "", *, phase: str | None = None,
+                 panel: int | None = None, site: str | None = None,
+                 value: float | None = None, threshold: float | None = None,
+                 precision: str | None = None, call_index: int | None = None,
+                 row: int | None = None, col: int | None = None,
+                 op: str | None = None) -> None:
+        super().__init__(message, phase=phase, panel=panel, detector="abft",
+                         site=site, value=value, threshold=threshold,
+                         precision=precision)
+        self.call_index = call_index
+        self.row = row
+        self.col = col
+        self.op = op
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        parts = []
+        if self.call_index is not None:
+            parts.append(f"call_index={self.call_index}")
+        if self.row is not None:
+            parts.append(f"row={self.row}")
+        if self.col is not None:
+            parts.append(f"col={self.col}")
+        if self.op is not None:
+            parts.append(f"op={self.op}")
+        if parts:
+            return f"{msg} [{', '.join(parts)}]"
+        return msg
+
+    def to_dict(self) -> dict:
+        d = super().to_dict()
+        d["message"] = Exception.__str__(self)
+        d.update(call_index=self.call_index, row=self.row, col=self.col,
+                 op=self.op)
+        return d
 
 
 class CheckpointCorruptionError(ReproError, RuntimeError):

@@ -53,9 +53,11 @@ class BenchScenario:
     eigensolver, ``"sbr"`` runs only the stage-1 band reduction (the
     paper's hot loop — large-``n`` scenarios use this, since the
     pure-Python bulge chase would dwarf the GEMM stream being measured).
-    ``workspace`` (``"on"``/``"off"``) and ``lookahead`` are perf-layer
-    knobs forwarded to the SBR driver *only when its signature supports
-    them*, so a session recorded on an older tree stays comparable.
+    ``workspace`` (``"on"``/``"off"``), ``lookahead``, and ``abft`` are
+    layered knobs forwarded to the target driver *only when its
+    signature supports them*, so a session recorded on an older tree
+    stays comparable.  ``abft="detect"`` prices the online-ABFT
+    verification overhead on the GEMM stream.
     """
 
     key: str
@@ -70,6 +72,7 @@ class BenchScenario:
     stage: str = "evd"
     workspace: str = "on"
     lookahead: bool = False
+    abft: str = "off"
 
 
 #: Pinned suites.  ``smoke`` is the CI gate: small sizes, seconds per
@@ -107,6 +110,12 @@ SUITES: dict[str, tuple[BenchScenario, ...]] = {
         BenchScenario(
             "sbr-wy-ec-n512-nows", n=512, b=32, nb=128,
             precision="fp16_ec_tc", stage="sbr", workspace="off",
+        ),
+        # Online-ABFT overhead row (PR 9): same shape as wy-fp32-n256,
+        # but every GEMM launch is checksum-verified in detect mode —
+        # the pair prices the verification tax for the regression gate.
+        BenchScenario(
+            "wy-fp32-n256-abft", n=256, b=16, nb=64, abft="detect",
         ),
     ),
 }
@@ -161,6 +170,8 @@ def _perf_kwargs(sc: BenchScenario, fn) -> dict:
         kwargs["workspace"] = False
     if sc.lookahead and "lookahead" in params:
         kwargs["lookahead"] = True
+    if sc.abft != "off" and "abft" in params:
+        kwargs["abft"] = sc.abft
     return kwargs
 
 

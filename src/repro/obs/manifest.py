@@ -25,6 +25,9 @@ Line kinds (each line carries a ``"kind"`` discriminator):
 ``metrics``     final live-metrics registry dump: counters, gauges,
                 quantile-sketch histogram summaries (GEMM latency
                 p50/p90/p99), fired alerts, worker liveness (optional)
+``abft``        online-ABFT report: mode, launches verified/probed, SDC
+                events detected/corrected/recomputed, verification
+                seconds by phase (optional)
 ==============  ========================================================
 
 Schema version: ``SCHEMA_VERSION`` (bump on incompatible change; the
@@ -38,9 +41,10 @@ field access).  History:
   to the collector epoch) so trace exporters can place events on the
   span timeline.  Backward compatible: v1 manifests still load, their
   events just carry no position.  The optional ``checkpoint`` line (PR 4),
-  the optional ``alloc`` line (PR 5, workspace-arena counters), and the
-  optional ``metrics`` line (PR 6, final live-registry dump) ride within
-  this version: older loaders skip unknown kinds.
+  the optional ``alloc`` line (PR 5, workspace-arena counters), the
+  optional ``metrics`` line (PR 6, final live-registry dump), and the
+  optional ``abft`` line (PR 9, online-ABFT report) ride within this
+  version: older loaders skip unknown kinds.
 
 Manifests are written crash-safely: the whole JSONL body is serialized
 in memory and committed with one atomic rename
@@ -89,6 +93,7 @@ class RunManifest:
     checkpoint: dict | None = None
     alloc: dict | None = None
     metrics: dict | None = None
+    abft: dict | None = None
     path: str | None = None
 
     # -- derived queries ---------------------------------------------------
@@ -186,6 +191,7 @@ def write_manifest(
     checkpoint: dict | None = None,
     alloc: dict | None = None,
     metrics: dict | None = None,
+    abft: dict | None = None,
     trace_context: dict | None = None,
     events: str = "full",
 ) -> str:
@@ -226,6 +232,10 @@ def write_manifest(
         Final live-metrics registry dump
         (``MetricsRegistry.dump()``): counters, gauges, histogram
         quantile summaries, fired alerts, worker liveness.
+    abft : dict, optional
+        Online-ABFT report (``AbftReport.to_dict()``): mode, launches
+        verified/probed, SDC events detected/corrected/recomputed,
+        verification seconds by phase.
     trace_context : dict, optional
         Serialized :class:`repro.obs.tracing.TraceContext` of the
         request this run belongs to, stored on the meta line (additive
@@ -290,6 +300,8 @@ def write_manifest(
         lines.append(dump({"kind": "alloc", **dict(alloc)}))
     if metrics is not None:
         lines.append(dump({"kind": "metrics", **dict(metrics)}))
+    if abft is not None:
+        lines.append(dump({"kind": "abft", **dict(abft)}))
     atomic_write_text(path, "\n".join(lines) + "\n")
     return path
 
@@ -351,5 +363,7 @@ def load_manifest(path: str) -> RunManifest:
                 man.alloc = obj
             elif kind == "metrics":
                 man.metrics = obj
+            elif kind == "abft":
+                man.abft = obj
             # Unknown kinds are skipped: forward compatibility within a major.
     return man

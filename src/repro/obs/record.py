@@ -98,6 +98,7 @@ def record_syevd(
     events: str = "full",
     on_breakdown: "str | None" = "escalate",
     faults=None,
+    abft: "str | None" = None,
     checkpoint=None,
     live=None,
     trace=None,
@@ -111,7 +112,10 @@ def record_syevd(
     :class:`repro.resilience.FaultInjector`) pass through to the driver;
     the run's resilience report lands in the manifest as a
     ``"resilience"`` line — this is how fault-injection campaigns are
-    archived and diffed.  ``checkpoint`` (a run-directory string or a
+    archived and diffed.  ``abft`` (``"off"``/``"detect"``/``"correct"``
+    or an :class:`repro.resilience.AbftPolicy`) turns on online GEMM
+    checksum verification; the run's ABFT report is archived as an
+    ``"abft"`` manifest line.  ``checkpoint`` (a run-directory string or a
     :class:`repro.ckpt.CheckpointConfig`) likewise passes through; the
     run's :class:`~repro.ckpt.CheckpointReport` is archived as a
     ``"checkpoint"`` manifest line, and the driver's workspace-arena
@@ -151,7 +155,7 @@ def record_syevd(
             a, b=b, nb=nb, method=method, precision=precision,
             want_vectors=want_vectors, tridiag_solver=tridiag_solver,
             record_trace=True, on_breakdown=on_breakdown, faults=faults,
-            checkpoint=checkpoint, live=live, trace=trace,
+            abft=abft, checkpoint=checkpoint, live=live, trace=trace,
         )
 
     probe_values = evd_accuracy_probes(a, result) if probes else None
@@ -169,6 +173,7 @@ def record_syevd(
             "b": b, "nb": nb, "method": method,
             "want_vectors": want_vectors, "tridiag_solver": tridiag_solver,
             "on_breakdown": on_breakdown,
+            "abft": getattr(abft, "mode", abft) or "off",
         },
         trace=trace,
         accuracy=probe_values,
@@ -184,6 +189,11 @@ def record_syevd(
             else None
         ),
         metrics=getattr(result, "metrics", None),
+        abft=(
+            result.abft_report.to_dict()
+            if getattr(result, "abft_report", None) is not None
+            else None
+        ),
         trace_context=(
             request_trace.to_dict() if hasattr(request_trace, "to_dict")
             else dict(request_trace) if request_trace else None

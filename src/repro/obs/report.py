@@ -137,6 +137,11 @@ def render_report(manifest: "RunManifest | str") -> str:
     if metrics_section:
         lines.append("")
         lines.extend(metrics_section)
+
+    abft_section = _render_abft(man.abft)
+    if abft_section:
+        lines.append("")
+        lines.extend(abft_section)
     return "\n".join(lines)
 
 
@@ -180,6 +185,45 @@ def _render_metrics(metrics: "dict | None") -> list[str]:
                 f"  {alert.get('rule', '?')}: {alert.get('message') or ''} "
                 f"(value={alert.get('value')})".rstrip()
             )
+    return lines
+
+
+def _render_abft(abft: "dict | None") -> list[str]:
+    """Online-ABFT section of the report (``abft`` manifest line).
+
+    Shows the verification mode, launch coverage, SDC event totals, and
+    the per-phase verification overhead.
+    """
+    if not abft:
+        return []
+    launches = int(abft.get("verified", 0)) + int(abft.get("probed", 0))
+    lines = [
+        f"online abft [{abft.get('mode', '?')}]: {launches} launches verified "
+        f"({int(abft.get('probed', 0))} probed), "
+        f"{abft.get('verify_seconds', 0.0) * 1e3:.1f} ms overhead"
+    ]
+    detected = int(abft.get("detected", 0))
+    if detected:
+        lines.append(
+            f"  sdc events: {detected} detected, "
+            f"{int(abft.get('corrected', 0))} corrected in place, "
+            f"{int(abft.get('recomputed', 0))} recomputed, "
+            f"{int(abft.get('raised', 0))} escalated"
+        )
+    else:
+        lines.append("  sdc events: none")
+    by_phase = abft.get("by_phase") or {}
+    if by_phase:
+        rows = [
+            [
+                site,
+                str(int(slot.get("verified", 0))),
+                str(int(slot.get("detected", 0))),
+                _fmt_seconds(slot.get("seconds", 0.0)),
+            ]
+            for site, slot in sorted(by_phase.items())
+        ]
+        lines.append(_table(["site", "verified", "sdc", "time"], rows))
     return lines
 
 

@@ -10,6 +10,12 @@ degrade gracefully instead of returning silently-wrong eigenpairs:
   scans, panel-Q orthogonality drift, norm growth, symmetry drift,
   residual probes) raising :class:`repro.errors.NumericalBreakdownError`
   with phase/panel context.
+- :mod:`repro.resilience.abft` — online ABFT: Huang–Abraham row/column
+  checksum verification of every guarded GEMM launch, single-element
+  localization and bitwise-exact correction, a Freivalds probe for
+  batched launches, and :class:`repro.errors.SdcError` escalation into
+  the retry ladder (knob ``abft="off"|"detect"|"correct"``).  Also the
+  shared implementation behind the at-rest checkpoint signatures.
 - :mod:`repro.resilience.policy` — the precision-escalation ladder
   (``FP16_TC -> FP16_EC_TC -> TF32_TC -> FP32 -> FP64``) with a retry
   budget and exponential widening, plus the per-run
@@ -37,6 +43,18 @@ and the fault-injection cookbook.
 
 from .context import BREAKDOWN_MODES, ResilienceContext, ResilientEngine
 from .crash import CRASH_KINDS, CrashFaultSpec, CrashInjector, parse_kill_site
+from .abft import (
+    ABFT_MODES,
+    AbftChecker,
+    AbftEvent,
+    AbftPolicy,
+    AbftReport,
+    Syr2kPre,
+    abft_signature,
+    checksum_crc,
+    sum_vectors,
+    verify_abft,
+)
 from .detectors import (
     DetectorBank,
     DetectorConfig,
@@ -59,6 +77,16 @@ __all__ = [
     "BREAKDOWN_MODES",
     "ResilienceContext",
     "ResilientEngine",
+    "ABFT_MODES",
+    "AbftChecker",
+    "AbftEvent",
+    "AbftPolicy",
+    "AbftReport",
+    "Syr2kPre",
+    "abft_signature",
+    "checksum_crc",
+    "sum_vectors",
+    "verify_abft",
     "CRASH_KINDS",
     "CrashFaultSpec",
     "CrashInjector",

@@ -1,0 +1,176 @@
+"""CLI for the resilience subsystem: audit a recorded run's ABFT layer.
+
+::
+
+    python -m repro.resilience abft-verify runs/
+    python -m repro.resilience abft-verify runs/syevd-wy-fp32-n256.jsonl --json
+
+``abft-verify`` loads one manifest (or every ``*.jsonl`` manifest under
+a directory), replays its GEMM-stream summary against the archived
+``abft`` line, and reports per-phase ABFT verification overhead plus the
+SDC event counts (detected / corrected in place / recomputed /
+escalated).  The per-phase overhead joins two views of the same run: the
+checker's own per-site accounting (the ``abft`` line) and the
+``abft.verify`` spans on the telemetry timeline, grouped under their
+parent phase.  Exits non-zero when no manifest carries an ``abft`` line
+— the run was recorded without online verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .abft import AbftReport
+
+_EXIT_NO_ABFT = 1
+_EXIT_USAGE = 2
+
+
+def _manifest_paths(target: str) -> "list[str]":
+    """One file, or every ``*.jsonl`` directly under a directory."""
+    if os.path.isfile(target):
+        return [target]
+    if os.path.isdir(target):
+        return sorted(
+            os.path.join(target, name)
+            for name in os.listdir(target)
+            if name.endswith(".jsonl")
+        )
+    raise FileNotFoundError(target)
+
+
+def _verify_spans_by_phase(man) -> "dict[str, tuple[int, float]]":
+    """``abft.verify``/``abft.correct`` span time grouped by parent path."""
+    out: "dict[str, tuple[int, float]]" = {}
+    for span in man.spans:
+        path = span.path
+        if not (path.endswith("/abft.verify") or path.endswith("/abft.correct")
+                or path in ("abft.verify", "abft.correct")):
+            continue
+        phase = path.rsplit("/", 1)[0] if "/" in path else "<top>"
+        count, seconds = out.get(phase, (0, 0.0))
+        out[phase] = (count + 1, seconds + span.duration)
+    return out
+
+
+def _audit_one(path: str, *, as_json: bool) -> "dict | None":
+    """Audit one manifest; returns its summary dict, or None without abft."""
+    from ..obs.manifest import load_manifest
+
+    man = load_manifest(path)
+    if man.abft is None:
+        return None
+    rep = AbftReport.from_dict(man.abft)
+    gemm_seconds = float(man.gemm_summary.get("seconds", 0.0) or 0.0)
+    launches = rep.verified + rep.probed
+    overhead = rep.verify_seconds / gemm_seconds if gemm_seconds > 0 else None
+    summary = {
+        "path": path,
+        "label": man.label,
+        "mode": rep.mode,
+        "launches": launches,
+        "probed": rep.probed,
+        "gemm_launches": int(man.gemm_summary.get("launches",
+                                                  man.gemm_summary.get("calls", 0)) or 0),
+        "verify_seconds": rep.verify_seconds,
+        "gemm_seconds": gemm_seconds,
+        "overhead": overhead,
+        "detected": rep.detected,
+        "corrected": rep.corrected,
+        "recomputed": rep.recomputed,
+        "raised": rep.raised,
+        "by_site": rep.by_phase,
+        "by_phase": {
+            phase: {"spans": count, "seconds": seconds}
+            for phase, (count, seconds) in _verify_spans_by_phase(man).items()
+        },
+        "events": rep.events,
+    }
+    if as_json:
+        return summary
+
+    print(f"{path}: {rep.summary()}")
+    if overhead is not None:
+        print(f"  gemm stream: {summary['gemm_launches']} launches, "
+              f"{gemm_seconds * 1e3:.1f} ms measured; verification overhead "
+              f"{overhead * 100.0:.1f}%")
+    if rep.by_phase:
+        width = max(len(site) for site in rep.by_phase)
+        print(f"  {'site'.ljust(width)}  verified  sdc  verify-ms")
+        for site in sorted(rep.by_phase):
+            slot = rep.by_phase[site]
+            print(f"  {site.ljust(width)}  "
+                  f"{int(slot.get('verified', 0)):>8d}  "
+                  f"{int(slot.get('detected', 0)):>3d}  "
+                  f"{float(slot.get('seconds', 0.0)) * 1e3:>9.2f}")
+    phases = summary["by_phase"]
+    if phases:
+        print("  timeline phases carrying verification:")
+        for phase in sorted(phases):
+            slot = phases[phase]
+            print(f"    {phase}: {slot['spans']} spans, "
+                  f"{slot['seconds'] * 1e3:.2f} ms")
+    for ev in rep.events:
+        print(f"  event: {ev.get('action', '?')} at {ev.get('site', '?')}"
+              f"[{ev.get('call_index', '?')}] "
+              f"op={ev.get('op', '?')} row={ev.get('row')} col={ev.get('col')}")
+    return summary
+
+
+def _cmd_abft_verify(args) -> int:
+    try:
+        paths = _manifest_paths(args.target)
+    except FileNotFoundError:
+        print(f"error: no such file or directory: {args.target}",
+              file=sys.stderr)
+        return _EXIT_USAGE
+    audited: "list[dict]" = []
+    skipped = 0
+    for path in paths:
+        try:
+            summary = _audit_one(path, as_json=args.json)
+        except ValueError as exc:
+            print(f"{path}: unreadable manifest ({exc})", file=sys.stderr)
+            skipped += 1
+            continue
+        if summary is None:
+            skipped += 1
+        else:
+            audited.append(summary)
+    if args.json:
+        print(json.dumps({"manifests": audited, "skipped": skipped}, indent=1))
+    if not audited:
+        print(f"error: no manifest under {args.target} carries an 'abft' "
+              f"line ({skipped} without online verification)", file=sys.stderr)
+        return _EXIT_NO_ABFT
+    if not args.json and skipped:
+        print(f"({skipped} manifest(s) without an abft line skipped)")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Resilience-layer audits over recorded run manifests.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ver = sub.add_parser(
+        "abft-verify",
+        help="replay a manifest's GEMM-stream summary against its archived "
+             "ABFT report: per-phase overhead + SDC event counts",
+    )
+    p_ver.add_argument("target", help="manifest file or directory of *.jsonl")
+    p_ver.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_ver.set_defaults(func=_cmd_abft_verify)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

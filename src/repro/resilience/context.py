@@ -28,12 +28,13 @@ import time
 
 import numpy as np
 
-from ..errors import ConfigurationError, NumericalBreakdownError
+from ..errors import ConfigurationError, NumericalBreakdownError, SdcError
 from ..gemm.engine import GemmEngine, make_engine
 from ..gemm.trace import GemmRecord
 from ..obs import spans as obs
 from ..obs.live import registry as _live
 from ..precision.modes import Precision
+from .abft import AbftChecker, AbftPolicy, Syr2kPre
 from .detectors import DetectorBank, DetectorConfig
 from .faults import FaultInjector
 from .policy import DetectionRecord, EscalationLadder, EscalationRecord, ResilienceReport
@@ -105,7 +106,13 @@ class ResilientEngine:
             )
             with self.base._trace_lock:
                 self.base.trace.add(rec)
-        return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
+        # Zero-overhead-off contract: with ABFT off this is one attribute
+        # read and a None check on the hot path.
+        if self._ctx.abft is None:
+            return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
+        return self._ctx.after_gemm_abft(
+            res, a, b, inner=inner, site=tag, ta=ta, tb=tb, out_buf=out,
+        )
 
     def gemm_batched(self, a, b, *, tag: str = "", out=None, ta: bool = False,
                      tb: bool = False) -> np.ndarray:
@@ -120,11 +127,24 @@ class ResilientEngine:
             )
             with self.base._trace_lock:
                 self.base.trace.add(rec)
-        return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
+        if self._ctx.abft is None:
+            return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
+        return self._ctx.after_batched_abft(
+            res, a, b, inner=inner, site=tag, ta=ta, tb=tb, out_buf=out,
+        )
 
     def syr2k(self, y, z, *, tag: str = "", out=None, alpha: float = 1.0,
               beta: float = 0.0) -> np.ndarray:
         inner = self._inner
+        ab = self._ctx.abft
+        pre = snapshot = None
+        if ab is not None and out is not None and beta != 0.0:
+            # The accumulator's checksums (and, in correct mode, its full
+            # contents for the replay) must be captured before the launch
+            # scales them away.
+            pre = Syr2kPre.capture(out)
+            if ab.policy.mode == "correct":
+                snapshot = np.array(out, copy=True)
         res = inner.syr2k(y, z, tag=tag, out=out, alpha=alpha, beta=beta)
         if inner is not self.base and self.base.trace is not None:
             yy = np.asarray(y)
@@ -134,7 +154,12 @@ class ResilientEngine:
             )
             with self.base._trace_lock:
                 self.base.trace.add(rec)
-        return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
+        if ab is None:
+            return self._ctx.after_gemm(res, site=tag, precision=inner.precision)
+        return self._ctx.after_syr2k_abft(
+            res, y, z, inner=inner, site=tag, alpha=alpha, beta=beta,
+            pre=pre, snapshot=snapshot,
+        )
 
     # -- escalation ---------------------------------------------------------
     def escalate_to(self, precision: Precision) -> None:
@@ -197,6 +222,10 @@ class ResilienceContext:
         Which invariant monitors run and how strict they are.
     injector : FaultInjector, optional
         Test-only deterministic fault injection.
+    abft : {"off", "detect", "correct"} or AbftPolicy, optional
+        Online ABFT over every guarded engine launch
+        (:mod:`repro.resilience.abft`).  ``None``/``"off"`` keeps the
+        layer out of the hot path entirely.
     """
 
     def __init__(
@@ -206,6 +235,7 @@ class ResilienceContext:
         ladder: EscalationLadder | None = None,
         detectors: "DetectorConfig | DetectorBank | None" = None,
         injector: FaultInjector | None = None,
+        abft=None,
     ) -> None:
         if on_breakdown not in BREAKDOWN_MODES:
             raise ConfigurationError(
@@ -218,6 +248,10 @@ class ResilienceContext:
         else:
             self.detectors = DetectorBank(detectors)
         self.injector = injector
+        policy = AbftPolicy.from_knob(abft)
+        #: AbftChecker or None — the single attribute the engine wrapper
+        #: reads per launch (the zero-overhead-off contract).
+        self.abft = AbftChecker(policy) if policy is not None else None
         self.report = ResilienceReport()
         self._stack: list[tuple[str, "int | None"]] = []
         self._engines: list[ResilientEngine] = []
@@ -262,16 +296,134 @@ class ResilienceContext:
     def after_gemm(self, out: np.ndarray, *, site: str, precision: Precision) -> np.ndarray:
         """Engine hook: inject due faults, then run the output detectors."""
         out = self.inject(site, out)
-        if not self._suppress:
-            phase, panel = self.current_unit()
-            try:
-                self.detectors.check_output(
-                    out, site=site, phase=phase, panel=panel, precision=precision
-                )
-            except NumericalBreakdownError as exc:
-                self._record_detection(exc)
-                raise
+        self._run_detectors(out, site=site, precision=precision)
         return out
+
+    def _run_detectors(self, out: np.ndarray, *, site: str,
+                       precision: Precision) -> None:
+        if self._suppress:
+            return
+        phase, panel = self.current_unit()
+        try:
+            self.detectors.check_output(
+                out, site=site, phase=phase, panel=panel, precision=precision
+            )
+        except NumericalBreakdownError as exc:
+            self._record_detection(exc)
+            raise
+
+    # -- online ABFT hooks ---------------------------------------------------
+    @staticmethod
+    def _operand_view(x, transpose: bool) -> np.ndarray:
+        """Effective operand view: prepared operands unwrapped, ``ta``/``tb``
+        applied — the matrix the engine actually multiplied."""
+        arr = np.asarray(getattr(x, "array", x))
+        if transpose:
+            arr = arr.swapaxes(-2, -1)
+        return arr
+
+    def _guard(self, check, out, *, site: str, precision: Precision) -> np.ndarray:
+        """Run one checker call, recording any SdcError like a detection."""
+        try:
+            out = check()
+        except SdcError as exc:
+            self._record_detection(exc)
+            raise
+        self._run_detectors(out, site=site, precision=precision)
+        return out
+
+    def after_gemm_abft(self, out, a, b, *, inner, site: str,
+                        ta: bool = False, tb: bool = False,
+                        out_buf=None) -> np.ndarray:
+        """Engine hook with online ABFT: inject, verify, correct, detect."""
+        out = self.inject(site, out)
+        av = self._operand_view(a, ta)
+        bv = self._operand_view(b, tb)
+        if out_buf is not None and (np.may_share_memory(out_buf, av)
+                                    or np.may_share_memory(out_buf, bv)):
+            # The launch clobbered its own operand (aliased out=); the
+            # checksum references are gone — fall back to the detectors.
+            self._run_detectors(out, site=site, precision=inner.precision)
+            return out
+        phase, panel = self.current_unit()
+        recompute = None
+        if self.abft.policy.mode == "correct":
+            def recompute():
+                # Deterministic replay through the raw engine; routed back
+                # through the injector so persistent faults stay visible.
+                return self.inject(site, inner.gemm(a, b, tag=site, ta=ta, tb=tb))
+        return self._guard(
+            lambda: self.abft.guard_gemm(
+                out, av, bv, precision=inner.precision, site=site,
+                phase=phase, panel=panel, recompute=recompute,
+            ),
+            out, site=site, precision=inner.precision,
+        )
+
+    def after_batched_abft(self, out, a, b, *, inner, site: str,
+                           ta: bool = False, tb: bool = False,
+                           out_buf=None) -> np.ndarray:
+        """Batched-GEMM hook with online ABFT (Freivalds for big stacks)."""
+        out = self.inject(site, out)
+        av = self._operand_view(a, ta)
+        bv = self._operand_view(b, tb)
+        if out_buf is not None and (np.may_share_memory(out_buf, av)
+                                    or np.may_share_memory(out_buf, bv)):
+            self._run_detectors(out, site=site, precision=inner.precision)
+            return out
+        phase, panel = self.current_unit()
+        recompute = None
+        if self.abft.policy.mode == "correct":
+            def recompute():
+                return self.inject(
+                    site, inner.gemm_batched(a, b, tag=site, ta=ta, tb=tb)
+                )
+        return self._guard(
+            lambda: self.abft.guard_batched(
+                out, av, bv, precision=inner.precision, site=site,
+                phase=phase, panel=panel, recompute=recompute,
+            ),
+            out, site=site, precision=inner.precision,
+        )
+
+    def after_syr2k_abft(self, out, y, z, *, inner, site: str, alpha: float,
+                         beta: float, pre, snapshot) -> np.ndarray:
+        """syr2k hook with online ABFT (pre-launch accumulator checksums)."""
+        out = self.inject(site, out)
+        yv = np.asarray(y)
+        zv = np.asarray(z)
+        phase, panel = self.current_unit()
+        recompute = None
+        if self.abft.policy.mode == "correct":
+            def recompute():
+                if beta != 0.0:
+                    buf = np.array(snapshot, copy=True)
+                    r = inner.syr2k(y, z, tag=site, out=buf, alpha=alpha,
+                                    beta=beta)
+                else:
+                    r = inner.syr2k(y, z, tag=site, alpha=alpha)
+                return self.inject(site, r)
+        return self._guard(
+            lambda: self.abft.guard_syr2k(
+                out, yv, zv, precision=inner.precision, site=site,
+                alpha=alpha, beta=beta, pre=pre, phase=phase, panel=panel,
+                recompute=recompute,
+            ),
+            out, site=site, precision=inner.precision,
+        )
+
+    def guard_copy(self, site: str, arr: np.ndarray,
+                   ref: np.ndarray) -> np.ndarray:
+        """Driver hook: ABFT copy guard for data crossing a phase boundary."""
+        if self.abft is None:
+            return arr
+        phase, panel = self.current_unit()
+        try:
+            return self.abft.guard_copy(arr, ref, site=site, phase=phase,
+                                        panel=panel)
+        except SdcError as exc:
+            self._record_detection(exc)
+            raise
 
     def check_array(self, arr: np.ndarray, *, site: str,
                     precision: Precision = Precision.FP64) -> None:

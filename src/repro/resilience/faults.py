@@ -17,6 +17,13 @@ Corruption kinds
 ``mantissa_noise``  multiply sampled entries by ``1 + noise`` (silent)
 ``overflow``        multiply sampled entries by ``scale`` (default 1e30 —
                     finite in FP32, caught by the magnitude detector)
+``bitflip``         XOR one bit of a single entry's storage word — the
+                    canonical silent-data-corruption model the online
+                    ABFT layer (:mod:`repro.resilience.abft`) detects,
+                    localizes, and corrects.  ``bit`` selects the bit
+                    position (default: the dtype's top exponent bit, so
+                    the flip is numerically large in either direction);
+                    exactly one element is corrupted per firing.
 
 Faults are *transient* by default (``count=1``): each spec fires at most
 ``count`` times, so a retry of the corrupted unit sees clean data — the
@@ -36,7 +43,10 @@ import numpy as np
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultRecord", "FaultInjector"]
 
-FAULT_KINDS = ("nan", "inf", "sign_flip", "mantissa_noise", "overflow")
+FAULT_KINDS = ("nan", "inf", "sign_flip", "mantissa_noise", "overflow", "bitflip")
+
+#: Top exponent bit per float itemsize — the default ``bitflip`` target.
+_TOP_EXPONENT_BIT = {2: 14, 4: 30, 8: 62}
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,11 @@ class FaultSpec:
     seed : int
         Base seed; combined with the site name and call index so every
         firing is independently deterministic.
+    bit : int or None
+        ``bitflip`` only: which bit of the element's storage word is
+        XORed (0 = least-significant mantissa bit).  ``None`` picks the
+        dtype's top exponent bit at firing time, which perturbs the
+        value by many orders of magnitude whether set or clear.
     """
 
     site: str
@@ -72,6 +87,7 @@ class FaultSpec:
     fraction: float = 0.02
     scale: float = 1e30
     seed: int = 0
+    bit: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -80,6 +96,8 @@ class FaultSpec:
             )
         if not 0.0 < self.fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if self.bit is not None and self.bit < 0:
+            raise ValueError(f"bit must be non-negative, got {self.bit}")
 
 
 @dataclass(frozen=True)
@@ -133,6 +151,15 @@ class FaultInjector:
         rng = self._rng(spec, site, index)
         out = np.array(arr, copy=True)
         flat = out.ravel()
+        if spec.kind == "bitflip":
+            # A single flipped storage bit in one element — the SDC model.
+            pos = int(rng.integers(flat.size))
+            bits = max(1, out.dtype.itemsize) * 8
+            bit = spec.bit if spec.bit is not None else \
+                _TOP_EXPONENT_BIT.get(out.dtype.itemsize, bits - 2)
+            word = flat[pos:pos + 1].view(f"u{out.dtype.itemsize}")
+            word ^= word.dtype.type(1 << (bit % bits))
+            return out, 1
         n_bad = max(1, int(round(spec.fraction * flat.size)))
         idx = rng.choice(flat.size, size=min(n_bad, flat.size), replace=False)
         if spec.kind == "nan":

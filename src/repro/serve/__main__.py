@@ -124,6 +124,88 @@ def _preempt_one(svc: EvdService, job_ids: "list[str]", fired: "list[str]") -> N
         svc.sleep(0.005)
 
 
+def _sdc_chaos(svc: EvdService, args) -> "list[str]":
+    """SDC chaos segment (``--faults bitflip``): prove the ABFT contract.
+
+    Three correct-mode jobs take a transient single-bit flip at distinct
+    GEMM sites (SBR trailing update, full trailing update, back
+    transform); each must finish with eigenpairs bitwise-identical to an
+    uninjected run of the same config.  One detect-mode job takes a
+    persistent flip that exhausts the in-driver escalation ladder; the
+    propagated :class:`~repro.errors.SdcError` must surface as the
+    worker's distinct ``sdc`` retry class and the job must still finish.
+    """
+    from ..eig.driver import syevd_2stage
+    from ..resilience.faults import FaultInjector, FaultSpec
+
+    problems: "list[str]" = []
+    rng = np.random.default_rng(args.seed + 9001)
+    a = _sym(rng, args.n)
+    clean = syevd_2stage(a, b=8, precision="fp32", check_input=False)
+
+    # wy_full_right launches once per run at soak sizes, so its flip
+    # targets call index 0; the other sites take their second launch.
+    for i, (site, call_index) in enumerate((
+        ("wy_right", 1), ("wy_full_right", 0), ("back_transform", 1),
+    )):
+        inj = FaultInjector(FaultSpec(
+            site=site, kind="bitflip", call_index=call_index,
+            seed=args.seed + i,
+        ))
+        jid = svc.submit(spec=JobSpec(
+            a=a, b=8, precision="fp32", abft="correct", faults=inj,
+            tag=f"sdc-correct-{site}",
+        ))
+        res = svc.result(jid, timeout=300.0)
+        if res is None or not res.ok:
+            problems.append(
+                f"sdc-correct-{site}: job not ok "
+                f"({res.outcome if res else 'lost'}: "
+                f"{res.error if res else '?'})"
+            )
+        elif not inj.fired:
+            problems.append(f"sdc-correct-{site}: bitflip never fired")
+        elif not np.array_equal(clean.eigenvalues, res.eigenvalues) or not (
+            np.array_equal(clean.eigenvectors, res.eigenvectors)
+        ):
+            problems.append(
+                f"sdc-correct-{site}: corrected result diverged from the "
+                f"uninjected run"
+            )
+        else:
+            print(f"sdc-correct-{site}: {len(inj.fired)} flip(s) corrected "
+                  f"in-flight, result bitwise-identical")
+
+    # Persistent damage: the flip re-fires on every in-driver retry until
+    # the ladder gives up, so the SdcError reaches the worker; spare
+    # worker attempts drain the remaining firings.
+    inj = FaultInjector(FaultSpec(
+        site="wy_right", kind="bitflip", call_index=1, count=5,
+        seed=args.seed,
+    ))
+    jid = svc.submit(spec=JobSpec(
+        a=a, b=8, precision="fp32", abft="detect", faults=inj,
+        retry=RetryPolicy(max_attempts=4, backoff_base=0.001),
+        tag="sdc-detect-persistent",
+    ))
+    res = svc.result(jid, timeout=300.0)
+    if res is None or not res.ok:
+        problems.append(
+            f"sdc-detect-persistent: job not ok "
+            f"({res.outcome if res else 'lost'}: {res.error if res else '?'})"
+        )
+    elif res.sdc_retries < 1:
+        problems.append(
+            f"sdc-detect-persistent: expected an sdc-class retry, got "
+            f"attempts={res.attempts} sdc_retries={res.sdc_retries}"
+        )
+    else:
+        print(f"sdc-detect-persistent: recovered after "
+              f"{res.sdc_retries} sdc-class retr"
+              f"{'y' if res.sdc_retries == 1 else 'ies'}")
+    return problems
+
+
 def _bitwise_reference(spec: JobSpec, result) -> bool:
     """Re-run an evicted job's config uninterrupted; compare bitwise."""
     from ..eig.driver import syevd_2stage
@@ -156,6 +238,11 @@ def main(argv=None) -> int:
     ap.add_argument("--spool", default=None, help="spool dir (default: temp)")
     ap.add_argument("--bench-out", default=None,
                     help="bench session path (default: runs/BENCH_serve.json)")
+    ap.add_argument("--faults", choices=["bitflip"], default=None,
+                    help="SDC chaos: inject single-bit flips into the GEMM "
+                         "stream and assert the online ABFT layer detects, "
+                         "corrects in place, and surfaces uncorrectable "
+                         "damage as sdc-class retries")
     ap.add_argument("--inject-faults", action="store_true",
                     help="crash-kill every 4th checkpointed job at a "
                          "checkpoint commit (retry-resume path)")
@@ -217,11 +304,12 @@ def main(argv=None) -> int:
         }
         if evictor is not None:
             evictor.join(timeout=5.0)
+        sdc_failures = _sdc_chaos(svc, args) if args.faults == "bitflip" else []
     # -- report ------------------------------------------------------------
     stats = svc.stats()
     print(f"submitted={len(submitted)} rejected={rejected} "
           f"outcomes={stats['outcomes']}")
-    failures: "list[str]" = []
+    failures: "list[str]" = list(sdc_failures)
 
     lost = [jid for jid, res in results.items() if res is None]
     if lost or stats["jobs_pending"]:

@@ -92,6 +92,11 @@ class JobSpec:
     checkpointed: bool = False
     #: May be packed into a same-shape ``gemm_batched`` EVD stack.
     coalescible: bool = False
+    #: Online ABFT knob forwarded to the driver: ``None``/``"off"``,
+    #: ``"detect"``, or ``"correct"`` (or an ``AbftPolicy``).
+    abft: "object | None" = None
+    #: Fault injector forwarded to the driver (chaos harness only).
+    faults: "object | None" = None
     tag: str = ""
 
 
@@ -109,6 +114,9 @@ class JobResult:
     deadline_missed: bool = False
     attempts: int = 0
     preemptions: int = 0
+    #: Attempts retried because the driver escalated an uncorrectable
+    #: silent-data-corruption event (:class:`repro.errors.SdcError`).
+    sdc_retries: int = 0
     wall: float = 0.0
     queue_wait: float = 0.0
     precision_used: str = ""
@@ -145,6 +153,7 @@ class Job:
         self.state = "queued"
         self.attempts = 0
         self.preemptions = 0
+        self.sdc_retries = 0
         # Causal trace: minted once per request, carried through every
         # attempt, preemption, and checkpoint resume.  ``timeline``
         # accumulates lifecycle events for the job's manifest line.
@@ -263,6 +272,7 @@ class Job:
                 deadline_missed=self.deadline_missed,
                 attempts=self.attempts,
                 preemptions=self.preemptions,
+                sdc_retries=self.sdc_retries,
                 wall=now - self.submitted,
                 queue_wait=(self.started - self.submitted)
                 if self.started is not None else now - self.submitted,
@@ -284,6 +294,7 @@ class Job:
             "state": self.state,
             "attempts": self.attempts,
             "preemptions": self.preemptions,
+            "sdc_retries": self.sdc_retries,
             "deadline_seconds": self.spec.deadline_seconds,
             "deadline_missed": self.deadline_missed,
             "degradations": list(self.degradations),

@@ -8,6 +8,11 @@ terminal job into the live registry:
   tally feeding the budget math;
 - ``repro_serve_slo_deadline_hits_total{priority}`` / ``_misses_total``
   — deadline outcomes for jobs that *had* a deadline;
+- ``repro_serve_slo_sdc_jobs_total{priority}`` — jobs whose life
+  included at least one silent-data-corruption retry (or that failed on
+  an :class:`~repro.errors.SdcError`); ``_sdc_bad_total`` — the subset
+  that also burned error budget, so SDC-driven badness is separable
+  from deadline/overload badness;
 - ``repro_serve_slo_burn_rate{priority}`` — observed bad fraction
   divided by the allowed bad fraction ``1 - target`` (1.0 = burning the
   error budget exactly as fast as the objective permits; > 1 = SLO at
@@ -68,6 +73,14 @@ class SloTracker:
             return  # client cancels don't burn the service's budget
         cls = job.spec.priority
         good = r.ok and not r.deadline_missed
+        # getattr: result-shaped objects predating the sdc_retries field
+        # (external fakes, persisted records) still account correctly.
+        sdc = (getattr(r, "sdc_retries", 0) > 0
+               or getattr(r, "error_type", None) == "SdcError")
+        if sdc:
+            self.reg.inc("repro_serve_slo_sdc_jobs_total", priority=cls)
+            if not good:
+                self.reg.inc("repro_serve_slo_sdc_bad_total", priority=cls)
         if good:
             self._good[cls] = self._good.get(cls, 0) + 1
             self.reg.inc("repro_serve_slo_good_total", priority=cls)

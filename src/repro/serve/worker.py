@@ -12,6 +12,13 @@ taxonomy decides the retry shape:
   a real worker death in production) — the worker retries by re-running
   against the *same* run directory, which resumes from the newest
   committed checkpoint (``retry-resume``) to a bitwise-identical result.
+- **Silent data corruption** (:class:`~repro.errors.SdcError`) — the
+  in-driver ABFT layer detected damage it could not correct in place and
+  the escalation ladder gave up.  The data is transiently corrupt, not
+  numerically out of range, so the worker retries at the *same*
+  precision (``retry-sdc``) — escalating would waste the safer rung on a
+  fault that a clean re-run fixes.  SDC retries are a distinct class in
+  the retry taxonomy and SLO bad-event accounting.
 - **Preemption** (:class:`~repro.errors.JobPreempted`) — not a failure:
   the scheduler asked for the slot.  The job re-enters the queue with
   its original position and resumes later from its checkpoint.
@@ -35,6 +42,7 @@ from ..errors import (
     ConvergenceError,
     JobPreempted,
     NumericalBreakdownError,
+    SdcError,
     SimulatedCrashError,
     SingularMatrixError,
     ValidationError,
@@ -240,6 +248,19 @@ class Worker(threading.Thread):
                 self._reset_run_dir(job)
                 if not self._retry(job, policy, exc, kind="deadline"):
                     return
+            except SdcError as exc:
+                # Silent data corruption the driver-side ABFT could not
+                # repair: retry at the same precision (the fault is in
+                # the data, not the numerics) and surface it as its own
+                # retry class.  Must precede NumericalBreakdownError —
+                # SdcError subclasses it.
+                self._record_attempt(job, t0, k, "sdc")
+                job.sdc_retries += 1
+                svc.reg.inc(
+                    "repro_serve_sdc_retries_total", priority=job.spec.priority
+                )
+                if not self._retry(job, policy, exc, kind="sdc"):
+                    return
             except (
                 NumericalBreakdownError, ConvergenceError, SingularMatrixError,
             ) as exc:
@@ -321,6 +342,10 @@ class Worker(threading.Thread):
             tridiag_solver=job.spec.tridiag_solver,
             check_input=False,  # validated once at submission
         )
+        if job.spec.abft is not None:
+            kwargs["abft"] = job.spec.abft
+        if job.spec.faults is not None:
+            kwargs["faults"] = job.spec.faults
         if job.spec.checkpointed:
             # Re-running against a directory holding an interrupted run
             # resumes it from the newest committed checkpoint — the same
