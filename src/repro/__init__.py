@@ -79,7 +79,7 @@ from .eig import (
     tridiag_inverse_iteration,
 )
 from .refine import refine_eigenpairs, refined_syevd
-from .svd import low_rank_approx, randomized_svd, svd_direct, svd_via_evd
+from .svd import low_rank_approx, randomized_svd, svd_banded, svd_direct, svd_via_evd
 from .matrices import MatrixSpec, TABLE_MATRIX_SPECS, generate_symmetric
 from .metrics import backward_error, eigenvalue_error, orthogonality_error
 from .device import A100Spec, DeviceSpec, PerfModel
@@ -153,6 +153,7 @@ __all__ = [
     "refined_syevd",
     "svd_via_evd",
     "svd_direct",
+    "svd_banded",
     "randomized_svd",
     "low_rank_approx",
     "lobpcg",

@@ -76,6 +76,8 @@ def bulge_chase(
     *,
     want_q: bool = True,
     variant: str = "givens",
+    engine=None,
+    workspace=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
     """Reduce a symmetric band matrix to tridiagonal form.
 
@@ -89,11 +91,18 @@ def bulge_chase(
         entries directly.
     want_q : bool
         Accumulate the orthogonal transform ``Q2`` with ``A ≈ Q2 T Q2^T``.
-    variant : {"givens", "blocked"}
+    variant : {"givens", "blocked", "wavefront"}
         ``"givens"``: Schwarz rotation scheme (this module).
         ``"blocked"``: Householder column sweeps with blocked chases
         (:mod:`repro.eig.bulge_blocked`, MAGMA ``sb2st``-style; fewer
         Python-level steps, faster for larger bandwidths).
+        ``"wavefront"``: batched anti-diagonal wavefronts of WY tile
+        updates launched through the GEMM engine
+        (:mod:`repro.eig.bulge_wavefront`; pass ``engine=`` /
+        ``workspace=`` keywords for telemetry and arena reuse).
+    engine, workspace : optional
+        Forwarded to the wavefront variant (GEMM engine routing and
+        scratch-arena reuse); unused by the scalar variants.
 
     Returns
     -------
@@ -108,8 +117,17 @@ def bulge_chase(
         from .bulge_blocked import bulge_chase_blocked
 
         return bulge_chase_blocked(a, b, want_q=want_q)
+    if variant == "wavefront":
+        from .bulge_wavefront import bulge_chase_wavefront
+
+        return bulge_chase_wavefront(
+            a, b, want_q=want_q, engine=engine, workspace=workspace
+        )
     if variant != "givens":
-        raise ShapeError(f"variant must be 'givens' or 'blocked', got {variant!r}")
+        raise ShapeError(
+            "variant must be 'givens', 'blocked' or 'wavefront', "
+            f"got {variant!r}"
+        )
     A, q = reduce_bandwidth(a, b, target=1, want_q=want_q)
     n = A.shape[0]
     d = np.diagonal(A).copy()

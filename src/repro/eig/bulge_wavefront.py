@@ -1,0 +1,424 @@
+"""Wavefront (batched, engine-routed) bulge chasing — stage 2 on GEMMs.
+
+The Givens scheme (:mod:`repro.eig.bulge`) and the blocked Householder
+scheme (:mod:`repro.eig.bulge_blocked`) both walk the band one rotation /
+one reflector-block at a time, entirely outside the GEMM engine — stage 2
+is invisible to the tensor-core path, the workspace arena, and the GEMM
+telemetry stream.  This module rebuilds the blocked chase on the
+memory-aware tile-batching design of "Accelerating Bidiagonalization of
+Banded Matrices through Memory-Aware Bulge-Chasing on GPUs"
+(arXiv 2510.12705) with the wavefront dependency structure of "Look-Ahead
+in the Two-Sided Reduction to Compact Band Forms" (arXiv 1709.00302):
+
+- each sweep's per-hop reflectors are grouped into a WY pair (``Q = I -
+  W Y^T``) and applied as *tile updates*: two strip GEMMs for the
+  off-diagonal block, three small GEMMs plus one fused ``syr2k`` for the
+  exactly-symmetric two-sided diagonal-tile update, and two GEMMs for the
+  Q accumulation — all through :class:`repro.gemm.engine.GemmEngine`
+  with ``out=``/``ta``/``tb`` (the PR-5 calling convention);
+- steps of *different* sweeps separated by
+  :data:`~repro.gemm.symbolic.WAVEFRONT_DELTA` hops have disjoint
+  row/column footprints, so one round's anti-diagonal wavefront of tiles
+  is launched as single ``gemm_batched`` stacks — the schedule
+  (:func:`repro.gemm.symbolic.wavefront_rounds`) is shared with the
+  symbolic trace, making the launch stream reproducible shape-by-shape
+  without running the numerics;
+- every gather/stack/WY/Q buffer comes from the PR-5
+  :class:`repro.perf.Workspace` arena, so the steady-state loop performs
+  no allocations (second pass over the same geometry: zero arena misses).
+
+Because batched ``np.matmul`` over a 3-D stack is bitwise identical to
+the per-slice 2-D products, ``batch=False`` (one launch per step) and the
+default batched execution produce *bitwise identical* results — the
+schedule-invariance analogue of stage 1's look-ahead guarantee, pinned by
+tests.
+
+The diagonal tile update uses the syr2k trick: with ``U = D W``,
+``V = W^T D W`` (symmetric) and ``U' = U - (1/2) Y V``,
+
+    Q^T D Q = D - Y U'^T - U' Y^T,
+
+one fused ``syr2k(Y, U', alpha=-1, beta=1, out=D)`` — the output is
+exactly symmetric by construction, so no explicit re-symmetrization pass
+is needed (the blocked variant pays one per hop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NumericalBreakdownError, ShapeError
+from ..gemm.engine import GemmEngine, PlainEngine
+from ..gemm.symbolic import wavefront_groups, wavefront_rounds
+from ..obs import spans as obs
+from ..perf import resolve_workspace
+from ..validation import as_symmetric_matrix
+
+__all__ = ["bulge_chase_wavefront"]
+
+#: Semantic tags of the engine-routed launches (must stay in sync with
+#: :data:`repro.gemm.symbolic.BULGE_WAVEFRONT_TAGS`).
+TAG_STRIP = "bulge.wavefront.strip"
+TAG_TILE = "bulge.wavefront.tile"
+TAG_SYR2K = "bulge.wavefront.syr2k"
+TAG_Q = "bulge.wavefront.q"
+
+
+def bulge_chase_wavefront(
+    a,
+    b: int,
+    *,
+    want_q: bool = True,
+    engine: GemmEngine | None = None,
+    workspace=None,
+    batch: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Reduce a symmetric band matrix to tridiagonal form (wavefront chase).
+
+    Same contract as :func:`repro.eig.bulge.bulge_chase`, plus:
+
+    Parameters
+    ----------
+    engine : GemmEngine, optional
+        Engine the tile updates are launched through (default: a
+        dtype-neutral :class:`~repro.gemm.engine.PlainEngine`).  Pass a
+        recording / resilience-wrapped engine to join the GEMM telemetry
+        stream and the ABFT guards.
+    workspace : repro.perf.Workspace, bool, or None
+        Scratch arena for every gather/WY/update buffer (see
+        :func:`repro.perf.resolve_workspace`).
+    batch : bool
+        Launch each round's identically-shaped wavefront tiles as one
+        ``gemm_batched`` stack (default).  ``batch=False`` launches one
+        step at a time — bitwise identical output, used by the
+        schedule-invariance tests.
+    """
+    a = as_symmetric_matrix(a, rtol=1e-3, atol=1e-4)
+    n = a.shape[0]
+    if b < 1:
+        raise ShapeError(f"bandwidth must be >= 1, got {b}")
+    dtype = a.dtype
+    A = np.array(a, copy=True)
+    q = np.eye(n, dtype=dtype) if want_q else None
+    if b == 1 or n <= 2:
+        d = np.diagonal(A).copy()
+        e = np.diagonal(A, offset=-1).copy() if n > 1 else np.empty(0, dtype=dtype)
+        return d, e, q
+
+    eng = engine if engine is not None else PlainEngine()
+    ws = resolve_workspace(workspace)
+    dead = bytearray(n)  # sweeps whose bulge vanished (chase died out)
+    nrounds = nsteps = nlaunches = 0
+
+    with obs.span("bulge.wavefront", n=n, bandwidth=b) as sp:
+        for wave in wavefront_rounds(n, b):
+            live = [(j, geom) for j, geom in wave if not dead[j]]
+            if not live:
+                continue
+            nrounds += 1
+            groups = wavefront_groups(live)
+            if not batch:
+                groups = [(key, [s]) for key, steps in groups for s in steps]
+            for key, steps in groups:
+                nlaunches += 1
+                nsteps += len(steps)
+                _execute_group(A, q, key, steps, eng, ws, dead)
+        sp.count("rounds", nrounds)
+        sp.count("steps", nsteps)
+        sp.count("launches", nlaunches)
+
+    d = np.diagonal(A).copy()
+    e = np.diagonal(A, offset=-1).copy()
+    return d, e, q
+
+
+def _execute_group(A, q, key, steps, eng, ws, dead) -> None:
+    """Factor and apply one batch group of wavefront steps.
+
+    ``key = (kind, L, w, c2)``; every step in ``steps`` shares it, so all
+    gathered stacks are rectangular and the updates launch as single
+    batched calls.  Row/column footprints of distinct steps are disjoint
+    by the schedule invariant, so gather/scatter order is irrelevant.
+    """
+    kind, L, w, c2 = key
+    G = len(steps)
+    dtype = A.dtype
+    n = A.shape[0]
+    kk = min(L, w)
+
+    V = ws.take("bw_v", (G, L, kk), dtype)
+    betas = ws.take("bw_betas", (G, kk), dtype)
+    alphas = ws.take("bw_alpha", (G,), dtype)
+    # Per-group scratch bundle: taken once here, sliced inside the inner
+    # loops (arena lookups are too hot to sit inside the QR recursion).
+    sc = {
+        "sigma": ws.take("bw_rf_sigma", (G,), dtype),
+        "nrm": ws.take("bw_rf_norm", (G,), dtype),
+        "v0": ws.take("bw_rf_v0", (G,), dtype),
+        "asafe": ws.take("bw_rf_asafe", (G,), dtype),
+        "deg": ws.take("bw_rf_deg", (G,), np.bool_),
+    }
+    if kk > 1:
+        sc["qr_t"] = ws.take("bw_qr_t", (G, 1, w - 1), dtype)
+        sc["qr_outer"] = ws.take("bw_qr_outer", (G, L, w - 1), dtype)
+        sc["wy_bv"] = ws.take("bw_wy_bv", (G, L, 1), dtype)
+        sc["wy_t"] = ws.take("bw_wy_t", (G, kk - 1, 1), dtype)
+        sc["wy_u"] = ws.take("bw_wy_u", (G, L, 1), dtype)
+
+    if kind == "col":
+        # Sweep opener: one reflector per sweep annihilating column j
+        # below the subdiagonal (k = 1 WY pair).
+        x = ws.take("bw_colx", (G, L), dtype)
+        for g, (j, geom) in enumerate(steps):
+            b0, b1 = geom[3], geom[4]
+            x[g] = A[b0:b1, j]
+        scales = _prescale(x, ws)
+        V[...] = 0
+        _batched_reflector(x, V[:, :, 0], betas[:, 0], alphas, sc)
+        if scales is not None:
+            np.multiply(alphas, scales, out=alphas)
+        for g, (j, geom) in enumerate(steps):
+            b0, b1 = geom[3], geom[4]
+            A[b0, j] = alphas[g]
+            A[b0 + 1 : b1, j] = 0
+            A[j, b0] = alphas[g]
+            A[j, b0 + 1 : b1] = 0
+    else:
+        # Chase hop: QR of the bulge block annihilates everything below
+        # each column's band edge (the block's local diagonal).
+        blocks = ws.take("bw_block", (G, L, w), dtype)
+        for g, (j, geom) in enumerate(steps):
+            a0, a1, b0, b1 = geom[1], geom[2], geom[3], geom[4]
+            blocks[g] = A[b0:b1, a0:a1]
+        scales = _prescale(blocks, ws)
+        _batched_qr(blocks, V, betas, alphas, sc)
+        if scales is not None:
+            np.multiply(blocks, scales[:, None, None], out=blocks)
+        # All-zero betas mean the block had no sub-band content: that
+        # sweep's chase has died out (identity transform, nothing to do).
+        alive = [g for g in range(G) if betas[g].any()]
+        if len(alive) < G:
+            kept = set(alive)
+            for g, (j, geom) in enumerate(steps):
+                if g not in kept:
+                    dead[j] = 1
+        for g in alive:
+            j, geom = steps[g]
+            a0, a1, b0, b1 = geom[1], geom[2], geom[3], geom[4]
+            A[b0:b1, a0:a1] = blocks[g]
+            A[a0:a1, b0:b1] = blocks[g].T
+        if not alive:
+            return
+        if len(alive) < G:
+            for i, g in enumerate(alive):
+                if i != g:
+                    V[i] = V[g]
+                    betas[i] = betas[g]
+            steps = [steps[g] for g in alive]
+            G = len(alive)
+            V = V[:G]
+            betas = betas[:G]
+
+    W = ws.take("bw_w", (G, L, kk), dtype)
+    _batched_build_wy(V, betas, W, sc)
+
+    # --- Strip: rows [b0,b1) x cols [b1,hi), left-applied Q^T then
+    # mirrored (S <- S - Y (W^T S)). ------------------------------------
+    if c2 > 0:
+        S = ws.take("bw_strip", (G, L, c2), dtype)
+        for g, (j, geom) in enumerate(steps):
+            b0, b1, hi = geom[3], geom[4], geom[5]
+            S[g] = A[b0:b1, b1:hi]
+        T = eng.gemm_batched(
+            W, S, ta=True, tag=TAG_STRIP,
+            out=ws.take("bw_strip_t", (G, kk, c2), dtype),
+        )
+        YT = eng.gemm_batched(
+            V, T, tag=TAG_STRIP,
+            out=ws.take("bw_strip_u", (G, L, c2), dtype),
+        )
+        np.subtract(S, YT, out=S)
+        for g, (j, geom) in enumerate(steps):
+            b0, b1, hi = geom[3], geom[4], geom[5]
+            A[b0:b1, b1:hi] = S[g]
+            A[b1:hi, b0:b1] = S[g].T
+
+    # --- Diagonal tile: exactly-symmetric two-sided update via the
+    # fused syr2k trick (see module docstring). -------------------------
+    D = ws.take("bw_tile", (G, L, L), dtype)
+    for g, (j, geom) in enumerate(steps):
+        b0, b1 = geom[3], geom[4]
+        D[g] = A[b0:b1, b0:b1]
+    U = eng.gemm_batched(
+        D, W, tag=TAG_TILE, out=ws.take("bw_tile_u", (G, L, kk), dtype)
+    )
+    VS = eng.gemm_batched(
+        W, U, ta=True, tag=TAG_TILE,
+        out=ws.take("bw_tile_v", (G, kk, kk), dtype),
+    )
+    YV = eng.gemm_batched(
+        V, VS, tag=TAG_TILE, out=ws.take("bw_tile_yv", (G, L, kk), dtype)
+    )
+    np.multiply(YV, dtype.type(0.5), out=YV)
+    np.subtract(U, YV, out=U)  # U' = D W - (1/2) Y (W^T D W)
+    for g, (j, geom) in enumerate(steps):
+        b0, b1 = geom[3], geom[4]
+        eng.syr2k(
+            V[g], U[g], tag=TAG_SYR2K, out=A[b0:b1, b0:b1],
+            alpha=-1.0, beta=1.0,
+        )
+
+    # --- Q accumulation: q[:, R] <- q[:, R] (I - W Y^T). ---------------
+    if q is not None:
+        Qg = ws.take("bw_qg", (G, n, L), dtype)
+        for g, (j, geom) in enumerate(steps):
+            b0, b1 = geom[3], geom[4]
+            Qg[g] = q[:, b0:b1]
+        P = eng.gemm_batched(
+            Qg, W, tag=TAG_Q, out=ws.take("bw_q_p", (G, n, kk), dtype)
+        )
+        PY = eng.gemm_batched(
+            P, V, tb=True, tag=TAG_Q,
+            out=ws.take("bw_q_upd", (G, n, L), dtype),
+        )
+        for g, (j, geom) in enumerate(steps):
+            b0, b1 = geom[3], geom[4]
+            q[:, b0:b1] -= PY[g]
+
+
+def _prescale(stack, ws):
+    """Overflow/underflow guard for the batched reflector kernels.
+
+    The scalar :func:`~repro.la.householder.make_reflector` rescales
+    every column; doing that inside the batched QR recursion costs more
+    arena traffic and ufunc launches than the whole rest of the chase.
+    Householder factors commute with per-slice scaling (``QR`` of
+    ``c X`` is ``Q (c R)``; ``v`` and ``beta`` are scale-invariant), so
+    the guard hoists to one pass per *group*: if every slice magnitude
+    already sits in the safe range — always, for sanely scaled inputs —
+    return ``None`` and the hot path runs unscaled.  Otherwise scale
+    each slice in place and return the per-slice factors so the caller
+    can restore ``R`` / ``alpha`` afterwards.  Non-finite input raises
+    the same breakdown the scalar kernel does.
+    """
+    G = stack.shape[0]
+    dtype = stack.dtype
+    flat = stack.reshape(G, -1)
+    buf = ws.take("bw_sc_abs", flat.shape, dtype)
+    np.abs(flat, out=buf)
+    mx = ws.take("bw_sc_max", (G,), dtype)
+    np.max(buf, axis=1, out=mx)
+    if not np.all(np.isfinite(mx)):
+        raise NumericalBreakdownError(
+            "non-finite block in wavefront bulge chase",
+            detector="nonfinite", site="bulge_wavefront",
+        )
+    fi = np.finfo(dtype)
+    hi = np.sqrt(fi.max / flat.shape[1]) / 8
+    lo = np.sqrt(fi.tiny) * 8
+    if bool(((mx < hi) & ((mx > lo) | (mx == 0))).all()):
+        return None
+    scales = ws.take("bw_sc_scale", (G,), dtype)
+    np.copyto(scales, mx)
+    scales[mx == 0] = 1
+    np.divide(stack, scales.reshape((G,) + (1,) * (stack.ndim - 1)), out=stack)
+    return scales
+
+
+def _batched_reflector(x, v, beta, alpha, sc) -> None:
+    """Vectorized Householder generation across a stack of columns.
+
+    The batched analogue of :func:`repro.la.householder.make_reflector`
+    (one vectorized pass over the wavefront's concurrent steps; the
+    range guard lives in :func:`_prescale`): for each slice ``g``,
+    ``H_g = I - beta[g] v_g v_g^T`` annihilates ``x[g, 1:]`` with
+    ``(H_g x_g)[0] = alpha[g]``.  ``x`` (G, L) is read-only; ``v``
+    (G, L), ``beta`` (G,) and ``alpha`` (G,) are written, with
+    ``v[:, 0] = 1``.  Slices whose tail is already zero degenerate to
+    ``beta = 0``, ``H = I``.  ``sc`` is the caller's scratch bundle.
+    """
+    np.copyto(v, x)
+    v[:, 0] = 1
+    if x.shape[1] < 2:
+        beta[:] = 0
+        alpha[:] = x[:, 0]
+        return
+    x0 = x[:, 0]
+    sigma = sc["sigma"]
+    np.einsum("gl,gl->g", x[:, 1:], x[:, 1:], out=sigma)
+    deg = sc["deg"]  # nothing to annihilate: H = I
+    np.equal(sigma, 0.0, out=deg)
+    anydeg = bool(deg.any())
+    nrm = sc["nrm"]
+    np.sqrt(sigma, out=nrm)
+    np.hypot(x0, nrm, out=nrm)
+    # alpha gets the sign opposite x0 so v0 = x0 - alpha never cancels.
+    np.copysign(nrm, x0, out=alpha)
+    np.negative(alpha, out=alpha)
+    v0 = sc["v0"]
+    np.subtract(x0, alpha, out=v0)
+    np.subtract(alpha, x0, out=beta)
+    if anydeg:
+        v0[deg] = 1
+        asafe = sc["asafe"]
+        np.copyto(asafe, alpha)
+        asafe[deg] = 1
+        np.divide(beta, asafe, out=beta)
+        beta[deg] = 0
+        alpha[deg] = x[deg, 0]
+    else:
+        np.divide(beta, alpha, out=beta)
+    np.divide(x[:, 1:], v0[:, None], out=v[:, 1:])
+
+
+def _batched_qr(blocks, V, betas, alphas, sc) -> None:
+    """Batched Householder QR of a (G, L, w) stack, in place.
+
+    ``blocks`` becomes the stack of R factors (each exactly the in-band
+    upper triangle); ``V`` (G, L, kk) and ``betas`` (G, kk) collect the
+    reflectors.  An all-zero ``betas[g]`` row means block ``g`` had
+    nothing below its diagonal (dead chase).
+    """
+    G, L, w = blocks.shape
+    kk = V.shape[2]
+    V[...] = 0
+    for jl in range(kk):
+        lr = L - jl
+        _batched_reflector(
+            blocks[:, jl:, jl], V[:, jl:, jl], betas[:, jl], alphas, sc
+        )
+        blocks[:, jl, jl] = alphas
+        blocks[:, jl + 1 :, jl] = 0
+        wr = w - jl - 1
+        if wr < 1 or lr < 2:
+            continue
+        vj = V[:, jl:, jl]
+        rest = blocks[:, jl:, jl + 1 :]
+        t = sc["qr_t"][:, :, :wr]
+        np.matmul(vj[:, None, :], rest, out=t)
+        np.multiply(t, betas[:, jl, None, None], out=t)
+        outer = sc["qr_outer"][:, :lr, :wr]
+        np.matmul(vj[:, :, None], t, out=outer)
+        np.subtract(rest, outer, out=rest)
+
+
+def _batched_build_wy(V, betas, W, sc) -> None:
+    """Batched WY recurrence: per slice, ``H_1 .. H_kk = I - W Y^T``.
+
+    Same recurrence as :func:`repro.la.wy.build_wy`, vectorized over the
+    stack (the per-step WY build is panel-internal work, like stage 1's
+    panel factorization — it stays outside the engine stream).
+    """
+    G, L, kk = V.shape
+    np.multiply(V[:, :, 0], betas[:, 0, None], out=W[:, :, 0])
+    for jl in range(1, kk):
+        # [:G] slices: after dead-sweep compaction the stack is shorter
+        # than the scratch taken for the full group.
+        bv = sc["wy_bv"][:G]
+        np.multiply(V[:, :, jl], betas[:, jl, None], out=bv[:, :, 0])
+        t = sc["wy_t"][:G, :jl]
+        np.matmul(V[:, :, :jl].swapaxes(1, 2), bv, out=t)
+        u = sc["wy_u"][:G]
+        np.matmul(W[:, :, :jl], t, out=u)
+        np.subtract(bv, u, out=bv)
+        W[:, :, jl] = bv[:, :, 0]

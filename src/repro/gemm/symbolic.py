@@ -25,11 +25,18 @@ from .trace import GemmRecord, GemmTrace
 
 __all__ = [
     "ALGORITHM_TAGS",
+    "BULGE_WAVEFRONT_TAGS",
+    "BULGE_SVD_TAGS",
+    "WAVEFRONT_DELTA",
     "full_update_col_blocks",
     "trace_sbr_zy",
     "trace_sbr_wy",
     "trace_form_q",
     "is_algorithm_tag",
+    "bulge_sweep_geometry",
+    "wavefront_rounds",
+    "wavefront_groups",
+    "trace_bulge_wavefront",
 ]
 
 #: Tags that belong to the algorithm-level GEMM stream (vs panel internals).
@@ -54,9 +61,40 @@ ALGORITHM_TAGS = frozenset(
 )
 
 
+#: Tags of the stage-2 wavefront bulge chase's engine-routed tile updates
+#: (:mod:`repro.eig.bulge_wavefront`).  The chase's panel-internal work —
+#: the batched bulge-block QR and the WY build — stays outside the engine,
+#: exactly like stage 1's ``panel_*`` work, so these four tags are the
+#: complete algorithm-level stream of stage 2.
+BULGE_WAVEFRONT_TAGS = frozenset(
+    {
+        "bulge.wavefront.strip",
+        "bulge.wavefront.tile",
+        "bulge.wavefront.syr2k",
+        "bulge.wavefront.q",
+    }
+)
+
+#: Tags of the banded-SVD bulge chase's engine-routed block updates
+#: (:mod:`repro.svd.banded`): the out-of-band strip application, the
+#: in-band tile application, and the U/V accumulations.
+BULGE_SVD_TAGS = frozenset(
+    {
+        "bulge.svd.strip",
+        "bulge.svd.tile",
+        "bulge.svd.u",
+        "bulge.svd.v",
+    }
+)
+
+
 def is_algorithm_tag(tag: str) -> bool:
     """Whether ``tag`` belongs to the algorithm-level GEMM stream."""
-    return tag in ALGORITHM_TAGS
+    return (
+        tag in ALGORITHM_TAGS
+        or tag in BULGE_WAVEFRONT_TAGS
+        or tag in BULGE_SVD_TAGS
+    )
 
 
 def full_update_col_blocks(t: int, b: int, nb: int) -> "list[tuple[int, int]]":
@@ -224,4 +262,138 @@ def trace_form_q(
 
     k_all = merge(0, len(blocks))
     trace.record(rows, rows, k_all, tag="form_q")
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Stage-2 wavefront bulge chasing: schedule geometry + symbolic trace.
+#
+# The schedule below is *shared* with the numeric executor
+# (:mod:`repro.eig.bulge_wavefront`) — the numeric code iterates the same
+# rounds/groups, so the fidelity contract between this trace and the
+# engine-recorded stream holds by construction (the SBR
+# ``full_update_col_blocks`` idiom).  The trace assumes a *generic* band
+# matrix: every sweep's chase runs its full geometric length (the numeric
+# code additionally short-circuits sweeps whose bulge is exactly zero,
+# e.g. an already-tridiagonal input declared with a larger bandwidth).
+# ---------------------------------------------------------------------------
+
+#: Minimum step separation between adjacent sweeps of the wavefront
+#: schedule.  Step ``t`` of sweep ``j`` touches rows/columns
+#: ``[j+1+(t-1)b, j+1+(t+2)b)``; steps of sweeps ``d`` apart scheduled
+#: ``DELTA*d`` steps apart are disjoint iff ``(DELTA*d - 3) * b >= d``,
+#: which ``DELTA = 4`` satisfies for every ``b >= 1`` — so all steps of
+#: one round commute and any batching order is bitwise-identical to the
+#: serial schedule.
+WAVEFRONT_DELTA = 4
+
+
+def bulge_sweep_geometry(n: int, b: int, j: int) -> "list[tuple]":
+    """Step geometries of sweep ``j`` of the blocked/wavefront bulge chase.
+
+    Each step is ``(kind, a0, a1, b0, b1, hi)``: ``kind == "col"`` is the
+    sweep's opening reflector (annihilating column ``j`` below the
+    subdiagonal; its "QR block" is the single column segment), ``"qr"``
+    is one chase hop (QR of the bulge block ``A[b0:b1, a0:a1]``).  In
+    both kinds ``[b0, b1)`` is the row range the step's orthogonal
+    transform acts on and ``hi`` bounds the band/bulge content of those
+    rows, so the step's two-sided update covers the diagonal tile
+    ``[b0, b1)²`` plus the strip columns ``[b1, hi)``.
+    """
+    steps: "list[tuple]" = []
+    r0, e0 = j + 1, min(j + 1 + b, n)
+    if e0 - r0 < 2:
+        return steps
+    steps.append(("col", j, j + 1, r0, e0, min(e0 + b, n)))
+    a0, a1 = r0, e0
+    while True:
+        b0 = a0 + b
+        b1 = min(a1 + b, n)
+        if b1 - b0 < 2:
+            break
+        steps.append(("qr", a0, a1, b0, b1, min(b1 + b, n)))
+        a0, a1 = b0, b1
+    return steps
+
+
+def wavefront_rounds(n: int, b: int):
+    """Yield the rounds of the wavefront schedule.
+
+    Round ``r`` executes step ``r - WAVEFRONT_DELTA * j`` of every sweep
+    ``j`` for which that index is in range — the anti-diagonal wavefront:
+    all steps of one round have pairwise-disjoint row/column footprints
+    (see :data:`WAVEFRONT_DELTA`), so the numeric executor may batch them
+    into single ``gemm_batched`` launches.  Each yielded round is a
+    non-empty list of ``(j, geometry)`` pairs in ascending ``j``.
+    """
+    nsweeps = max(n - 2, 0)
+    geoms = [bulge_sweep_geometry(n, b, j) for j in range(nsweeps)]
+    while geoms and not geoms[-1]:
+        geoms.pop()
+    nsweeps = len(geoms)
+    lo = 0
+    r = 0
+    # Sweeps finish in ascending-j order (sweep j+1 has at most one step
+    # fewer than sweep j, so finish rounds are strictly increasing) —
+    # the active window is [lo, r // DELTA].
+    while lo < nsweeps:
+        while lo < nsweeps and r - WAVEFRONT_DELTA * lo >= len(geoms[lo]):
+            lo += 1
+        hi = min(r // WAVEFRONT_DELTA, nsweeps - 1)
+        if lo <= hi:
+            yield [(j, geoms[j][r - WAVEFRONT_DELTA * j]) for j in range(lo, hi + 1)]
+        r += 1
+
+
+def wavefront_groups(wave: "list[tuple]") -> "list[tuple[tuple, list]]":
+    """Partition one round's steps into identically-shaped batch groups.
+
+    The group key is ``(kind, L, w, c2)`` — transform row count, QR block
+    width, strip width.  Steps sharing a key issue identically-shaped
+    tile updates and are launched as one ``gemm_batched`` stack; the
+    sorted key order fixes the launch schedule the symbolic trace pins.
+    """
+    groups: "dict[tuple, list]" = {}
+    for j, geom in wave:
+        kind, a0, a1, b0, b1, hi = geom
+        key = (kind, b1 - b0, (a1 - a0) if kind == "qr" else 1, hi - b1)
+        groups.setdefault(key, []).append((j, geom))
+    return sorted(groups.items())
+
+
+def trace_bulge_wavefront(n: int, b: int, *, want_q: bool = True) -> GemmTrace:
+    """Shape stream of :func:`repro.eig.bulge_wavefront.bulge_chase_wavefront`.
+
+    Emits exactly the engine-routed launches of the numeric executor on a
+    generic band matrix (no dead sweeps): per batch group, two
+    ``gemm_batched`` strip launches (when the strip is non-empty), three
+    ``gemm_batched`` tile launches plus one fused ``syr2k`` per step, and
+    two ``gemm_batched`` Q-accumulation launches (when ``want_q``).
+    """
+    trace = GemmTrace()
+    if n <= 2 or b < 1:
+        return trace
+    for wave in wavefront_rounds(n, b):
+        for (kind, L, w, c2), steps in wavefront_groups(wave):
+            g = len(steps)
+            kk = min(L, w)
+            if c2 > 0:
+                trace.add(GemmRecord(kk, c2, L, tag="bulge.wavefront.strip",
+                                     op="gemm_batched", batch=g))
+                trace.add(GemmRecord(L, c2, kk, tag="bulge.wavefront.strip",
+                                     op="gemm_batched", batch=g))
+            trace.add(GemmRecord(L, kk, L, tag="bulge.wavefront.tile",
+                                 op="gemm_batched", batch=g))
+            trace.add(GemmRecord(kk, kk, L, tag="bulge.wavefront.tile",
+                                 op="gemm_batched", batch=g))
+            trace.add(GemmRecord(L, kk, kk, tag="bulge.wavefront.tile",
+                                 op="gemm_batched", batch=g))
+            for _ in steps:
+                trace.add(GemmRecord(L, L, kk, tag="bulge.wavefront.syr2k",
+                                     op="syr2k"))
+            if want_q:
+                trace.add(GemmRecord(n, kk, L, tag="bulge.wavefront.q",
+                                     op="gemm_batched", batch=g))
+                trace.add(GemmRecord(n, L, kk, tag="bulge.wavefront.q",
+                                     op="gemm_batched", batch=g))
     return trace

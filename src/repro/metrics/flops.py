@@ -13,7 +13,13 @@ the "more flops, better shapes" trade-off of §4.3.1.
 
 from __future__ import annotations
 
-from ..gemm.symbolic import trace_sbr_wy, trace_sbr_zy, trace_form_q
+from ..gemm.symbolic import (
+    bulge_sweep_geometry,
+    trace_bulge_wavefront,
+    trace_form_q,
+    trace_sbr_wy,
+    trace_sbr_zy,
+)
 from ..validation import check_blocksizes
 
 __all__ = [
@@ -23,6 +29,10 @@ __all__ = [
     "sbr_zy_flops",
     "sbr_wy_flops",
     "formw_flops",
+    "bulge_givens_flops",
+    "bulge_blocked_flops",
+    "bulge_wavefront_flops",
+    "bulge_flops",
 ]
 
 
@@ -118,3 +128,77 @@ def sbr_wy_flops(
 def formw_flops(n: int, blocks: "list[tuple[int, int]]", *, method: str = "tree") -> int:
     """Flops of assembling Q from per-block WY factors (Algorithm 2)."""
     return trace_form_q(n, blocks, method=method).total_flops
+
+
+def bulge_givens_flops(n: int, b: int, *, want_q: bool = True) -> int:
+    """Stage-2 operations of the Givens (Schwarz) bulge chase.
+
+    Summed over the scheme's actual loop structure — one peeled diagonal
+    per bandwidth ``cur``, one chase per column, one rotation per ``cur``
+    rows — at 6 operations per rotated element pair over the interior
+    rotation window of ``2 cur + 2`` columns (row + column application;
+    boundary-window clipping is a lower-order correction), plus ``6 n``
+    per rotation for the Q accumulation.  Θ(n² b) without vectors,
+    Θ(n³ / b · b) = Θ(n³) with — the Python-loop scheme the wavefront
+    variant replaces.
+    """
+    total = 0
+    q_cost = 6 * n if want_q else 0
+    for cur in range(min(b, n - 1), 1, -1):
+        for j in range(n - cur):
+            if j + cur >= n:
+                continue
+            nrot = (n - 1 - (j + cur)) // cur + 1
+            total += nrot * (12 * (2 * cur + 2) + q_cost)
+    return total
+
+
+def bulge_blocked_flops(n: int, b: int, *, want_q: bool = True) -> int:
+    """Stage-2 operations of the blocked Householder bulge chase.
+
+    Iterates the exact hop geometry every sweep performs
+    (:func:`repro.gemm.symbolic.bulge_sweep_geometry` — shared with the
+    numeric executors) and charges each hop its QR factorization, WY
+    build, two-sided WY application over the hop's footprint, and Q
+    accumulation.
+    """
+    total = 0
+    for j in range(max(n - 2, 0)):
+        for kind, a0, a1, b0, b1, hi in bulge_sweep_geometry(n, b, j):
+            L = b1 - b0
+            w = a1 - a0 if kind == "qr" else 1
+            kk = min(L, w)
+            total += panel_qr_flops(L, kk) + panel_wy_build_flops(L, kk)
+            # Two-sided application: tile (L×L) plus strip (L×(hi-b1)),
+            # each Y (W^T S) left + mirrored right.
+            total += 8 * L * kk * (hi - a1)
+            if want_q:
+                total += 4 * n * L * kk
+    return total
+
+
+def bulge_wavefront_flops(n: int, b: int, *, want_q: bool = True) -> int:
+    """Stage-2 operations of the wavefront bulge chase.
+
+    Engine-visible work comes from the symbolic launch schedule
+    (:func:`repro.gemm.symbolic.trace_bulge_wavefront` — pinned by tests
+    to match the numeric executor's stream); the batched QR/WY factor
+    work per step is added from the standard panel formulas, summed over
+    the same shared hop geometry.
+    """
+    total = trace_bulge_wavefront(n, b, want_q=want_q).total_flops
+    for j in range(max(n - 2, 0)):
+        for kind, a0, a1, b0, b1, hi in bulge_sweep_geometry(n, b, j):
+            L = b1 - b0
+            kk = min(L, a1 - a0) if kind == "qr" else 1
+            total += panel_qr_flops(L, kk) + panel_wy_build_flops(L, kk)
+    return total
+
+
+def bulge_flops(n: int, b: int, *, variant: str = "givens", want_q: bool = True) -> int:
+    """Stage-2 operation count for the named bulge-chase variant."""
+    if variant == "blocked":
+        return bulge_blocked_flops(n, b, want_q=want_q)
+    if variant == "wavefront":
+        return bulge_wavefront_flops(n, b, want_q=want_q)
+    return bulge_givens_flops(n, b, want_q=want_q)

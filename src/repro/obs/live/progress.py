@@ -28,12 +28,14 @@ __all__ = ["ProgressEstimator", "phase_plan"]
 
 def phase_plan(n: int, b: int = 16, nb: "int | None" = None,
                method: str = "wy", want_vectors: bool = True,
-               tridiag_solver: str = "dc") -> dict:
+               tridiag_solver: str = "dc",
+               bulge_variant: str = "givens") -> dict:
     """Predicted work units (flops) per driver phase for one EVD run.
 
-    SBR uses the exact closed forms from :mod:`repro.metrics.flops`; the
-    later phases use standard operation counts (bulge chasing applies
-    ``O(n^2 b)`` Givens work; divide-and-conquer with vectors is
+    SBR and stage-2 bulge chasing use the analytic counts from
+    :mod:`repro.metrics.flops`, summed over each algorithm's actual loop
+    structure per the selected ``bulge_variant``; the later phases use
+    standard operation counts (divide-and-conquer with vectors is
     ``O(n^3)``-dominated by its back-substitution GEMMs; the explicit
     back-transform is two dense ``n^3`` products).  Rough weights are
     fine: the estimator only needs relative phase sizes, and measured
@@ -47,8 +49,10 @@ def phase_plan(n: int, b: int = 16, nb: "int | None" = None,
     else:
         sbr = _flops.sbr_wy_flops(n, b, nb_eff, want_q=want_vectors)
     plan = {"sbr": float(max(sbr, 1.0))}
-    # Bulge chasing: ~6 flops per rotated pair, ~n^2/2 * b rotations.
-    plan["bulge"] = float(max(6.0 * n * n * b, 1.0))
+    plan["bulge"] = float(max(
+        _flops.bulge_flops(n, b, variant=bulge_variant, want_q=want_vectors),
+        1.0,
+    ))
     if tridiag_solver == "dc" and want_vectors:
         tridiag = (4.0 / 3.0) * n ** 3
     elif want_vectors:

@@ -11,6 +11,9 @@ eigensolver:
   Gram matrix (``A^T A``) or the Jordan–Wielandt embedding
   (``[[0, A], [A^T, 0]]``), both reduced with the (Tensor-Core) band
   reduction pipeline.
+- :func:`svd_banded` — true two-stage SVD for banded matrices:
+  band→bidiagonal bulge chasing (:func:`band_to_bidiagonal`, engine-routed
+  WY tile updates like the EVD stage 2) + the Golub–Kahan solver.
 - :func:`randomized_svd` — randomized subspace iteration (Halko et al.;
   paper refs [16, 28]) with the library's QR for orthonormalization.
 - :func:`randomized_eig` — the symmetric variant (Nyström-free projection).
@@ -20,12 +23,16 @@ eigensolver:
 """
 
 from .via_evd import svd_via_evd
-from .direct import bidiagonalize, svd_direct
+from .direct import bidiagonalize, gk_bidiagonal_svd, svd_direct
+from .banded import band_to_bidiagonal, svd_banded
 from .randomized import block_lanczos_eig, low_rank_approx, randomized_eig, randomized_svd
 
 __all__ = [
     "svd_via_evd",
     "svd_direct",
+    "svd_banded",
+    "band_to_bidiagonal",
+    "gk_bidiagonal_svd",
     "bidiagonalize",
     "randomized_svd",
     "randomized_eig",

@@ -28,7 +28,7 @@ from ..errors import ShapeError
 from ..la.householder import apply_reflector_left, apply_reflector_right, make_reflector
 from ..obs import spans as obs
 
-__all__ = ["bidiagonalize", "svd_direct"]
+__all__ = ["bidiagonalize", "gk_bidiagonal_svd", "svd_direct"]
 
 
 def bidiagonalize(
@@ -111,37 +111,61 @@ def svd_direct(a) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         with obs.span("bidiagonalize"):
             u_b, d, e, v_b = bidiagonalize(a, want_uv=True)
 
-        with obs.span("gk_tridiag_solve"):
-            # Golub–Kahan tridiagonal: zero diagonal, off-diagonals interleave
-            # B's diagonal and superdiagonal under the (v_1, u_1, v_2, u_2, ...)
-            # perfect shuffle.
-            off = np.empty(2 * n - 1)
-            off[0::2] = d
-            if n > 1:
-                off[1::2] = e
-            lam, z = tridiag_eig_dc(np.zeros(2 * n), off)
-
-        with obs.span("assemble_factors"):
-            # The n largest eigenvalues are the singular values (descending).
-            order = np.argsort(lam)[::-1][:n]
-            s = np.maximum(lam[order], 0.0)
-            zk = z[:, order]
-            v_small = zk[0::2, :] * np.sqrt(2.0)
-            u_small = zk[1::2, :] * np.sqrt(2.0)
-
-            # For sigma ~ 0 the ± eigenpair degenerates: a zero-eigenvalue
-            # vector of the Golub-Kahan matrix can be purely u-type or purely
-            # v-type, so the shuffled halves are neither unit nor mutually
-            # orthonormal there.  Normalize the well-separated columns and
-            # complete the degenerate block with an orthonormal basis of the
-            # remaining subspace.
-            good = s > 1e-12 * max(float(s.max(initial=0.0)), 1.0)
-            u_small = _fix_degenerate_columns(u_small, good)
-            v_small = _fix_degenerate_columns(v_small, good)
-
-            u = u_b[:, :n] @ u_small
-            vt = (v_b @ v_small).T
+        u_small, s, v_small = gk_bidiagonal_svd(d, e)
+        u = u_b[:, :n] @ u_small
+        vt = (v_b @ v_small).T
     return u, s, vt
+
+
+def gk_bidiagonal_svd(
+    d, e
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full SVD of an upper-bidiagonal matrix ``B = U_s diag(s) V_s^T``.
+
+    ``d`` (n,) and ``e`` (n-1,) are B's diagonal and superdiagonal.  The
+    shared back end of :func:`svd_direct` and
+    :func:`repro.svd.banded.svd_banded`: the Golub–Kahan perfect-shuffle
+    embedding solved by the library's tridiagonal divide & conquer, with
+    degenerate (sigma ~ 0) columns completed to an orthonormal basis.
+    Returns ``(u_small, s, v_small)`` — both factors n×n orthogonal,
+    singular values descending.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    n = d.shape[0]
+    if n == 0 or e.shape[0] != max(n - 1, 0):
+        raise ShapeError(
+            f"gk_bidiagonal_svd requires (n,) and (n-1,) arrays, "
+            f"got {d.shape} and {e.shape}"
+        )
+    with obs.span("gk_tridiag_solve"):
+        # Golub–Kahan tridiagonal: zero diagonal, off-diagonals interleave
+        # B's diagonal and superdiagonal under the (v_1, u_1, v_2, u_2, ...)
+        # perfect shuffle.
+        off = np.empty(2 * n - 1)
+        off[0::2] = d
+        if n > 1:
+            off[1::2] = e
+        lam, z = tridiag_eig_dc(np.zeros(2 * n), off)
+
+    with obs.span("assemble_factors"):
+        # The n largest eigenvalues are the singular values (descending).
+        order = np.argsort(lam)[::-1][:n]
+        s = np.maximum(lam[order], 0.0)
+        zk = z[:, order]
+        v_small = zk[0::2, :] * np.sqrt(2.0)
+        u_small = zk[1::2, :] * np.sqrt(2.0)
+
+        # For sigma ~ 0 the ± eigenpair degenerates: a zero-eigenvalue
+        # vector of the Golub-Kahan matrix can be purely u-type or purely
+        # v-type, so the shuffled halves are neither unit nor mutually
+        # orthonormal there.  Normalize the well-separated columns and
+        # complete the degenerate block with an orthonormal basis of the
+        # remaining subspace.
+        good = s > 1e-12 * max(float(s.max(initial=0.0)), 1.0)
+        u_small = _fix_degenerate_columns(u_small, good)
+        v_small = _fix_degenerate_columns(v_small, good)
+    return u_small, s, v_small
 
 
 def _fix_degenerate_columns(block: np.ndarray, good: np.ndarray) -> np.ndarray:

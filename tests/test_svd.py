@@ -279,3 +279,114 @@ class TestSvdDirect:
         off[0::2] = d
         off[1::2] = e
         np.testing.assert_allclose(t, tridiag_to_dense(np.zeros(2 * n), off), atol=0)
+
+
+def _random_banded(n, bl, bu, rng):
+    a = rng.standard_normal((n, n))
+    mask = np.zeros((n, n), dtype=bool)
+    idx = np.arange(n)
+    diff = idx[None, :] - idx[:, None]
+    mask[(diff > bu) | (diff < -bl)] = True
+    a[mask] = 0.0
+    return a
+
+
+class TestSvdBanded:
+    @pytest.mark.parametrize(
+        "n,bl,bu",
+        [
+            (48, 0, 4),    # upper-banded
+            (48, 0, 1),    # already bidiagonal
+            (32, 0, 31),   # bw >= n-1 (dense upper triangle)
+            (49, 0, 5),    # n not a multiple of anything nice
+            (48, 3, 0),    # lower-banded: exercises the QR pre-pass
+            (48, 4, 4),    # general band
+            (3, 1, 1),
+            (2, 1, 1),
+            (1, 0, 0),
+        ],
+    )
+    def test_factorization(self, rng, n, bl, bu):
+        from repro.svd import svd_banded
+
+        a = _random_banded(n, bl, bu, rng)
+        u, s, vt = svd_banded(a)
+        np.testing.assert_allclose(u @ np.diag(s) @ vt, a, atol=1e-11)
+        # Orthogonality 1e-9: the shared Golub–Kahan back end loses a few
+        # digits when the spectrum has near-zero singular values (same
+        # characteristic as svd_direct).
+        np.testing.assert_allclose(u.T @ u, np.eye(n), atol=1e-9)
+        np.testing.assert_allclose(vt @ vt.T, np.eye(n), atol=1e-9)
+        assert np.all(np.diff(s) <= 1e-12)
+        np.testing.assert_allclose(
+            s, np.linalg.svd(a, compute_uv=False), atol=1e-10
+        )
+
+    def test_band_to_bidiagonal_invariant(self, rng):
+        from repro.svd import band_to_bidiagonal
+
+        a = _random_banded(40, 0, 6, rng)
+        u, d, e, v = band_to_bidiagonal(a, 6)
+        b = np.diag(d) + np.diag(e, 1)
+        np.testing.assert_allclose(u @ b @ v.T, a, atol=1e-12)
+        np.testing.assert_allclose(u.T @ u, np.eye(40), atol=1e-12)
+        np.testing.assert_allclose(v.T @ v, np.eye(40), atol=1e-12)
+
+    def test_band_to_bidiagonal_no_uv(self, rng):
+        from repro.svd import band_to_bidiagonal
+
+        a = _random_banded(24, 0, 4, rng)
+        u_full, d_full, e_full, _ = band_to_bidiagonal(a, 4)
+        u, d, e, v = band_to_bidiagonal(a, 4, want_uv=False)
+        assert u is None and v is None
+        np.testing.assert_array_equal(d, d_full)
+        np.testing.assert_array_equal(e, e_full)
+
+    def test_band_to_bidiagonal_rejects_lower_content(self, rng):
+        from repro.svd import band_to_bidiagonal
+
+        with pytest.raises(ShapeError):
+            band_to_bidiagonal(_random_banded(16, 2, 2, rng), 3)
+
+    def test_cross_validates_against_svd_via_evd(self, rng):
+        from repro.svd import svd_banded
+
+        a = _random_banded(40, 0, 5, rng)
+        _, s1, _ = svd_banded(a)
+        _, s2, _ = svd_via_evd(a, precision="fp64")
+        np.testing.assert_allclose(s1, s2, atol=1e-10)
+
+    def test_validates_declared_bandwidth(self, rng):
+        from repro.errors import ValidationError
+        from repro.svd import svd_banded
+
+        a = _random_banded(16, 0, 5, rng)
+        with pytest.raises(ValidationError) as exc:
+            svd_banded(a, 3)
+        assert exc.value.field == "bw"
+        with pytest.raises(ValidationError):
+            svd_banded(a, 0)
+
+    def test_rejects_bad_shapes(self):
+        from repro.svd import svd_banded
+
+        with pytest.raises(ShapeError):
+            svd_banded(np.zeros((3, 4)))
+        with pytest.raises(ShapeError):
+            svd_banded(np.zeros((0, 0)))
+
+    def test_engine_tags_and_workspace_reuse(self, rng):
+        from repro.gemm import Fp64Engine
+        from repro.gemm.symbolic import BULGE_SVD_TAGS
+        from repro.perf import Workspace
+        from repro.svd import svd_banded
+
+        a = _random_banded(40, 0, 5, rng)
+        eng = Fp64Engine(record=True)
+        ws = Workspace()
+        svd_banded(a, engine=eng, workspace=ws)
+        assert BULGE_SVD_TAGS <= {r.tag for r in eng.trace.records}
+        before = dict(ws.stats())
+        svd_banded(a, workspace=ws)
+        after = dict(ws.stats())
+        assert after["misses"] == before["misses"]
